@@ -1,0 +1,84 @@
+// Ablation (Sections 4.3/4.4): the temporal-compression hierarchy's arity
+// and the clustering order of the micro-delta key.
+//
+//  * Arity k: higher arity lowers the tree (fewer deltas per snapshot path)
+//    but each derived delta is larger — the classic height/size trade-off
+//    behind Table 1's h terms.
+//  * Clustering order (did,pid) vs (pid,did) — Section 4.4 item 5: delta-
+//    major favors snapshot scans, partition-major favors entity fetches.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+using namespace hgs;
+}  // namespace
+
+int main() {
+  hgs::bench::PrintPreamble(
+      "Ablation: hierarchy arity and clustering order",
+      "higher arity -> fewer deltas per snapshot but more storage per "
+      "derived delta; delta-major clustering favors snapshots, "
+      "partition-major favors node fetches");
+
+  auto events = hgs::bench::Dataset1();
+  Timestamp end = workload::EndTime(events);
+  auto probe_nodes = hgs::bench::NodesByVersionCount(events, {60});
+
+  std::printf("\n== hierarchy arity ==\n");
+  std::printf("%-8s %12s %16s %16s %14s\n", "arity", "stored_MB",
+              "snap_deltas", "snap_ms", "snap_MB");
+  for (uint32_t arity : {2u, 4u, 8u}) {
+    TGIOptions topts = hgs::bench::DefaultTGIOptions();
+    topts.hierarchy_arity = arity;
+    topts.checkpoint_interval = 1'250;  // 16 checkpoints/span: depth varies
+    auto bundle = hgs::bench::BuildBundle(
+        events, topts, hgs::bench::MakeClusterOptions(4, 1), 4);
+    FetchStats stats;
+    auto snap = bundle.qm->GetSnapshot(end * 3 / 4, &stats);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8u %12.1f %16" PRIu64 " %16.2f %14.2f\n", arity,
+                static_cast<double>(bundle.cluster->TotalStoredBytes()) / 1e6,
+                stats.micro_deltas, stats.wall_seconds * 1e3,
+                static_cast<double>(stats.bytes) / 1e6);
+  }
+
+  std::printf("\n== clustering order ==\n");
+  std::printf("%-16s %14s %14s %16s %16s\n", "order", "snap_ms",
+              "snap_reqs", "node_state_ms", "node_state_reqs");
+  for (ClusteringOrder order :
+       {ClusteringOrder::kDeltaMajor, ClusteringOrder::kPartitionMajor}) {
+    TGIOptions topts = hgs::bench::DefaultTGIOptions();
+    topts.clustering_order = order;
+    auto bundle = hgs::bench::BuildBundle(
+        events, topts, hgs::bench::MakeClusterOptions(4, 1), 4);
+    FetchStats snap_stats;
+    auto snap = bundle.qm->GetSnapshot(end * 3 / 4, &snap_stats);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    // Average node-state fetch over a handful of nodes.
+    FetchStats node_stats;
+    for (int i = 0; i < 10; ++i) {
+      auto state = bundle.qm->GetNodeStateDelta(
+          probe_nodes[0].first, end * (i + 1) / 12, &node_stats);
+      if (!state.ok()) {
+        std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("%-16s %14.2f %14" PRIu64 " %16.2f %16" PRIu64 "\n",
+                order == ClusteringOrder::kDeltaMajor ? "delta-major"
+                                                      : "partition-major",
+                snap_stats.wall_seconds * 1e3, snap_stats.kv_requests,
+                node_stats.wall_seconds * 1e3 / 10,
+                node_stats.kv_requests / 10);
+  }
+  return 0;
+}

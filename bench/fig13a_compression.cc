@@ -1,0 +1,72 @@
+// Figure 13a: compressed vs uncompressed delta storage; m=2, c=8, r=1.
+//
+// Paper shape: the net effect of store-side delta compression on snapshot
+// retrieval latency is negligible (seeks and deserialization dominate; the
+// transfer savings are offset by decompression work).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+hgs::bench::TGIBundle* g_plain = nullptr;
+hgs::bench::TGIBundle* g_compressed = nullptr;
+std::vector<hgs::Timestamp> g_probes;
+
+void BM_Snapshot(benchmark::State& state) {
+  hgs::bench::TGIBundle* bundle = state.range(0) == 0 ? g_plain : g_compressed;
+  hgs::Timestamp t = g_probes[static_cast<size_t>(state.range(1))];
+  bundle->qm->set_fetch_parallelism(8);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto snap = bundle->qm->GetSnapshot(t);
+    if (!snap.ok()) {
+      state.SkipWithError(snap.status().ToString().c_str());
+      return;
+    }
+    nodes = snap->NumNodes();
+  }
+  state.counters["snapshot_nodes"] = static_cast<double>(nodes);
+  state.counters["stored_MB"] =
+      static_cast<double>(bundle->cluster->TotalStoredBytes()) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 13a: compressed vs uncompressed delta storage; m=2 c=8 r=1",
+      "negligible latency difference; compression shrinks stored bytes");
+
+  auto events = hgs::bench::Dataset1();
+  hgs::TGIOptions topts = hgs::bench::DefaultTGIOptions();
+  auto plain = hgs::bench::BuildBundle(
+      events, topts, hgs::bench::MakeClusterOptions(2, 1));
+  auto compressed = hgs::bench::BuildBundle(
+      events, topts,
+      hgs::bench::MakeClusterOptions(2, 1, hgs::CompressionKind::kLz));
+  g_plain = &plain;
+  g_compressed = &compressed;
+  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+    g_probes.push_back(static_cast<hgs::Timestamp>(
+        static_cast<double>(plain.end) * frac));
+  }
+
+  for (int64_t mode : {0, 1}) {
+    for (int64_t p = 0; p < static_cast<int64_t>(g_probes.size()); ++p) {
+      std::string name = std::string("snapshot/") +
+                         (mode == 0 ? "uncompressed" : "compressed") +
+                         "/t_pct:" + std::to_string((p + 1) * 25);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Snapshot)
+          ->Args({mode, p})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->MinTime(0.6);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

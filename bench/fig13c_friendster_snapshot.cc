@@ -1,0 +1,58 @@
+// Figure 13c: snapshot retrieval times on the Friendster analogue
+// (Dataset 4); m=6, r=1, c=1, ps=500.
+//
+// Paper shape: retrieval time grows ~linearly with snapshot size, the same
+// behavior as on the citation dataset — the index is workload-agnostic.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+hgs::bench::TGIBundle* g_bundle = nullptr;
+std::vector<hgs::Timestamp> g_probes;
+
+void BM_Snapshot(benchmark::State& state) {
+  hgs::Timestamp t = g_probes[static_cast<size_t>(state.range(0))];
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto snap = g_bundle->qm->GetSnapshot(t);
+    if (!snap.ok()) {
+      state.SkipWithError(snap.status().ToString().c_str());
+      return;
+    }
+    nodes = snap->NumNodes();
+  }
+  state.counters["snapshot_nodes"] = static_cast<double>(nodes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 13c: Friendster-analogue snapshot retrieval; m=6 r=1 c=1 ps=500",
+      "retrieval time ~ linear in snapshot size");
+
+  auto bundle = hgs::bench::BuildBundle(hgs::bench::Dataset4(),
+                                        hgs::bench::DefaultTGIOptions(),
+                                        hgs::bench::MakeClusterOptions(6, 1),
+                                        /*fetch_parallelism=*/1);
+  g_bundle = &bundle;
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    g_probes.push_back(static_cast<hgs::Timestamp>(
+        static_cast<double>(bundle.end) * frac));
+  }
+  for (int64_t p = 0; p < static_cast<int64_t>(g_probes.size()); ++p) {
+    std::string name = "snapshot/t_pct:" + std::to_string((p + 1) * 20);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Snapshot)
+        ->Arg(p)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime()
+        ->MinTime(0.6);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

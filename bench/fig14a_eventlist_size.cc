@@ -1,0 +1,77 @@
+// Figure 14a: node-version retrieval vs number of change points, for
+// eventlist sizes l ∈ {2500, 5000, 10000} in the paper — here the same 1:2:4
+// ratio scaled to the dataset (l ∈ {250, 500, 1000}).
+//
+// Paper shape: smaller eventlists mean lower version-retrieval latency
+// (fewer irrelevant events fetched and deserialized per version-chain
+// pointer), and latency grows with the node's change count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+std::vector<std::pair<size_t, hgs::bench::TGIBundle>>* g_bundles = nullptr;
+std::vector<std::pair<hgs::NodeId, size_t>> g_nodes;  // (node, #changes)
+
+void BM_NodeVersions(benchmark::State& state) {
+  auto& [l, bundle] = (*g_bundles)[static_cast<size_t>(state.range(0))];
+  auto [node, changes] = g_nodes[static_cast<size_t>(state.range(1))];
+  hgs::FetchStats agg;
+  for (auto _ : state) {
+    hgs::FetchStats stats;
+    auto hist = bundle.qm->GetNodeHistory(node, 0, bundle.end, &stats);
+    if (!hist.ok()) {
+      state.SkipWithError(hist.status().ToString().c_str());
+      return;
+    }
+    agg.Merge(stats);
+    benchmark::DoNotOptimize(hist->VersionCount());
+  }
+  state.counters["changes"] = static_cast<double>(changes);
+  state.counters["KB_fetched"] = static_cast<double>(agg.bytes) /
+                                 static_cast<double>(state.iterations()) /
+                                 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 14a: node-version retrieval vs change points, l in "
+      "{1000,2000,4000}",
+      "smaller eventlist size l -> lower latency; latency grows with the "
+      "node's change count");
+
+  auto events = hgs::bench::Dataset1();
+  std::vector<std::pair<size_t, hgs::bench::TGIBundle>> bundles;
+  for (size_t l : {1'000u, 2'000u, 4'000u}) {  // the paper's 1:2:4 ratio
+    hgs::TGIOptions topts = hgs::bench::DefaultTGIOptions();
+    topts.eventlist_size = l;
+    topts.checkpoint_interval = 4'000;  // fixed so only l varies
+    auto copts = hgs::bench::MakeClusterOptions(4, 1);
+    copts.latency = hgs::bench::VersionBenchLatency();
+    bundles.emplace_back(l, hgs::bench::BuildBundle(events, topts, copts));
+  }
+  g_bundles = &bundles;
+  g_nodes = hgs::bench::NodesByVersionCount(events, {10, 25, 50, 100, 150});
+
+  for (int64_t b = 0; b < static_cast<int64_t>(bundles.size()); ++b) {
+    for (int64_t n = 0; n < static_cast<int64_t>(g_nodes.size()); ++n) {
+      std::string name =
+          "versions/l:" +
+          std::to_string(bundles[static_cast<size_t>(b)].first) +
+          "/changes:" + std::to_string(g_nodes[static_cast<size_t>(n)].second);
+      benchmark::RegisterBenchmark(name.c_str(), BM_NodeVersions)
+          ->Args({b, n})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 14b: node-version retrieval speedup from the parallel fetch factor
+// c ∈ {1, 2, 4}.
+//
+// Paper shape: a higher parallel fetch factor reduces version-retrieval
+// latency — the version chain's eventlist pointers are fetched concurrently.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+hgs::bench::TGIBundle* g_bundle = nullptr;
+std::vector<std::pair<hgs::NodeId, size_t>> g_nodes;
+
+void BM_NodeVersions(benchmark::State& state) {
+  size_t c = static_cast<size_t>(state.range(0));
+  auto [node, changes] = g_nodes[static_cast<size_t>(state.range(1))];
+  g_bundle->qm->set_fetch_parallelism(c);
+  for (auto _ : state) {
+    auto hist = g_bundle->qm->GetNodeHistory(node, 0, g_bundle->end);
+    if (!hist.ok()) {
+      state.SkipWithError(hist.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(hist->VersionCount());
+  }
+  state.counters["changes"] = static_cast<double>(changes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 14b: node-version retrieval speedup with c in {1,2,4}",
+      "higher c -> lower latency, most visible for nodes with many changes");
+
+  auto events = hgs::bench::Dataset1();
+  auto bundle = hgs::bench::BuildBundle(std::move(events),
+                                        hgs::bench::DefaultTGIOptions(),
+                                        hgs::bench::MakeClusterOptions(4, 1));
+  g_bundle = &bundle;
+  g_nodes = hgs::bench::NodesByVersionCount(bundle.events, {10, 50, 100});
+
+  for (int64_t c : {1, 2, 4}) {
+    for (int64_t n = 0; n < static_cast<int64_t>(g_nodes.size()); ++n) {
+      std::string name =
+          "versions/c:" + std::to_string(c) + "/changes:" +
+          std::to_string(g_nodes[static_cast<size_t>(n)].second);
+      benchmark::RegisterBenchmark(name.c_str(), BM_NodeVersions)
+          ->Args({c, n})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 14c: node-version retrieval (for a node with ~100 change points) vs
+// the micro-delta partition size ps.
+//
+// Paper shape: version retrieval degrades as ps grows — each version-chain
+// pointer fetches a whole micro-eventlist, and bigger partitions mean more
+// irrelevant events read and deserialized. This is the deliberate trade-off
+// against Fig 13b (snapshots are ps-insensitive).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+std::vector<std::pair<size_t, hgs::bench::TGIBundle>>* g_bundles = nullptr;
+hgs::NodeId g_node = 0;
+size_t g_changes = 0;
+
+void BM_NodeVersions(benchmark::State& state) {
+  auto& [ps, bundle] = (*g_bundles)[static_cast<size_t>(state.range(0))];
+  hgs::FetchStats agg;
+  for (auto _ : state) {
+    hgs::FetchStats stats;
+    auto hist = bundle.qm->GetNodeHistory(g_node, 0, bundle.end, &stats);
+    if (!hist.ok()) {
+      state.SkipWithError(hist.status().ToString().c_str());
+      return;
+    }
+    agg.Merge(stats);
+  }
+  state.counters["changes"] = static_cast<double>(g_changes);
+  state.counters["KB_fetched"] = static_cast<double>(agg.bytes) /
+                                 static_cast<double>(state.iterations()) /
+                                 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 14c: node-version retrieval vs micro-delta partition size ps",
+      "latency grows with ps (bigger micro-eventlists per chain pointer) — "
+      "the inverse of Fig 13b's snapshot behavior");
+
+  auto events = hgs::bench::Dataset1();
+  auto nodes = hgs::bench::NodesByVersionCount(events, {100});
+  g_node = nodes[0].first;
+  g_changes = nodes[0].second;
+
+  std::vector<std::pair<size_t, hgs::bench::TGIBundle>> bundles;
+  for (size_t ps : {250u, 500u, 1'000u, 2'000u, 4'000u}) {
+    hgs::TGIOptions topts = hgs::bench::DefaultTGIOptions();
+    topts.micro_delta_size = ps;
+    auto copts = hgs::bench::MakeClusterOptions(4, 1);
+    copts.latency = hgs::bench::VersionBenchLatency();
+    bundles.emplace_back(ps, hgs::bench::BuildBundle(events, topts, copts));
+  }
+  g_bundles = &bundles;
+
+  for (int64_t b = 0; b < static_cast<int64_t>(bundles.size()); ++b) {
+    std::string name =
+        "versions/ps:" +
+        std::to_string(bundles[static_cast<size_t>(b)].first);
+    benchmark::RegisterBenchmark(name.c_str(), BM_NodeVersions)
+        ->Arg(b)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime()
+        ->MinTime(0.2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 16: node-version retrieval on the Friendster analogue (Dataset 4)
+// for parallel fetch factors c ∈ {1, 2}; m=6, r=1, ps=500.
+//
+// Paper shape: latency grows with the node's change count; c=2 is uniformly
+// faster than c=1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+hgs::bench::TGIBundle* g_bundle = nullptr;
+std::vector<std::pair<hgs::NodeId, size_t>> g_nodes;
+
+void BM_NodeVersions(benchmark::State& state) {
+  size_t c = static_cast<size_t>(state.range(0));
+  auto [node, changes] = g_nodes[static_cast<size_t>(state.range(1))];
+  g_bundle->qm->set_fetch_parallelism(c);
+  for (auto _ : state) {
+    auto hist = g_bundle->qm->GetNodeHistory(node, 0, g_bundle->end);
+    if (!hist.ok()) {
+      state.SkipWithError(hist.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(hist->VersionCount());
+  }
+  state.counters["changes"] = static_cast<double>(changes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::PrintPreamble(
+      "Fig 16: Friendster-analogue node-version retrieval, c in {1,2}",
+      "latency grows with change count; c=2 beats c=1 throughout");
+
+  auto copts = hgs::bench::MakeClusterOptions(6, 1);
+  copts.latency = hgs::bench::VersionBenchLatency();
+  auto bundle = hgs::bench::BuildBundle(
+      hgs::bench::Dataset4(), hgs::bench::DefaultTGIOptions(), copts);
+  g_bundle = &bundle;
+  g_nodes =
+      hgs::bench::NodesByVersionCount(bundle.events, {5, 10, 20, 35});
+
+  for (int64_t c : {1, 2}) {
+    for (int64_t n = 0; n < static_cast<int64_t>(g_nodes.size()); ++n) {
+      std::string name =
+          "versions/c:" + std::to_string(c) + "/changes:" +
+          std::to_string(g_nodes[static_cast<size_t>(n)].second);
+      benchmark::RegisterBenchmark(name.c_str(), BM_NodeVersions)
+          ->Args({c, n})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

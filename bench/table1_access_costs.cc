@@ -1,0 +1,206 @@
+// Table 1: access costs of the temporal indexes — Log, Copy, Copy+Log,
+// NodeCentric, DeltaGraph, TGI — for five retrieval primitives, measured as
+// the number of deltas fetched (ΣΔ1) and cumulative bytes (the concrete
+// realization of Σ|Δ|), plus total index storage.
+//
+// Paper shape (qualitative, from Table 1):
+//   storage:   Log ≪ Copy+Log ≪ Copy;  NodeCentric ≈ 2·Log;  TGI ≈ (2h+3)·Log
+//   snapshot:  Copy 1 fetch; Copy+Log 2; DeltaGraph/TGI ~2h; Log |G|/|E|;
+//              NodeCentric |N|
+//   vertex history: NodeCentric/TGI ~1 small fetch; all others scan.
+//   1-hop:     TGI partitioned ≪ monolithic-snapshot indexes.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/copy_index.h"
+#include "baselines/copy_log_index.h"
+#include "baselines/delta_graph_index.h"
+#include "baselines/log_index.h"
+#include "baselines/node_centric_index.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace hgs;
+
+// TGI itself behind the HistoricalIndex interface for this comparison.
+class TGIAdapter : public HistoricalIndex {
+ public:
+  explicit TGIAdapter(Cluster* cluster) : cluster_(cluster) {
+    TGIOptions opts;
+    opts.events_per_timespan = 10'000;
+    opts.eventlist_size = 125;
+    opts.checkpoint_interval = 500;
+    opts.micro_delta_size = 250;
+    opts.num_horizontal_partitions = 2;
+    tgi_ = std::make_unique<TGI>(cluster, opts);
+  }
+  std::string name() const override { return "TGI"; }
+  Status Build(const std::vector<Event>& events) override {
+    HGS_RETURN_NOT_OK(tgi_->BuildFrom(events));
+    auto qm = tgi_->OpenQueryManager(1);
+    if (!qm.ok()) return qm.status();
+    qm_ = std::move(*qm);
+    return Status::OK();
+  }
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override {
+    return qm_->GetSnapshot(t, stats);
+  }
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override {
+    return qm_->GetNodeStateDelta(id, t, stats);
+  }
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override {
+    return qm_->GetNodeHistory(id, from, to, stats);
+  }
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override {
+    return qm_->GetKHopNeighborhood(id, t, 1, stats);
+  }
+  uint64_t StorageBytes() const override {
+    return cluster_->TotalStoredBytes();
+  }
+
+ private:
+  Cluster* cluster_;
+  std::unique_ptr<TGI> tgi_;
+  std::unique_ptr<TGIQueryManager> qm_;
+};
+
+// Generic "1-hop versions": neighborhood members at `from`, then each
+// member's history — composable over any index, costed per that index.
+Status OneHopVersions(HistoricalIndex* index, NodeId center, Timestamp from,
+                      Timestamp to, FetchStats* stats) {
+  auto hood = index->GetOneHop(center, from, stats);
+  if (!hood.ok()) return hood.status();
+  for (NodeId id : hood->NodeIds()) {
+    auto hist = index->GetNodeHistory(id, from, to, stats);
+    if (!hist.ok()) return hist.status();
+  }
+  return Status::OK();
+}
+
+struct Row {
+  std::string name;
+  uint64_t storage = 0;
+  FetchStats snapshot, vertex, versions, one_hop, one_hop_versions;
+};
+
+void PrintStats(const char* primitive, const std::vector<Row>& rows,
+                FetchStats Row::*member) {
+  std::printf("\n%-18s %14s %14s %12s\n", primitive, "deltas(SumD1)",
+              "bytes(Sum|D|)", "time(ms)");
+  for (const Row& r : rows) {
+    const FetchStats& s = r.*member;
+    std::printf("%-18s %14" PRIu64 " %14" PRIu64 " %12.2f\n", r.name.c_str(),
+                s.micro_deltas, s.bytes, s.wall_seconds * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  hgs::bench::PrintPreamble(
+      "Table 1: index access costs across retrieval primitives",
+      "see header comment — Copy fastest/biggest, Log smallest/slowest, "
+      "TGI near-best everywhere at modest storage");
+
+  // Small history: the Copy baseline is O(|G|^2) storage by design.
+  auto events = workload::GenerateWikiGrowth(
+      {.num_events = hgs::bench::Scaled(5'000), .seed = 2024});
+  events = workload::AugmentWithChurn(
+      std::move(events),
+      {.num_events = hgs::bench::Scaled(3'000), .seed = 2025});
+  Timestamp end = workload::EndTime(events);
+  Timestamp mid = end / 2;
+
+  Graph final_state = workload::ReplayToGraph(events, end);
+  NodeId probe_node = algo::HighestDegreeNode(final_state);
+  // A medium-degree node for neighborhood primitives.
+  NodeId hop_node = probe_node;
+  final_state.ForEachNode([&](NodeId id, const NodeRecord&) {
+    size_t d = final_state.Neighbors(id).size();
+    if (d >= 4 && d <= 12) hop_node = id;
+  });
+
+  std::vector<Row> rows;
+  auto run = [&](std::unique_ptr<Cluster> cluster,
+                 std::unique_ptr<HistoricalIndex> index) {
+    (void)cluster;  // owned here so it outlives the index's queries
+    Status s = index->Build(events);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s build failed: %s\n", index->name().c_str(),
+                   s.ToString().c_str());
+      return;
+    }
+    Row row;
+    row.name = index->name();
+    row.storage = index->StorageBytes();
+    // Wall time is measured here (not all baselines track it internally).
+    auto timed = [](FetchStats* stats, auto&& call) {
+      auto start = std::chrono::steady_clock::now();
+      call();
+      stats->wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    };
+    timed(&row.snapshot, [&] { (void)index->GetSnapshot(mid, &row.snapshot); });
+    timed(&row.vertex,
+          [&] { (void)index->GetNodeStateDelta(probe_node, mid, &row.vertex); });
+    timed(&row.versions,
+          [&] { (void)index->GetNodeHistory(probe_node, 0, end, &row.versions); });
+    timed(&row.one_hop,
+          [&] { (void)index->GetOneHop(hop_node, mid, &row.one_hop); });
+    timed(&row.one_hop_versions, [&] {
+      (void)OneHopVersions(index.get(), hop_node, mid, end,
+                           &row.one_hop_versions);
+    });
+    rows.push_back(std::move(row));
+  };
+
+  auto copts = hgs::bench::MakeClusterOptions(2, 1);
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<LogIndex>(c.get(), 125);
+    run(std::move(c), std::move(idx));
+  }
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<CopyIndex>(c.get(), /*copy_every=*/16);
+    run(std::move(c), std::move(idx));
+  }
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<CopyLogIndex>(c.get(), 1'000, 125);
+    run(std::move(c), std::move(idx));
+  }
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<NodeCentricIndex>(c.get());
+    run(std::move(c), std::move(idx));
+  }
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<DeltaGraphIndex>(c.get(), 125, 500);
+    run(std::move(c), std::move(idx));
+  }
+  {
+    auto c = std::make_unique<Cluster>(copts);
+    auto idx = std::make_unique<TGIAdapter>(c.get());
+    run(std::move(c), std::move(idx));
+  }
+
+  std::printf("\n== index storage ==\n%-18s %14s\n", "index", "bytes");
+  for (const Row& r : rows) {
+    std::printf("%-18s %14" PRIu64 "\n", r.name.c_str(), r.storage);
+  }
+  PrintStats("== snapshot ==", rows, &Row::snapshot);
+  PrintStats("== static vertex ==", rows, &Row::vertex);
+  PrintStats("== vertex versions ==", rows, &Row::versions);
+  PrintStats("== 1-hop ==", rows, &Row::one_hop);
+  PrintStats("== 1-hop versions ==", rows, &Row::one_hop_versions);
+  return 0;
+}

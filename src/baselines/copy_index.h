@@ -1,0 +1,42 @@
+// The Copy approach: a full snapshot delta is stored at every point of
+// change. Direct access (a single delta fetch answers a snapshot query), at
+// the cost of O(|G|^2) storage — Table 1's first row of extremes.
+//
+// `copy_every` > 1 amortizes the quadratic storage by snapshotting every
+// k-th change; retrieval then adds the residual events from a tiny sidecar
+// log so results stay exact.
+
+#ifndef HGS_BASELINES_COPY_INDEX_H_
+#define HGS_BASELINES_COPY_INDEX_H_
+
+#include "baselines/historical_index.h"
+#include "kvstore/cluster.h"
+
+namespace hgs {
+
+class CopyIndex : public HistoricalIndex {
+ public:
+  CopyIndex(Cluster* cluster, size_t copy_every = 1)
+      : cluster_(cluster), copy_every_(copy_every == 0 ? 1 : copy_every) {}
+
+  std::string name() const override { return "Copy"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override;
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override;
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override;
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override;
+  uint64_t StorageBytes() const override;
+
+ private:
+  Result<Delta> FetchSnapshotDelta(Timestamp t, FetchStats* stats);
+
+  Cluster* cluster_;
+  size_t copy_every_;
+  std::vector<Timestamp> copy_times_;  // snapshot timestamps, ascending
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_COPY_INDEX_H_

@@ -1,0 +1,154 @@
+#include "baselines/copy_log_index.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "kvstore/kv_types.h"
+
+namespace hgs {
+
+namespace {
+constexpr std::string_view kSnapTable = "cl_snapshots";
+constexpr std::string_view kEvlTable = "cl_eventlists";
+}  // namespace
+
+CopyLogIndex::CopyLogIndex(Cluster* cluster, size_t snapshot_interval,
+                           size_t eventlist_size)
+    : cluster_(cluster),
+      snapshot_interval_(std::max<size_t>(1, snapshot_interval)),
+      eventlist_size_(std::max<size_t>(1, eventlist_size)) {
+  // Align the interval to whole eventlists.
+  snapshot_interval_ =
+      std::max(eventlist_size_,
+               (snapshot_interval_ / eventlist_size_) * eventlist_size_);
+}
+
+Status CopyLogIndex::Build(const std::vector<Event>& events) {
+  snapshot_times_.clear();
+  eventlist_starts_.clear();
+  Delta state;
+  // Snapshot 0 is the empty graph just before history starts.
+  if (!events.empty()) {
+    std::string key;
+    AppendOrdered64(&key, 0);
+    HGS_RETURN_NOT_OK(cluster_->Put(kSnapTable, 0, key, state.Serialize()));
+    snapshot_times_.push_back(events.front().time - 1);
+  }
+  EventList current(0, 0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i % eventlist_size_ == 0) {
+      eventlist_starts_.push_back(events[i].time);
+    }
+    current.Append(events[i]);
+    state.ApplyEvent(events[i]);
+    bool end_of_list =
+        (i + 1) % eventlist_size_ == 0 || i + 1 == events.size();
+    if (end_of_list) {
+      size_t idx = eventlist_starts_.size() - 1;
+      current.SetScope(eventlist_starts_[idx] - 1, events[i].time);
+      std::string key;
+      AppendOrdered64(&key, idx);
+      HGS_RETURN_NOT_OK(
+          cluster_->Put(kEvlTable, idx, key, current.Serialize()));
+      current = EventList();
+    }
+    if ((i + 1) % snapshot_interval_ == 0 && i + 1 < events.size()) {
+      size_t idx = snapshot_times_.size();
+      std::string key;
+      AppendOrdered64(&key, idx);
+      HGS_RETURN_NOT_OK(
+          cluster_->Put(kSnapTable, idx, key, state.Serialize()));
+      snapshot_times_.push_back(events[i].time);
+    }
+  }
+  return Status::OK();
+}
+
+Result<EventList> CopyLogIndex::FetchEventlist(size_t index,
+                                               FetchStats* stats) {
+  std::string key;
+  AppendOrdered64(&key, index);
+  auto raw = cluster_->Get(kEvlTable, index, key);
+  if (stats != nullptr) ++stats->kv_requests;
+  if (!raw.ok()) return raw.status();
+  if (stats != nullptr) {
+    ++stats->micro_deltas;
+    stats->bytes += raw->size();
+  }
+  return EventList::Deserialize(*raw);
+}
+
+Result<Delta> CopyLogIndex::FetchSnapshotDelta(Timestamp t,
+                                               FetchStats* stats) {
+  if (snapshot_times_.empty() || t < snapshot_times_.front()) return Delta();
+  auto it = std::upper_bound(snapshot_times_.begin(), snapshot_times_.end(), t);
+  size_t snap_idx = static_cast<size_t>(it - snapshot_times_.begin()) - 1;
+  std::string key;
+  AppendOrdered64(&key, snap_idx);
+  auto raw = cluster_->Get(kSnapTable, snap_idx, key);
+  if (stats != nullptr) ++stats->kv_requests;
+  if (!raw.ok()) return raw.status();
+  if (stats != nullptr) {
+    ++stats->micro_deltas;
+    stats->bytes += raw->size();
+  }
+  HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*raw));
+
+  // Apply eventlists from the snapshot point to t.
+  size_t lists_per_snapshot = snapshot_interval_ / eventlist_size_;
+  size_t evl_idx = snap_idx * lists_per_snapshot;
+  for (; evl_idx < eventlist_starts_.size() &&
+         eventlist_starts_[evl_idx] <= t;
+       ++evl_idx) {
+    HGS_ASSIGN_OR_RETURN(EventList evl, FetchEventlist(evl_idx, stats));
+    evl.ApplyUpTo(t, &d);
+  }
+  return d;
+}
+
+Result<Graph> CopyLogIndex::GetSnapshot(Timestamp t, FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(Delta d, FetchSnapshotDelta(t, stats));
+  return d.ToGraph();
+}
+
+Result<Delta> CopyLogIndex::GetNodeStateDelta(NodeId id, Timestamp t,
+                                              FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(Delta d, FetchSnapshotDelta(t, stats));
+  return d.FilterById(id);
+}
+
+Result<NodeHistory> CopyLogIndex::GetNodeHistory(NodeId id, Timestamp from,
+                                                 Timestamp to,
+                                                 FetchStats* stats) {
+  NodeHistory out;
+  out.node = id;
+  out.from = from;
+  out.to = to;
+  out.events.SetScope(from, to);
+  HGS_ASSIGN_OR_RETURN(Delta initial, GetNodeStateDelta(id, from, stats));
+  out.initial = std::move(initial);
+  // Version queries have no entity path: scan every eventlist in range.
+  for (size_t idx = 0; idx < eventlist_starts_.size(); ++idx) {
+    if (eventlist_starts_[idx] > to) break;
+    HGS_ASSIGN_OR_RETURN(EventList evl, FetchEventlist(idx, stats));
+    if (evl.upto() <= from) continue;
+    for (const Event& e : evl.events()) {
+      if (e.time > from && e.time <= to && e.Touches(id)) {
+        out.events.Append(e);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Graph> CopyLogIndex::GetOneHop(NodeId id, Timestamp t,
+                                      FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(Graph g, GetSnapshot(t, stats));
+  return algo::InducedSubgraph(g, algo::KHopNeighborhood(g, id, 1));
+}
+
+uint64_t CopyLogIndex::StorageBytes() const {
+  return cluster_->TotalStoredBytes();
+}
+
+}  // namespace hgs

@@ -1,0 +1,43 @@
+// The Copy+Log hybrid: periodic snapshot deltas plus eventlists covering the
+// gaps. Snapshot retrieval costs one snapshot + one eventlist run (|S|+|E|,
+// 2 fetches); entity queries still pay the monolithic snapshot.
+
+#ifndef HGS_BASELINES_COPY_LOG_INDEX_H_
+#define HGS_BASELINES_COPY_LOG_INDEX_H_
+
+#include "baselines/historical_index.h"
+#include "kvstore/cluster.h"
+
+namespace hgs {
+
+class CopyLogIndex : public HistoricalIndex {
+ public:
+  /// Snapshots every `snapshot_interval` events; eventlists of
+  /// `eventlist_size` events in between (must divide the interval).
+  CopyLogIndex(Cluster* cluster, size_t snapshot_interval = 4'000,
+               size_t eventlist_size = 500);
+
+  std::string name() const override { return "Copy+Log"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override;
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override;
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override;
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override;
+  uint64_t StorageBytes() const override;
+
+ private:
+  Result<Delta> FetchSnapshotDelta(Timestamp t, FetchStats* stats);
+  Result<EventList> FetchEventlist(size_t index, FetchStats* stats);
+
+  Cluster* cluster_;
+  size_t snapshot_interval_;
+  size_t eventlist_size_;
+  std::vector<Timestamp> snapshot_times_;   // ascending; index = snapshot id
+  std::vector<Timestamp> eventlist_starts_;  // first event time per eventlist
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_COPY_LOG_INDEX_H_

@@ -1,0 +1,43 @@
+// DeltaGraph (the authors' prior work, ICDE'13): TGI's temporal-compression
+// hierarchy without micro-delta partitioning and without version chains.
+// Realized here as a TGI configured with one monolithic micro-partition and
+// one horizontal partition; version queries deliberately bypass the version
+// chains and scan eventlists, reproducing DeltaGraph's |G| version cost in
+// Table 1.
+
+#ifndef HGS_BASELINES_DELTA_GRAPH_INDEX_H_
+#define HGS_BASELINES_DELTA_GRAPH_INDEX_H_
+
+#include <memory>
+
+#include "baselines/historical_index.h"
+#include "graph/algorithms.h"
+#include "tgi/tgi.h"
+
+namespace hgs {
+
+class DeltaGraphIndex : public HistoricalIndex {
+ public:
+  explicit DeltaGraphIndex(Cluster* cluster, size_t eventlist_size = 500,
+                           size_t checkpoint_interval = 0,
+                           uint32_t arity = 2);
+
+  std::string name() const override { return "DeltaGraph"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override;
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override;
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override;
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override;
+  uint64_t StorageBytes() const override;
+
+ private:
+  Cluster* cluster_;
+  std::unique_ptr<TGI> tgi_;
+  std::unique_ptr<TGIQueryManager> qm_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_DELTA_GRAPH_INDEX_H_

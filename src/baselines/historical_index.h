@@ -1,0 +1,51 @@
+// The common interface of all temporal-graph indexes in this repository
+// (Section 4.2's prior techniques plus TGI itself), expressed over the same
+// delta framework and the same simulated key-value cluster so that Table 1's
+// access-cost comparison can be measured rather than estimated.
+
+#ifndef HGS_BASELINES_HISTORICAL_INDEX_H_
+#define HGS_BASELINES_HISTORICAL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "delta/event.h"
+#include "graph/graph.h"
+#include "tgi/query.h"  // FetchStats, NodeHistory, OneHopHistory
+
+namespace hgs {
+
+class HistoricalIndex {
+ public:
+  virtual ~HistoricalIndex() = default;
+
+  /// Index identifier as used in Table 1 ("Log", "Copy", "Copy+Log",
+  /// "NodeCentric", "DeltaGraph", "TGI").
+  virtual std::string name() const = 0;
+
+  /// Builds the index from a complete chronological event stream.
+  virtual Status Build(const std::vector<Event>& events) = 0;
+
+  /// The graph as of time t.
+  virtual Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) = 0;
+
+  /// One node's record + incident edges as of t (static vertex query).
+  virtual Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                          FetchStats* stats) = 0;
+
+  /// A node's evolution over (from, to] (vertex-versions query).
+  virtual Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from,
+                                             Timestamp to,
+                                             FetchStats* stats) = 0;
+
+  /// 1-hop neighborhood at t.
+  virtual Result<Graph> GetOneHop(NodeId id, Timestamp t,
+                                  FetchStats* stats) = 0;
+
+  /// Total bytes persisted by this index (Table 1's "Size" column).
+  virtual uint64_t StorageBytes() const = 0;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_HISTORICAL_INDEX_H_

@@ -1,0 +1,41 @@
+// The Log approach (Salzberg & Tsotras): the history is a single sequence of
+// eventlist deltas and nothing else. Minimal storage (|G|), but every query
+// replays the log from the beginning — the |G|/|E| fetches of Table 1.
+
+#ifndef HGS_BASELINES_LOG_INDEX_H_
+#define HGS_BASELINES_LOG_INDEX_H_
+
+#include "baselines/historical_index.h"
+#include "kvstore/cluster.h"
+
+namespace hgs {
+
+class LogIndex : public HistoricalIndex {
+ public:
+  /// `chunk_size` events per stored eventlist (the paper's |E|).
+  LogIndex(Cluster* cluster, size_t chunk_size = 500)
+      : cluster_(cluster), chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
+
+  std::string name() const override { return "Log"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override;
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override;
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override;
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override;
+  uint64_t StorageBytes() const override;
+
+ private:
+  /// All chunks with first-event time <= t, in order.
+  Result<std::vector<EventList>> FetchChunksUpTo(Timestamp t,
+                                                 FetchStats* stats);
+
+  Cluster* cluster_;
+  size_t chunk_size_;
+  std::vector<Timestamp> chunk_starts_;  // first event time per chunk
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_LOG_INDEX_H_

@@ -1,0 +1,37 @@
+// A vertex-centric index: one partitioned eventlist per node (edge events
+// replicated with both endpoints), as sketched in Section 4.2. Entity
+// queries are a single fetch of the node's stream (|C|, 1 delta), but a
+// snapshot must fetch every node's stream (2|G| storage, |G| fetch cost).
+
+#ifndef HGS_BASELINES_NODE_CENTRIC_INDEX_H_
+#define HGS_BASELINES_NODE_CENTRIC_INDEX_H_
+
+#include "baselines/historical_index.h"
+#include "kvstore/cluster.h"
+
+namespace hgs {
+
+class NodeCentricIndex : public HistoricalIndex {
+ public:
+  explicit NodeCentricIndex(Cluster* cluster) : cluster_(cluster) {}
+
+  std::string name() const override { return "NodeCentric"; }
+  Status Build(const std::vector<Event>& events) override;
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats) override;
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats) override;
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats) override;
+  Result<Graph> GetOneHop(NodeId id, Timestamp t, FetchStats* stats) override;
+  uint64_t StorageBytes() const override;
+
+ private:
+  Result<EventList> FetchStream(NodeId id, FetchStats* stats);
+
+  Cluster* cluster_;
+  std::vector<NodeId> all_nodes_;  // registry for snapshot enumeration
+};
+
+}  // namespace hgs
+
+#endif  // HGS_BASELINES_NODE_CENTRIC_INDEX_H_

@@ -1,0 +1,168 @@
+#include "common/compression.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace hgs {
+
+namespace {
+
+constexpr size_t kWindowSize = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 255 + kMinMatch;
+constexpr int kHashBits = 15;
+
+inline uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutVarRaw(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarRaw(std::string_view in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    uint8_t byte = static_cast<unsigned char>(in[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Corruption("bad varint in compressed block");
+}
+
+// Token stream grammar (after the header):
+//   literal_len:varint  literal_bytes  match_len:varint  match_dist:varint
+// repeated; match_len == 0 terminates the stream after trailing literals.
+std::string LzCompressImpl(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  std::vector<int64_t> head(1u << kHashBits, -1);
+  std::vector<int64_t> prev(in.size(), -1);
+
+  size_t i = 0;
+  size_t lit_start = 0;
+  while (i < in.size()) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= in.size()) {
+      uint32_t h = HashQuad(in.data() + i);
+      int64_t cand = head[h];
+      int chain = 16;  // bounded chain walk keeps compression O(n)
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<size_t>(cand) <= kWindowSize) {
+        size_t c = static_cast<size_t>(cand);
+        size_t max_len = std::min(kMaxMatch, in.size() - i);
+        size_t len = 0;
+        while (len < max_len && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+        }
+        cand = prev[c];
+      }
+      prev[i] = head[h];
+      head[h] = static_cast<int64_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      PutVarRaw(&out, i - lit_start);
+      out.append(in.data() + lit_start, i - lit_start);
+      PutVarRaw(&out, best_len);
+      PutVarRaw(&out, best_dist);
+      // Index the matched region sparsely so later matches can reference it.
+      size_t end = i + best_len;
+      for (size_t j = i + 1; j + kMinMatch <= in.size() && j < end; j += 2) {
+        uint32_t h2 = HashQuad(in.data() + j);
+        prev[j] = head[h2];
+        head[h2] = static_cast<int64_t>(j);
+      }
+      i = end;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  PutVarRaw(&out, i - lit_start);
+  out.append(in.data() + lit_start, i - lit_start);
+  PutVarRaw(&out, 0);
+  return out;
+}
+
+Result<std::string> LzDecompressImpl(std::string_view in,
+                                     size_t uncompressed_size) {
+  std::string out;
+  out.reserve(uncompressed_size);
+  size_t pos = 0;
+  while (pos < in.size()) {
+    HGS_ASSIGN_OR_RETURN(uint64_t lit_len, GetVarRaw(in, &pos));
+    if (in.size() - pos < lit_len) {
+      return Status::Corruption("truncated literal run");
+    }
+    out.append(in.data() + pos, lit_len);
+    pos += lit_len;
+    if (pos >= in.size()) break;
+    HGS_ASSIGN_OR_RETURN(uint64_t match_len, GetVarRaw(in, &pos));
+    if (match_len == 0) break;
+    HGS_ASSIGN_OR_RETURN(uint64_t dist, GetVarRaw(in, &pos));
+    if (dist == 0 || dist > out.size()) {
+      return Status::Corruption("bad match distance");
+    }
+    size_t from = out.size() - dist;
+    for (uint64_t k = 0; k < match_len; ++k) {
+      out.push_back(out[from + k]);  // may overlap; byte-by-byte is correct
+    }
+  }
+  if (out.size() != uncompressed_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Compress(std::string_view input, CompressionKind kind) {
+  std::string out;
+  if (kind == CompressionKind::kLz) {
+    std::string body = LzCompressImpl(input);
+    // Fall back to stored format when compression does not pay off.
+    if (body.size() + 16 < input.size()) {
+      out.push_back(static_cast<char>(CompressionKind::kLz));
+      PutVarRaw(&out, input.size());
+      out += body;
+      return out;
+    }
+  }
+  out.push_back(static_cast<char>(CompressionKind::kNone));
+  PutVarRaw(&out, input.size());
+  out.append(input.data(), input.size());
+  return out;
+}
+
+Result<std::string> Decompress(std::string_view input) {
+  if (input.empty()) return Status::Corruption("empty compressed block");
+  auto kind = static_cast<CompressionKind>(input[0]);
+  size_t pos = 1;
+  HGS_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarRaw(input, &pos));
+  std::string_view body = input.substr(pos);
+  switch (kind) {
+    case CompressionKind::kNone:
+      if (body.size() != raw_size) {
+        return Status::Corruption("stored block size mismatch");
+      }
+      return std::string(body);
+    case CompressionKind::kLz:
+      return LzDecompressImpl(body, raw_size);
+  }
+  return Status::Corruption("unknown compression kind");
+}
+
+}  // namespace hgs

@@ -1,0 +1,30 @@
+// Block compression for serialized deltas (the paper evaluates Cassandra's
+// delta compression in Fig 13a). We implement a dependency-free LZ77-style
+// codec: greedy longest-match against a 64 KiB sliding window with a chained
+// hash table, emitting (literal-run, match) token pairs.
+
+#ifndef HGS_COMMON_COMPRESSION_H_
+#define HGS_COMMON_COMPRESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace hgs {
+
+enum class CompressionKind : uint8_t {
+  kNone = 0,
+  kLz = 1,
+};
+
+/// Compresses `input` with the requested codec. The output embeds a one-byte
+/// codec tag and the uncompressed length, so Decompress is self-describing.
+std::string Compress(std::string_view input, CompressionKind kind);
+
+/// Inverse of Compress. Fails with Corruption on malformed input.
+Result<std::string> Decompress(std::string_view input);
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_COMPRESSION_H_

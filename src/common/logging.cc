@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace hgs {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("HGS_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = InitLevelFromEnv();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << "[" << LevelName(level) << " " << base << ":" << line << "] "
+            << msg << "\n";
+}
+
+}  // namespace internal
+
+}  // namespace hgs

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Defaults to WARN so library code is silent in
+// tests/benches; HGS_LOG_LEVEL=debug|info|warn|error overrides at startup.
+
+#ifndef HGS_COMMON_LOGGING_H_
+#define HGS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hgs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Current threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+}  // namespace internal
+
+#define HGS_LOG(level, msg_expr)                                     \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::hgs::GetLogLevel())) {                    \
+      std::ostringstream _hgs_os;                                    \
+      _hgs_os << msg_expr;                                           \
+      ::hgs::internal::LogMessage(level, __FILE__, __LINE__,         \
+                                  _hgs_os.str());                    \
+    }                                                                \
+  } while (0)
+
+#define HGS_LOG_DEBUG(msg) HGS_LOG(::hgs::LogLevel::kDebug, msg)
+#define HGS_LOG_INFO(msg) HGS_LOG(::hgs::LogLevel::kInfo, msg)
+#define HGS_LOG_WARN(msg) HGS_LOG(::hgs::LogLevel::kWarn, msg)
+#define HGS_LOG_ERROR(msg) HGS_LOG(::hgs::LogLevel::kError, msg)
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status union, the return type of fallible functions
+// that produce a value. Analogous to arrow::Result / absl::StatusOr.
+
+#ifndef HGS_COMMON_RESULT_H_
+#define HGS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hgs {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status.ok()` is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define HGS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define HGS_ASSIGN_OR_RETURN(lhs, expr) \
+  HGS_ASSIGN_OR_RETURN_IMPL(HGS_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define HGS_CONCAT_(a, b) HGS_CONCAT_IMPL_(a, b)
+#define HGS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_RESULT_H_

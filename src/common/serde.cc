@@ -1,0 +1,141 @@
+#include "common/serde.h"
+
+namespace hgs {
+
+uint64_t Fnv1a64(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void BinaryWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutSigned64(int64_t v) {
+  // zigzag
+  PutVarint64((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+}
+
+void BinaryWriter::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutVarint64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+std::string BinaryWriter::FinishWithChecksum() {
+  uint64_t sum = Fnv1a64(buf_.data(), buf_.size());
+  PutFixed64(sum);
+  std::string out;
+  out.swap(buf_);
+  return out;
+}
+
+std::string BinaryWriter::Finish() {
+  std::string out;
+  out.swap(buf_);
+  return out;
+}
+
+Status BinaryReader::VerifyChecksum() {
+  if (data_.size() < 8) {
+    return Status::Corruption("buffer too small for checksum");
+  }
+  size_t body = data_.size() - 8;
+  uint64_t stored = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored = (stored << 8) |
+             static_cast<unsigned char>(data_[body + static_cast<size_t>(i)]);
+  }
+  uint64_t actual = Fnv1a64(data_.data(), body);
+  if (stored != actual) {
+    return Status::Corruption("checksum mismatch");
+  }
+  data_ = data_.substr(0, body);
+  return Status::OK();
+}
+
+Result<uint64_t> BinaryReader::GetVarint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    uint8_t byte = static_cast<unsigned char>(data_[pos_++]);
+    if (shift >= 63 && byte > 1) {
+      return Status::Corruption("varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+Result<uint32_t> BinaryReader::GetVarint32() {
+  HGS_ASSIGN_OR_RETURN(uint64_t v, GetVarint64());
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  return static_cast<uint32_t>(v);
+}
+
+Result<int64_t> BinaryReader::GetSigned64() {
+  HGS_ASSIGN_OR_RETURN(uint64_t z, GetVarint64());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+Result<uint8_t> BinaryReader::GetFixed8() {
+  if (pos_ >= data_.size()) return Status::Corruption("truncated fixed8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint64_t> BinaryReader::GetFixed64() {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> BinaryReader::GetDouble() {
+  HGS_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  HGS_ASSIGN_OR_RETURN(uint64_t n, GetVarint64());
+  if (remaining() < n) return Status::Corruption("truncated string");
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+Result<bool> BinaryReader::GetBool() {
+  HGS_ASSIGN_OR_RETURN(uint8_t b, GetFixed8());
+  return b != 0;
+}
+
+}  // namespace hgs

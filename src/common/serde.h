@@ -1,0 +1,85 @@
+// Binary serialization used for delta values stored in the key-value store.
+//
+// Encoding conventions:
+//  * unsigned integers: LEB128 varint
+//  * signed integers:   zigzag + varint
+//  * strings/blobs:     varint length prefix + raw bytes
+//  * records:           field-by-field, schema fixed by the caller
+//
+// A trailing FNV-1a checksum guards serialized deltas against corruption;
+// see BinaryWriter::FinishWithChecksum / BinaryReader::VerifyChecksum.
+
+#ifndef HGS_COMMON_SERDE_H_
+#define HGS_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hgs {
+
+/// 64-bit FNV-1a hash, used both as a checksum and a cheap content hash.
+uint64_t Fnv1a64(const void* data, size_t n);
+
+/// Append-only buffer with varint primitives.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutVarint64(uint64_t v);
+  void PutVarint32(uint32_t v) { PutVarint64(v); }
+  void PutSigned64(int64_t v);
+  void PutFixed8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutFixed64(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutBool(bool b) { PutFixed8(b ? 1 : 0); }
+
+  /// Appends an 8-byte FNV-1a checksum of everything written so far and
+  /// releases the buffer. After this the writer is reset.
+  std::string FinishWithChecksum();
+
+  /// Releases the buffer without a checksum.
+  std::string Finish();
+
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential reader over a serialized buffer. All getters return an error
+/// Status on truncation rather than reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  /// Validates and strips the trailing checksum written by
+  /// FinishWithChecksum. Must be called before any reads.
+  Status VerifyChecksum();
+
+  Result<uint64_t> GetVarint64();
+  Result<uint32_t> GetVarint32();
+  Result<int64_t> GetSigned64();
+  Result<uint8_t> GetFixed8();
+  Result<uint64_t> GetFixed64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<bool> GetBool();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_SERDE_H_

@@ -1,0 +1,107 @@
+// Status: the error-handling currency of the Historical Graph Store.
+//
+// Core library code does not throw exceptions; fallible operations return a
+// Status (or a Result<T>, see result.h). This mirrors the convention of
+// production database engines where errors are values, propagated explicitly.
+
+#ifndef HGS_COMMON_STATUS_H_
+#define HGS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace hgs {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kAborted = 8,
+  kAlreadyExists = 9,
+};
+
+/// Human-readable name of a status code ("NotFound", "Corruption", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheaply copyable success-or-error value. OK carries no allocation; an
+/// error holds a code and a message describing what failed.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// Message attached to an error status; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // nullptr == OK
+};
+
+/// Propagates an error status out of the current function.
+#define HGS_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::hgs::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers used by benches and table printers.
+
+#ifndef HGS_COMMON_STRING_UTIL_H_
+#define HGS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgs {
+
+/// "1234567" -> "1,234,567".
+std::string WithThousands(uint64_t v);
+
+/// Bytes to a human-readable size ("3.2 KiB", "17.0 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-point formatting with `digits` decimals.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Splits on a single-character delimiter (no empty-trailing suppression).
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_STRING_UTIL_H_

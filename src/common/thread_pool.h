@@ -1,0 +1,67 @@
+// Fixed-size worker pool. Used for:
+//  * server threads inside each simulated storage node (kvstore),
+//  * parallel fetch clients (tgi),
+//  * TAF worker "cluster" executors (taf).
+
+#ifndef HGS_COMMON_THREAD_POOL_H_
+#define HGS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hgs {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion/result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `parallelism` threads and waits.
+/// A convenience for data-parallel loops in benches and the TAF engine.
+void ParallelFor(size_t n, size_t parallelism,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_THREAD_POOL_H_

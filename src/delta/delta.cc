@@ -1,0 +1,291 @@
+#include "delta/delta.h"
+
+namespace hgs {
+
+void Delta::ApplyEvent(const Event& e) {
+  switch (e.type) {
+    case EventType::kAddNode:
+      nodes_[e.u] = NodeRecord{.attrs = e.attrs};
+      break;
+    case EventType::kRemoveNode: {
+      nodes_[e.u] = std::nullopt;
+      // Defensive: tombstone incident edges already present in this delta.
+      for (auto& [key, rec] : edges_) {
+        if ((key.u == e.u || key.v == e.u) && rec.has_value()) {
+          rec = std::nullopt;
+        }
+      }
+      break;
+    }
+    case EventType::kAddEdge:
+      edges_[EdgeKey(e.u, e.v)] =
+          EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                     .attrs = e.attrs};
+      break;
+    case EventType::kRemoveEdge:
+      edges_[EdgeKey(e.u, e.v)] = std::nullopt;
+      break;
+    case EventType::kSetNodeAttr: {
+      auto& slot = nodes_[e.u];
+      if (!slot.has_value()) slot = NodeRecord{};
+      slot->attrs.Set(e.key, e.value);
+      break;
+    }
+    case EventType::kDelNodeAttr: {
+      auto it = nodes_.find(e.u);
+      if (it != nodes_.end() && it->second.has_value()) {
+        it->second->attrs.Erase(e.key);
+      }
+      break;
+    }
+    case EventType::kSetEdgeAttr: {
+      auto& slot = edges_[EdgeKey(e.u, e.v)];
+      if (!slot.has_value()) {
+        slot = EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                          .attrs = {}};
+      }
+      slot->attrs.Set(e.key, e.value);
+      break;
+    }
+    case EventType::kDelEdgeAttr: {
+      auto it = edges_.find(EdgeKey(e.u, e.v));
+      if (it != edges_.end() && it->second.has_value()) {
+        it->second->attrs.Erase(e.key);
+      }
+      break;
+    }
+  }
+}
+
+const std::optional<NodeRecord>* Delta::FindNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const std::optional<EdgeRecord>* Delta::FindEdge(const EdgeKey& key) const {
+  auto it = edges_.find(key);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+size_t Delta::SerializedSizeBytes() const {
+  size_t total = 16;
+  for (const auto& [id, rec] : nodes_) {
+    total += 10;  // id varint + presence byte
+    if (rec.has_value()) {
+      for (const auto& [k, v] : rec->attrs.entries()) {
+        total += k.size() + v.size() + 4;
+      }
+    }
+  }
+  for (const auto& [key, rec] : edges_) {
+    (void)key;
+    total += 20;
+    if (rec.has_value()) {
+      for (const auto& [k, v] : rec->attrs.entries()) {
+        total += k.size() + v.size() + 4;
+      }
+    }
+  }
+  return total;
+}
+
+void Delta::Add(const Delta& other) {
+  nodes_.reserve(nodes_.size() + other.nodes_.size());
+  edges_.reserve(edges_.size() + other.edges_.size());
+  for (const auto& [id, rec] : other.nodes_) nodes_[id] = rec;
+  for (const auto& [key, rec] : other.edges_) edges_[key] = rec;
+}
+
+Delta Delta::Sum(const Delta& a, const Delta& b) {
+  Delta out = a;
+  out.Add(b);
+  return out;
+}
+
+Delta Delta::Difference(const Delta& a, const Delta& b) {
+  Delta out;
+  for (const auto& [id, rec] : a.nodes_) {
+    auto it = b.nodes_.find(id);
+    if (it == b.nodes_.end() || !(it->second == rec)) out.nodes_[id] = rec;
+  }
+  for (const auto& [key, rec] : a.edges_) {
+    auto it = b.edges_.find(key);
+    if (it == b.edges_.end() || !(it->second == rec)) out.edges_[key] = rec;
+  }
+  return out;
+}
+
+Delta Delta::Intersect(const Delta& a, const Delta& b) {
+  Delta out;
+  const bool a_smaller = a.nodes_.size() <= b.nodes_.size();
+  const auto& nsmall = a_smaller ? a.nodes_ : b.nodes_;
+  const auto& nlarge = a_smaller ? b.nodes_ : a.nodes_;
+  for (const auto& [id, rec] : nsmall) {
+    auto it = nlarge.find(id);
+    if (it != nlarge.end() && it->second == rec) out.nodes_[id] = rec;
+  }
+  const bool ae_smaller = a.edges_.size() <= b.edges_.size();
+  const auto& esmall = ae_smaller ? a.edges_ : b.edges_;
+  const auto& elarge = ae_smaller ? b.edges_ : a.edges_;
+  for (const auto& [key, rec] : esmall) {
+    auto it = elarge.find(key);
+    if (it != elarge.end() && it->second == rec) out.edges_[key] = rec;
+  }
+  return out;
+}
+
+Delta Delta::Union(const Delta& a, const Delta& b) {
+  Delta out = b;
+  // Left bias: a's entries overwrite b's on collision.
+  for (const auto& [id, rec] : a.nodes_) out.nodes_[id] = rec;
+  for (const auto& [key, rec] : a.edges_) out.edges_[key] = rec;
+  return out;
+}
+
+Graph Delta::ToGraph() const {
+  Graph g;
+  for (const auto& [id, rec] : nodes_) {
+    if (rec.has_value()) g.AddNode(id, rec->attrs);
+  }
+  for (const auto& [key, rec] : edges_) {
+    (void)key;
+    if (rec.has_value() && g.HasNode(rec->src) && g.HasNode(rec->dst)) {
+      g.AddEdge(rec->src, rec->dst, rec->directed, rec->attrs);
+    }
+  }
+  return g;
+}
+
+Graph Delta::ToGraphKeepDangling() const {
+  Graph g;
+  for (const auto& [id, rec] : nodes_) {
+    if (rec.has_value()) g.AddNode(id, rec->attrs);
+  }
+  for (const auto& [key, rec] : edges_) {
+    (void)key;
+    if (rec.has_value()) {
+      g.AddEdge(rec->src, rec->dst, rec->directed, rec->attrs);
+    }
+  }
+  return g;
+}
+
+Delta Delta::FromGraph(const Graph& g) {
+  Delta d;
+  g.ForEachNode([&](NodeId id, const NodeRecord& rec) {
+    d.nodes_.emplace(id, rec);
+  });
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord& rec) {
+    d.edges_.emplace(key, rec);
+  });
+  return d;
+}
+
+Delta Delta::FilterByNodes(const std::unordered_set<NodeId>& ids) const {
+  Delta out;
+  for (const auto& [id, rec] : nodes_) {
+    if (ids.contains(id)) out.nodes_[id] = rec;
+  }
+  for (const auto& [key, rec] : edges_) {
+    if (ids.contains(key.u) || ids.contains(key.v)) out.edges_[key] = rec;
+  }
+  return out;
+}
+
+Delta Delta::FilterById(NodeId id) const {
+  Delta out;
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) out.nodes_[id] = it->second;
+  for (const auto& [key, rec] : edges_) {
+    if (key.u == id || key.v == id) out.edges_[key] = rec;
+  }
+  return out;
+}
+
+void Delta::ForEachNodeEntry(
+    const std::function<void(NodeId, const std::optional<NodeRecord>&)>& fn)
+    const {
+  for (const auto& [id, rec] : nodes_) fn(id, rec);
+}
+
+void Delta::ForEachEdgeEntry(
+    const std::function<void(const EdgeKey&, const std::optional<EdgeRecord>&)>&
+        fn) const {
+  for (const auto& [key, rec] : edges_) fn(key, rec);
+}
+
+void Delta::SerializeTo(BinaryWriter* w) const {
+  w->PutVarint64(nodes_.size());
+  for (const auto& [id, rec] : nodes_) {
+    w->PutVarint64(id);
+    w->PutBool(rec.has_value());
+    if (rec.has_value()) SerializeAttributes(rec->attrs, w);
+  }
+  w->PutVarint64(edges_.size());
+  for (const auto& [key, rec] : edges_) {
+    (void)key;
+    w->PutBool(rec.has_value());
+    if (rec.has_value()) {
+      w->PutVarint64(rec->src);
+      w->PutVarint64(rec->dst);
+      w->PutBool(rec->directed);
+      SerializeAttributes(rec->attrs, w);
+    } else {
+      w->PutVarint64(key.u);
+      w->PutVarint64(key.v);
+    }
+  }
+}
+
+Result<Delta> Delta::DeserializeFrom(BinaryReader* r) {
+  Delta d;
+  HGS_ASSIGN_OR_RETURN(uint64_t n_nodes, r->GetVarint64());
+  d.nodes_.reserve(n_nodes);
+  for (uint64_t i = 0; i < n_nodes; ++i) {
+    HGS_ASSIGN_OR_RETURN(uint64_t id, r->GetVarint64());
+    HGS_ASSIGN_OR_RETURN(bool present, r->GetBool());
+    if (present) {
+      HGS_ASSIGN_OR_RETURN(Attributes attrs, DeserializeAttributes(r));
+      d.nodes_[id] = NodeRecord{.attrs = std::move(attrs)};
+    } else {
+      d.nodes_[id] = std::nullopt;
+    }
+  }
+  HGS_ASSIGN_OR_RETURN(uint64_t n_edges, r->GetVarint64());
+  d.edges_.reserve(n_edges);
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    HGS_ASSIGN_OR_RETURN(bool present, r->GetBool());
+    if (present) {
+      HGS_ASSIGN_OR_RETURN(uint64_t src, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(uint64_t dst, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(bool directed, r->GetBool());
+      HGS_ASSIGN_OR_RETURN(Attributes attrs, DeserializeAttributes(r));
+      d.edges_[EdgeKey(src, dst)] =
+          EdgeRecord{.src = src, .dst = dst, .directed = directed,
+                     .attrs = std::move(attrs)};
+    } else {
+      HGS_ASSIGN_OR_RETURN(uint64_t u, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(uint64_t v, r->GetVarint64());
+      d.edges_[EdgeKey(u, v)] = std::nullopt;
+    }
+  }
+  return d;
+}
+
+std::string Delta::Serialize() const {
+  BinaryWriter w;
+  SerializeTo(&w);
+  return w.FinishWithChecksum();
+}
+
+Result<Delta> Delta::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  HGS_RETURN_NOT_OK(r.VerifyChecksum());
+  return DeserializeFrom(&r);
+}
+
+bool Delta::operator==(const Delta& o) const {
+  return nodes_ == o.nodes_ && edges_ == o.edges_;
+}
+
+}  // namespace hgs

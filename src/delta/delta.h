@@ -1,0 +1,120 @@
+// Delta (Definition 2): a keyed collection of static graph components, with
+// the algebra of Section 4.1 — sum (+), difference (-), intersection (∩) and
+// union (∪). Every temporal index in this repository (Log, Copy, Copy+Log,
+// NodeCentric, DeltaGraph, TGI) is a particular arrangement of Deltas.
+//
+// Representation: two maps keyed by NodeId / canonical EdgeKey. A mapped
+// value of nullopt is a *tombstone* — "this component is absent" — which is
+// how deletion events propagate through sums. Snapshot deltas contain no
+// tombstones.
+//
+// Algebra semantics (set semantics over (key, state) pairs, per the paper):
+//  * Sum:          right operand wins on key collision (Def. 4; order
+//                  sensitivity is exactly the paper's Δ1+Δ2 ≠ Δ2+Δ1).
+//  * Difference:   pairs of Δ1 whose (key, state) is not identically in Δ2.
+//  * Intersection: pairs identical in both (the DeltaGraph parent
+//                  construction).
+//  * Union:        all pairs, left-biased on key collision.
+
+#ifndef HGS_DELTA_DELTA_H_
+#define HGS_DELTA_DELTA_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "delta/event.h"
+#include "graph/graph.h"
+
+namespace hgs {
+
+class Delta {
+ public:
+  Delta() = default;
+
+  // -- component mutation ------------------------------------------------
+  void PutNode(NodeId id, NodeRecord rec) { nodes_[id] = std::move(rec); }
+  void TombstoneNode(NodeId id) { nodes_[id] = std::nullopt; }
+  void PutEdge(const EdgeKey& key, EdgeRecord rec) {
+    edges_[key] = std::move(rec);
+  }
+  void TombstoneEdge(const EdgeKey& key) { edges_[key] = std::nullopt; }
+
+  /// Applies an event in timestamp order onto this (accumulating) delta.
+  /// Attribute events on components not yet present create them, which makes
+  /// partial (per-partition) accumulation well defined.
+  void ApplyEvent(const Event& e);
+
+  // -- lookup --------------------------------------------------------------
+  /// nullptr: no entry; pointer to nullopt: tombstone; else the state.
+  const std::optional<NodeRecord>* FindNode(NodeId id) const;
+  const std::optional<EdgeRecord>* FindEdge(const EdgeKey& key) const;
+
+  size_t NodeEntryCount() const { return nodes_.size(); }
+  size_t EdgeEntryCount() const { return edges_.size(); }
+
+  /// Cardinality (Definition 3): number of unique component descriptions.
+  size_t Cardinality() const { return nodes_.size() + edges_.size(); }
+  bool Empty() const { return nodes_.empty() && edges_.empty(); }
+
+  /// Approximate wire size; used for the cost accounting of Table 1.
+  size_t SerializedSizeBytes() const;
+
+  // -- algebra -------------------------------------------------------------
+  /// In-place sum: this ← this + other (other wins on collisions).
+  void Add(const Delta& other);
+
+  static Delta Sum(const Delta& a, const Delta& b);
+  static Delta Difference(const Delta& a, const Delta& b);
+  static Delta Intersect(const Delta& a, const Delta& b);
+  static Delta Union(const Delta& a, const Delta& b);
+
+  // -- conversion ----------------------------------------------------------
+  /// Materializes the non-tombstone components as a Graph. Edges with a
+  /// missing endpoint are dropped (arises for partition-scoped deltas whose
+  /// edge has its other endpoint elsewhere).
+  Graph ToGraph() const;
+
+  /// Materializes including dangling edges (both endpoint nodes are created
+  /// implicitly). Used when assembling per-partition fetches where the
+  /// endpoint's record arrives from a sibling partition.
+  Graph ToGraphKeepDangling() const;
+
+  /// Snapshot delta of a graph: ∆ = G - ∅ (Example 4).
+  static Delta FromGraph(const Graph& g);
+
+  /// Restriction to a node set: node components in `ids` plus edge
+  /// components with at least one endpoint in `ids` (Example 5 semantics).
+  Delta FilterByNodes(const std::unordered_set<NodeId>& ids) const;
+
+  /// Restriction to a single node and its incident edges.
+  Delta FilterById(NodeId id) const;
+
+  // -- iteration -----------------------------------------------------------
+  void ForEachNodeEntry(
+      const std::function<void(NodeId, const std::optional<NodeRecord>&)>& fn)
+      const;
+  void ForEachEdgeEntry(
+      const std::function<void(const EdgeKey&,
+                               const std::optional<EdgeRecord>&)>& fn) const;
+
+  // -- serialization -------------------------------------------------------
+  void SerializeTo(BinaryWriter* w) const;
+  static Result<Delta> DeserializeFrom(BinaryReader* r);
+  std::string Serialize() const;
+  static Result<Delta> Deserialize(std::string_view data);
+
+  bool operator==(const Delta& o) const;
+
+ private:
+  std::unordered_map<NodeId, std::optional<NodeRecord>> nodes_;
+  std::unordered_map<EdgeKey, std::optional<EdgeRecord>, EdgeKeyHash> edges_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_DELTA_DELTA_H_

@@ -1,0 +1,264 @@
+#include "delta/event.h"
+
+namespace hgs {
+
+const char* EventTypeToString(EventType type) {
+  switch (type) {
+    case EventType::kAddNode:
+      return "AddNode";
+    case EventType::kRemoveNode:
+      return "RemoveNode";
+    case EventType::kAddEdge:
+      return "AddEdge";
+    case EventType::kRemoveEdge:
+      return "RemoveEdge";
+    case EventType::kSetNodeAttr:
+      return "SetNodeAttr";
+    case EventType::kDelNodeAttr:
+      return "DelNodeAttr";
+    case EventType::kSetEdgeAttr:
+      return "SetEdgeAttr";
+    case EventType::kDelEdgeAttr:
+      return "DelEdgeAttr";
+  }
+  return "Unknown";
+}
+
+Event Event::AddNode(Timestamp t, NodeId id, Attributes attrs) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kAddNode;
+  e.u = id;
+  e.attrs = std::move(attrs);
+  return e;
+}
+
+Event Event::RemoveNode(Timestamp t, NodeId id) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kRemoveNode;
+  e.u = id;
+  return e;
+}
+
+Event Event::AddEdge(Timestamp t, NodeId u, NodeId v, bool directed,
+                     Attributes attrs) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kAddEdge;
+  e.u = u;
+  e.v = v;
+  e.directed = directed;
+  e.attrs = std::move(attrs);
+  return e;
+}
+
+Event Event::RemoveEdge(Timestamp t, NodeId u, NodeId v) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kRemoveEdge;
+  e.u = u;
+  e.v = v;
+  return e;
+}
+
+Event Event::SetNodeAttr(Timestamp t, NodeId id, std::string key,
+                         std::string value, std::string prev) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kSetNodeAttr;
+  e.u = id;
+  e.key = std::move(key);
+  e.value = std::move(value);
+  e.prev_value = std::move(prev);
+  return e;
+}
+
+Event Event::DelNodeAttr(Timestamp t, NodeId id, std::string key,
+                         std::string prev) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kDelNodeAttr;
+  e.u = id;
+  e.key = std::move(key);
+  e.prev_value = std::move(prev);
+  return e;
+}
+
+Event Event::SetEdgeAttr(Timestamp t, NodeId u, NodeId v, std::string key,
+                         std::string value, std::string prev) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kSetEdgeAttr;
+  e.u = u;
+  e.v = v;
+  e.key = std::move(key);
+  e.value = std::move(value);
+  e.prev_value = std::move(prev);
+  return e;
+}
+
+Event Event::DelEdgeAttr(Timestamp t, NodeId u, NodeId v, std::string key,
+                         std::string prev) {
+  Event e;
+  e.time = t;
+  e.type = EventType::kDelEdgeAttr;
+  e.u = u;
+  e.v = v;
+  e.key = std::move(key);
+  e.prev_value = std::move(prev);
+  return e;
+}
+
+void SerializeAttributes(const Attributes& attrs, BinaryWriter* w) {
+  w->PutVarint64(attrs.size());
+  for (const auto& [k, v] : attrs.entries()) {
+    w->PutString(k);
+    w->PutString(v);
+  }
+}
+
+Result<Attributes> DeserializeAttributes(BinaryReader* r) {
+  HGS_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint64());
+  Attributes attrs;
+  for (uint64_t i = 0; i < n; ++i) {
+    HGS_ASSIGN_OR_RETURN(std::string k, r->GetString());
+    HGS_ASSIGN_OR_RETURN(std::string v, r->GetString());
+    attrs.Set(k, v);
+  }
+  return attrs;
+}
+
+void Event::SerializeTo(BinaryWriter* w) const {
+  w->PutSigned64(time);
+  w->PutFixed8(static_cast<uint8_t>(type));
+  w->PutVarint64(u);
+  switch (type) {
+    case EventType::kAddNode:
+      SerializeAttributes(attrs, w);
+      break;
+    case EventType::kRemoveNode:
+      break;
+    case EventType::kAddEdge:
+      w->PutVarint64(v);
+      w->PutBool(directed);
+      SerializeAttributes(attrs, w);
+      break;
+    case EventType::kRemoveEdge:
+      w->PutVarint64(v);
+      break;
+    case EventType::kSetNodeAttr:
+      w->PutString(key);
+      w->PutString(value);
+      w->PutString(prev_value);
+      break;
+    case EventType::kDelNodeAttr:
+      w->PutString(key);
+      w->PutString(prev_value);
+      break;
+    case EventType::kSetEdgeAttr:
+      w->PutVarint64(v);
+      w->PutString(key);
+      w->PutString(value);
+      w->PutString(prev_value);
+      break;
+    case EventType::kDelEdgeAttr:
+      w->PutVarint64(v);
+      w->PutString(key);
+      w->PutString(prev_value);
+      break;
+  }
+}
+
+Result<Event> Event::DeserializeFrom(BinaryReader* r) {
+  Event e;
+  HGS_ASSIGN_OR_RETURN(e.time, r->GetSigned64());
+  HGS_ASSIGN_OR_RETURN(uint8_t type_byte, r->GetFixed8());
+  if (type_byte > static_cast<uint8_t>(EventType::kDelEdgeAttr)) {
+    return Status::Corruption("bad event type");
+  }
+  e.type = static_cast<EventType>(type_byte);
+  HGS_ASSIGN_OR_RETURN(e.u, r->GetVarint64());
+  switch (e.type) {
+    case EventType::kAddNode: {
+      HGS_ASSIGN_OR_RETURN(e.attrs, DeserializeAttributes(r));
+      break;
+    }
+    case EventType::kRemoveNode:
+      break;
+    case EventType::kAddEdge: {
+      HGS_ASSIGN_OR_RETURN(e.v, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(e.directed, r->GetBool());
+      HGS_ASSIGN_OR_RETURN(e.attrs, DeserializeAttributes(r));
+      break;
+    }
+    case EventType::kRemoveEdge: {
+      HGS_ASSIGN_OR_RETURN(e.v, r->GetVarint64());
+      break;
+    }
+    case EventType::kSetNodeAttr: {
+      HGS_ASSIGN_OR_RETURN(e.key, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.value, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.prev_value, r->GetString());
+      break;
+    }
+    case EventType::kDelNodeAttr: {
+      HGS_ASSIGN_OR_RETURN(e.key, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.prev_value, r->GetString());
+      break;
+    }
+    case EventType::kSetEdgeAttr: {
+      HGS_ASSIGN_OR_RETURN(e.v, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(e.key, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.value, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.prev_value, r->GetString());
+      break;
+    }
+    case EventType::kDelEdgeAttr: {
+      HGS_ASSIGN_OR_RETURN(e.v, r->GetVarint64());
+      HGS_ASSIGN_OR_RETURN(e.key, r->GetString());
+      HGS_ASSIGN_OR_RETURN(e.prev_value, r->GetString());
+      break;
+    }
+  }
+  return e;
+}
+
+void ApplyEventToGraph(const Event& e, Graph* g) {
+  switch (e.type) {
+    case EventType::kAddNode:
+      g->AddNode(e.u, e.attrs);
+      break;
+    case EventType::kRemoveNode:
+      g->RemoveNode(e.u);
+      break;
+    case EventType::kAddEdge:
+      g->AddEdge(e.u, e.v, e.directed, e.attrs);
+      break;
+    case EventType::kRemoveEdge:
+      g->RemoveEdge(e.u, e.v);
+      break;
+    case EventType::kSetNodeAttr: {
+      if (!g->HasNode(e.u)) g->AddNode(e.u);
+      g->GetMutableNode(e.u)->attrs.Set(e.key, e.value);
+      break;
+    }
+    case EventType::kDelNodeAttr: {
+      NodeRecord* rec = g->GetMutableNode(e.u);
+      if (rec != nullptr) rec->attrs.Erase(e.key);
+      break;
+    }
+    case EventType::kSetEdgeAttr: {
+      EdgeRecord* rec = g->GetMutableEdge(e.u, e.v);
+      if (rec != nullptr) rec->attrs.Set(e.key, e.value);
+      break;
+    }
+    case EventType::kDelEdgeAttr: {
+      EdgeRecord* rec = g->GetMutableEdge(e.u, e.v);
+      if (rec != nullptr) rec->attrs.Erase(e.key);
+      break;
+    }
+  }
+}
+
+}  // namespace hgs

@@ -1,0 +1,92 @@
+#include "delta/eventlist.h"
+
+#include <algorithm>
+
+namespace hgs {
+
+void EventList::Sort() {
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+EventList EventList::FilterByTime(Timestamp after, Timestamp upto) const {
+  EventList out(after, upto);
+  for (const Event& e : events_) {
+    if (e.time > after && e.time <= upto) out.Append(e);
+  }
+  return out;
+}
+
+EventList EventList::FilterByNode(NodeId id) const {
+  EventList out(after_, upto_);
+  for (const Event& e : events_) {
+    if (e.Touches(id)) out.Append(e);
+  }
+  return out;
+}
+
+void EventList::ApplyTo(Graph* g) const {
+  for (const Event& e : events_) ApplyEventToGraph(e, g);
+}
+
+void EventList::ApplyTo(Delta* d) const {
+  for (const Event& e : events_) d->ApplyEvent(e);
+}
+
+void EventList::ApplyUpTo(Timestamp t, Graph* g) const {
+  for (const Event& e : events_) {
+    if (e.time > t) break;  // events_ kept chronological
+    ApplyEventToGraph(e, g);
+  }
+}
+
+void EventList::ApplyUpTo(Timestamp t, Delta* d) const {
+  for (const Event& e : events_) {
+    if (e.time > t) break;
+    d->ApplyEvent(e);
+  }
+}
+
+size_t EventList::SerializedSizeBytes() const {
+  size_t total = 24;
+  for (const Event& e : events_) {
+    total += 16 + e.key.size() + e.value.size() + e.prev_value.size();
+    for (const auto& [k, v] : e.attrs.entries()) total += k.size() + v.size() + 4;
+  }
+  return total;
+}
+
+void EventList::SerializeTo(BinaryWriter* w) const {
+  w->PutSigned64(after_);
+  w->PutSigned64(upto_);
+  w->PutVarint64(events_.size());
+  for (const Event& e : events_) e.SerializeTo(w);
+}
+
+Result<EventList> EventList::DeserializeFrom(BinaryReader* r) {
+  EventList out;
+  HGS_ASSIGN_OR_RETURN(out.after_, r->GetSigned64());
+  HGS_ASSIGN_OR_RETURN(out.upto_, r->GetSigned64());
+  HGS_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint64());
+  out.events_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HGS_ASSIGN_OR_RETURN(Event e, Event::DeserializeFrom(r));
+    out.events_.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string EventList::Serialize() const {
+  BinaryWriter w;
+  SerializeTo(&w);
+  return w.FinishWithChecksum();
+}
+
+Result<EventList> EventList::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  HGS_RETURN_NOT_OK(r.VerifyChecksum());
+  return DeserializeFrom(&r);
+}
+
+}  // namespace hgs

@@ -1,0 +1,237 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace hgs::algo {
+
+size_t Degree(const Graph& g, NodeId id) { return g.Neighbors(id).size(); }
+
+double AverageDegree(const Graph& g) {
+  if (g.NumNodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.NumEdges()) /
+         static_cast<double>(g.NumNodes());
+}
+
+double Density(const Graph& g) {
+  size_t n = g.NumNodes();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(g.NumEdges()) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double LocalClusteringCoefficient(const Graph& g, NodeId id) {
+  const auto& nbrs = g.Neighbors(id);
+  size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  std::unordered_set<NodeId> nbr_set(nbrs.begin(), nbrs.end());
+  size_t links = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    // Iterate the smaller adjacency to count edges among neighbors once.
+    for (NodeId w : g.Neighbors(nbrs[i])) {
+      if (w > nbrs[i] && nbr_set.contains(w)) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double AverageClusteringCoefficient(const Graph& g) {
+  double sum = 0.0;
+  size_t count = 0;
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    if (g.Neighbors(id).size() >= 2) {
+      sum += LocalClusteringCoefficient(g, id);
+      ++count;
+    }
+  });
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+uint64_t TriangleCount(const Graph& g) {
+  // Count each triangle once via ordered wedge closure u < v < w.
+  uint64_t triangles = 0;
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    NodeId u = key.u, v = key.v;  // u < v by canonical ordering
+    const auto& nu = g.Neighbors(u);
+    const auto& nv = g.Neighbors(v);
+    const auto& smaller = nu.size() < nv.size() ? nu : nv;
+    std::unordered_set<NodeId> larger_set;
+    const auto& larger = nu.size() < nv.size() ? nv : nu;
+    larger_set.insert(larger.begin(), larger.end());
+    for (NodeId w : smaller) {
+      if (w > v && larger_set.contains(w)) ++triangles;
+    }
+  });
+  return triangles;
+}
+
+std::unordered_map<NodeId, double> PageRank(const Graph& g, int iterations,
+                                            double damping) {
+  std::unordered_map<NodeId, double> rank;
+  size_t n = g.NumNodes();
+  if (n == 0) return rank;
+  double init = 1.0 / static_cast<double>(n);
+  rank.reserve(n);
+  g.ForEachNode([&](NodeId id, const NodeRecord&) { rank[id] = init; });
+  std::unordered_map<NodeId, double> next;
+  next.reserve(n);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    for (const auto& [id, r] : rank) {
+      if (g.Neighbors(id).empty()) dangling += r;
+    }
+    double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    for (const auto& [id, r] : rank) next[id] = base;
+    for (const auto& [id, r] : rank) {
+      const auto& nbrs = g.Neighbors(id);
+      if (nbrs.empty()) continue;
+      double share = damping * r / static_cast<double>(nbrs.size());
+      for (NodeId nb : nbrs) next[nb] += share;
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+std::unordered_map<NodeId, int> BfsDistances(const Graph& g, NodeId src,
+                                             int max_depth) {
+  std::unordered_map<NodeId, int> dist;
+  if (!g.HasNode(src)) return dist;
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    int d = dist[u];
+    if (max_depth >= 0 && d >= max_depth) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist.try_emplace(v, d + 1).second) queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+int ShortestPathLength(const Graph& g, NodeId src, NodeId dst) {
+  if (!g.HasNode(src) || !g.HasNode(dst)) return -1;
+  if (src == dst) return 0;
+  auto dist = BfsDistances(g, src);
+  auto it = dist.find(dst);
+  return it == dist.end() ? -1 : it->second;
+}
+
+std::unordered_map<NodeId, NodeId> ConnectedComponents(const Graph& g) {
+  std::unordered_map<NodeId, NodeId> label;
+  label.reserve(g.NumNodes());
+  for (NodeId root : g.NodeIds()) {
+    if (label.contains(root)) continue;
+    // BFS from root; label everything reachable with the component min id,
+    // found on the fly (first pass collects, second pass assigns).
+    std::vector<NodeId> members;
+    std::deque<NodeId> queue{root};
+    label[root] = root;
+    members.push_back(root);
+    NodeId min_id = root;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.Neighbors(u)) {
+        if (label.try_emplace(v, root).second) {
+          queue.push_back(v);
+          members.push_back(v);
+          min_id = std::min(min_id, v);
+        }
+      }
+    }
+    if (min_id != root) {
+      for (NodeId m : members) label[m] = min_id;
+    }
+  }
+  return label;
+}
+
+size_t LargestComponentSize(const Graph& g) {
+  auto labels = ConnectedComponents(g);
+  std::unordered_map<NodeId, size_t> counts;
+  size_t best = 0;
+  for (const auto& [id, comp] : labels) {
+    best = std::max(best, ++counts[comp]);
+  }
+  return best;
+}
+
+size_t CountLabel(const Graph& g, std::string_view key,
+                  std::string_view value) {
+  size_t count = 0;
+  g.ForEachNode([&](NodeId, const NodeRecord& rec) {
+    auto v = rec.attrs.Get(key);
+    if (v.has_value() && *v == value) ++count;
+  });
+  return count;
+}
+
+std::map<size_t, size_t> DegreeDistribution(const Graph& g) {
+  std::map<size_t, size_t> hist;
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    ++hist[g.Neighbors(id).size()];
+  });
+  return hist;
+}
+
+NodeId HighestDegreeNode(const Graph& g) {
+  NodeId best = kInvalidNodeId;
+  size_t best_deg = 0;
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    size_t d = g.Neighbors(id).size();
+    if (best == kInvalidNodeId || d > best_deg ||
+        (d == best_deg && id < best)) {
+      best = id;
+      best_deg = d;
+    }
+  });
+  return best;
+}
+
+double ClosenessCentrality(const Graph& g, NodeId id) {
+  if (!g.HasNode(id) || g.NumNodes() < 2) return 0.0;
+  auto dist = BfsDistances(g, id);
+  if (dist.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (const auto& [n, d] : dist) sum += d;
+  double reachable = static_cast<double>(dist.size() - 1);
+  double n_minus_1 = static_cast<double>(g.NumNodes() - 1);
+  // Wasserman-Faust correction for disconnected graphs.
+  return (reachable / n_minus_1) * (reachable / sum);
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& ids) {
+  Graph out;
+  std::unordered_set<NodeId> keep(ids.begin(), ids.end());
+  for (NodeId id : ids) {
+    const NodeRecord* rec = g.GetNode(id);
+    if (rec != nullptr) out.AddNode(id, rec->attrs);
+  }
+  for (NodeId id : ids) {
+    if (!g.HasNode(id)) continue;
+    for (NodeId nb : g.Neighbors(id)) {
+      if (nb > id && keep.contains(nb)) {
+        const EdgeRecord* e = g.GetEdge(id, nb);
+        out.AddEdge(e->src, e->dst, e->directed, e->attrs);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId src, int k) {
+  auto dist = BfsDistances(g, src, k);
+  std::vector<NodeId> out;
+  out.reserve(dist.size());
+  for (const auto& [id, d] : dist) out.push_back(id);
+  return out;
+}
+
+}  // namespace hgs::algo

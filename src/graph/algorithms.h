@@ -1,0 +1,79 @@
+// Static graph analysis routines used by the TAF metric libraries, the
+// examples, and the benchmark harness. All treat the graph as undirected
+// unless noted (matching the paper's evaluation workloads).
+
+#ifndef HGS_GRAPH_ALGORITHMS_H_
+#define HGS_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace hgs::algo {
+
+/// Number of neighbors of `id` (0 if absent).
+size_t Degree(const Graph& g, NodeId id);
+
+/// Mean degree over all nodes (0 for the empty graph).
+double AverageDegree(const Graph& g);
+
+/// 2|E| / (|V| (|V|-1)) for undirected interpretation.
+double Density(const Graph& g);
+
+/// Local clustering coefficient of `id`: closed wedges / possible wedges.
+double LocalClusteringCoefficient(const Graph& g, NodeId id);
+
+/// Mean of the local clustering coefficient over all nodes with degree >= 2.
+double AverageClusteringCoefficient(const Graph& g);
+
+/// Total number of triangles in the graph.
+uint64_t TriangleCount(const Graph& g);
+
+/// PageRank with uniform teleport; returns id -> score.
+std::unordered_map<NodeId, double> PageRank(const Graph& g,
+                                            int iterations = 20,
+                                            double damping = 0.85);
+
+/// BFS hop distances from `src`, bounded by `max_depth` (-1: unbounded).
+/// Unreachable nodes are absent from the result.
+std::unordered_map<NodeId, int> BfsDistances(const Graph& g, NodeId src,
+                                             int max_depth = -1);
+
+/// Hop distance between two nodes, or -1 if disconnected.
+int ShortestPathLength(const Graph& g, NodeId src, NodeId dst);
+
+/// Weakly connected components: id -> component label (smallest member id).
+std::unordered_map<NodeId, NodeId> ConnectedComponents(const Graph& g);
+
+/// Size of the largest connected component.
+size_t LargestComponentSize(const Graph& g);
+
+/// Number of nodes whose attribute `key` equals `value`.
+size_t CountLabel(const Graph& g, std::string_view key,
+                  std::string_view value);
+
+/// Degree histogram: degree -> node count (ordered).
+std::map<size_t, size_t> DegreeDistribution(const Graph& g);
+
+/// Degree centrality argmax; kInvalidNodeId on the empty graph.
+NodeId HighestDegreeNode(const Graph& g);
+
+/// Closeness centrality of `id`: (reachable-1) / Σ distances, scaled by the
+/// reachable fraction (Wasserman-Faust for disconnected graphs). 0 for
+/// isolated or absent nodes.
+double ClosenessCentrality(const Graph& g, NodeId id);
+
+/// The subgraph induced by `ids` (nodes absent from g are skipped).
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& ids);
+
+/// Ids within `k` hops of `src`, including `src` itself.
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId src, int k);
+
+}  // namespace hgs::algo
+
+#endif  // HGS_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,40 @@
+// Static graph components (Definition 1 in the paper): the state of a vertex
+// or an edge at one point in time. Deltas are keyed collections of these.
+//
+// Following the paper's node-centric logical model, a node's edge list is not
+// embedded in the node record; edges are separate components keyed by their
+// canonical endpoint pair, and partitioned snapshots replicate an edge into
+// every partition holding one of its endpoints (Example 5).
+
+#ifndef HGS_GRAPH_COMPONENTS_H_
+#define HGS_GRAPH_COMPONENTS_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "graph/attributes.h"
+
+namespace hgs {
+
+/// State of a vertex: its attributes. Identity is the NodeId key under which
+/// the record is stored.
+struct NodeRecord {
+  Attributes attrs;
+
+  bool operator==(const NodeRecord& o) const = default;
+};
+
+/// State of an edge: actual direction plus attributes. Stored under the
+/// canonical (min,max) EdgeKey; `src` preserves the real orientation.
+struct EdgeRecord {
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  bool directed = false;
+  Attributes attrs;
+
+  bool operator==(const EdgeRecord& o) const = default;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_GRAPH_COMPONENTS_H_

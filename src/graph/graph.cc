@@ -1,0 +1,115 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace hgs {
+
+bool Graph::AddNode(NodeId id, Attributes attrs) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  it->second.record.attrs = std::move(attrs);
+  return inserted;
+}
+
+bool Graph::RemoveNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  // Remove incident edges (copy neighbor list: RemoveEdge mutates it).
+  std::vector<NodeId> nbrs = it->second.neighbors;
+  for (NodeId n : nbrs) RemoveEdge(id, n);
+  nodes_.erase(id);
+  return true;
+}
+
+bool Graph::AddEdge(NodeId u, NodeId v, bool directed, Attributes attrs) {
+  if (u == v) return false;  // self-loops excluded from the data model
+  nodes_.try_emplace(u);
+  nodes_.try_emplace(v);
+  EdgeKey key(u, v);
+  auto [it, inserted] = edges_.try_emplace(key);
+  it->second =
+      EdgeRecord{.src = u, .dst = v, .directed = directed,
+                 .attrs = std::move(attrs)};
+  if (inserted) {
+    nodes_[u].neighbors.push_back(v);
+    nodes_[v].neighbors.push_back(u);
+  }
+  return inserted;
+}
+
+bool Graph::RemoveEdge(NodeId u, NodeId v) {
+  if (edges_.erase(EdgeKey(u, v)) == 0) return false;
+  DetachNeighbor(u, v);
+  DetachNeighbor(v, u);
+  return true;
+}
+
+void Graph::DetachNeighbor(NodeId from, NodeId nbr) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return;
+  auto& vec = it->second.neighbors;
+  auto pos = std::find(vec.begin(), vec.end(), nbr);
+  if (pos != vec.end()) {
+    *pos = vec.back();
+    vec.pop_back();
+  }
+}
+
+const NodeRecord* Graph::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second.record;
+}
+
+NodeRecord* Graph::GetMutableNode(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second.record;
+}
+
+const EdgeRecord* Graph::GetEdge(NodeId u, NodeId v) const {
+  auto it = edges_.find(EdgeKey(u, v));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+EdgeRecord* Graph::GetMutableEdge(NodeId u, NodeId v) {
+  auto it = edges_.find(EdgeKey(u, v));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+const std::vector<NodeId>& Graph::Neighbors(NodeId id) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? kEmpty : it->second.neighbors;
+}
+
+void Graph::ForEachNode(
+    const std::function<void(NodeId, const NodeRecord&)>& fn) const {
+  for (const auto& [id, entry] : nodes_) fn(id, entry.record);
+}
+
+void Graph::ForEachEdge(
+    const std::function<void(const EdgeKey&, const EdgeRecord&)>& fn) const {
+  for (const auto& [key, rec] : edges_) fn(key, rec);
+}
+
+std::vector<NodeId> Graph::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+bool Graph::operator==(const Graph& o) const {
+  if (nodes_.size() != o.nodes_.size() || edges_.size() != o.edges_.size()) {
+    return false;
+  }
+  for (const auto& [id, entry] : nodes_) {
+    const NodeRecord* other = o.GetNode(id);
+    if (other == nullptr || !(entry.record == *other)) return false;
+  }
+  for (const auto& [key, rec] : edges_) {
+    auto it = o.edges_.find(key);
+    if (it == o.edges_.end() || !(it->second == rec)) return false;
+  }
+  return true;
+}
+
+}  // namespace hgs

@@ -1,0 +1,78 @@
+// An in-memory graph snapshot: the materialized state of the evolving graph
+// at one timepoint. This is what TGI's GetSnapshot returns and what the graph
+// algorithm library (graph/algorithms.h) operates on.
+
+#ifndef HGS_GRAPH_GRAPH_H_
+#define HGS_GRAPH_GRAPH_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/components.h"
+
+namespace hgs {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Inserts a node; returns false (and overwrites attrs) if it existed.
+  bool AddNode(NodeId id, Attributes attrs = {});
+
+  /// Removes a node and all incident edges; returns false if absent.
+  bool RemoveNode(NodeId id);
+
+  /// Inserts an edge; creates missing endpoints implicitly. Returns false
+  /// (and overwrites the record) if the edge existed.
+  bool AddEdge(NodeId u, NodeId v, bool directed = false,
+               Attributes attrs = {});
+
+  /// Removes an edge; returns false if absent.
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  bool HasNode(NodeId id) const { return nodes_.contains(id); }
+  bool HasEdge(NodeId u, NodeId v) const {
+    return edges_.contains(EdgeKey(u, v));
+  }
+
+  /// Node record, or nullptr.
+  const NodeRecord* GetNode(NodeId id) const;
+  NodeRecord* GetMutableNode(NodeId id);
+
+  /// Edge record, or nullptr.
+  const EdgeRecord* GetEdge(NodeId u, NodeId v) const;
+  EdgeRecord* GetMutableEdge(NodeId u, NodeId v);
+
+  /// Neighbor ids of `id` (both directions); empty vector if absent.
+  const std::vector<NodeId>& Neighbors(NodeId id) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  void ForEachNode(
+      const std::function<void(NodeId, const NodeRecord&)>& fn) const;
+  void ForEachEdge(
+      const std::function<void(const EdgeKey&, const EdgeRecord&)>& fn) const;
+
+  /// All node ids (unordered).
+  std::vector<NodeId> NodeIds() const;
+
+  bool operator==(const Graph& o) const;
+
+ private:
+  struct NodeEntry {
+    NodeRecord record;
+    std::vector<NodeId> neighbors;
+  };
+
+  void DetachNeighbor(NodeId from, NodeId nbr);
+
+  std::unordered_map<NodeId, NodeEntry> nodes_;
+  std::unordered_map<EdgeKey, EdgeRecord, EdgeKeyHash> edges_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_GRAPH_GRAPH_H_

@@ -1,0 +1,150 @@
+#include "kvstore/cluster.h"
+
+namespace hgs {
+
+Cluster::Cluster(ClusterOptions options) : options_(options) {
+  if (options_.num_nodes == 0) options_.num_nodes = 1;
+  if (options_.replication == 0) options_.replication = 1;
+  options_.replication = std::min(options_.replication, options_.num_nodes);
+  nodes_.reserve(options_.num_nodes);
+  for (size_t i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<StorageNode>(
+        static_cast<int>(i), options_.server_threads_per_node,
+        options_.latency));
+  }
+}
+
+std::string Cluster::PhysicalKey(std::string_view table, uint64_t partition,
+                                 std::string_view key) const {
+  // table \0 token(8B ordered) key — scanning a (table, token) prefix yields
+  // the clustered rows of one partition in key order.
+  std::string out;
+  out.reserve(table.size() + 1 + 8 + key.size());
+  out.append(table);
+  out.push_back('\0');
+  AppendOrdered64(&out, PlacementToken(table, partition));
+  out.append(key);
+  return out;
+}
+
+std::vector<size_t> Cluster::Replicas(uint64_t token) const {
+  std::vector<size_t> out;
+  out.reserve(options_.replication);
+  size_t primary = static_cast<size_t>(token % nodes_.size());
+  for (size_t i = 0; i < options_.replication; ++i) {
+    out.push_back((primary + i) % nodes_.size());
+  }
+  return out;
+}
+
+Status Cluster::Put(std::string_view table, uint64_t partition,
+                    std::string_view key, std::string_view value) {
+  std::string phys = PhysicalKey(table, partition, key);
+  std::string stored = Compress(value, options_.compression);
+  uint64_t token = PlacementToken(table, partition);
+  for (size_t node : Replicas(token)) {
+    nodes_[node]->Put(phys, stored);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Cluster::Get(std::string_view table, uint64_t partition,
+                                 std::string_view key) {
+  std::string phys = PhysicalKey(table, partition, key);
+  uint64_t token = PlacementToken(table, partition);
+  std::vector<size_t> replicas = Replicas(token);
+  // Round-robin the starting replica so concurrent readers spread load.
+  size_t start =
+      read_counter_.fetch_add(1, std::memory_order_relaxed) % replicas.size();
+  Status last = Status::IOError("no replica available");
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    StorageNode* node = nodes_[replicas[(start + i) % replicas.size()]].get();
+    if (node->IsDown()) continue;
+    auto res = node->SubmitGet(phys).get();
+    if (res.ok()) return Decompress(*res);
+    if (res.status().IsNotFound()) return res.status();
+    last = res.status();
+  }
+  return last;
+}
+
+Result<std::vector<KVPair>> Cluster::Scan(std::string_view table,
+                                          uint64_t partition,
+                                          std::string_view key_prefix) {
+  std::string phys_prefix = PhysicalKey(table, partition, key_prefix);
+  size_t strip = table.size() + 1 + 8;  // logical key offset
+  uint64_t token = PlacementToken(table, partition);
+  std::vector<size_t> replicas = Replicas(token);
+  size_t start =
+      read_counter_.fetch_add(1, std::memory_order_relaxed) % replicas.size();
+  Status last = Status::IOError("no replica available");
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    StorageNode* node = nodes_[replicas[(start + i) % replicas.size()]].get();
+    if (node->IsDown()) continue;
+    auto res = node->SubmitScan(phys_prefix).get();
+    if (!res.ok()) {
+      last = res.status();
+      continue;
+    }
+    std::vector<KVPair> out;
+    out.reserve(res->size());
+    for (auto& kv : *res) {
+      HGS_ASSIGN_OR_RETURN(std::string raw, Decompress(kv.value));
+      out.push_back(KVPair{kv.key.substr(strip), std::move(raw)});
+    }
+    return out;
+  }
+  return last;
+}
+
+bool Cluster::Delete(std::string_view table, uint64_t partition,
+                     std::string_view key) {
+  std::string phys = PhysicalKey(table, partition, key);
+  uint64_t token = PlacementToken(table, partition);
+  bool any = false;
+  for (size_t node : Replicas(token)) {
+    any |= nodes_[node]->Delete(phys);
+  }
+  return any;
+}
+
+void Cluster::SetNodeDown(size_t node, bool down) {
+  if (node < nodes_.size()) nodes_[node]->SetDown(down);
+}
+
+uint64_t Cluster::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().bytes_stored.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalKeys() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->NumKeys();
+  return total;
+}
+
+uint64_t Cluster::TotalReadRequests() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().get_requests.load(std::memory_order_relaxed) +
+             n->stats().scan_requests.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalBytesRead() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().bytes_read.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Cluster::ResetStats() {
+  for (auto& n : nodes_) n->ResetStats();
+}
+
+}  // namespace hgs

@@ -1,0 +1,86 @@
+// The simulated distributed key-value store: m storage nodes, replication
+// factor r, token-based placement. This is the repository's stand-in for the
+// Apache Cassandra cluster of the paper (see DESIGN.md, substitutions).
+//
+// Tables are namespaces within one keyspace (the paper's five TGI tables:
+// Deltas, Versions, Timespans, Graph, Micropartitions). A row is addressed by
+// (table, partition-token, key); all rows of one partition are clustered on
+// the same replica set and can be prefix-scanned with one "seek".
+
+#ifndef HGS_KVSTORE_CLUSTER_H_
+#define HGS_KVSTORE_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/compression.h"
+#include "common/result.h"
+#include "kvstore/storage_node.h"
+
+namespace hgs {
+
+struct ClusterOptions {
+  /// Number of storage machines (the paper's m).
+  size_t num_nodes = 1;
+  /// Replication factor (the paper's r). Clamped to num_nodes.
+  size_t replication = 1;
+  /// Server threads per node (the paper's Cassandra boxes had 4 cores).
+  size_t server_threads_per_node = 4;
+  /// Value compression applied at write time (Fig 13a).
+  CompressionKind compression = CompressionKind::kNone;
+  LatencyModel latency;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+
+  /// Writes to all replicas of the token's placement group.
+  Status Put(std::string_view table, uint64_t partition, std::string_view key,
+             std::string_view value);
+
+  /// Reads one replica (load-balanced), failing over to others when a node
+  /// is down. NotFound when no replica holds the key.
+  Result<std::string> Get(std::string_view table, uint64_t partition,
+                          std::string_view key);
+
+  /// All pairs of the partition whose key begins with `key_prefix`, in key
+  /// order. Keys returned are logical (table/token stripped).
+  Result<std::vector<KVPair>> Scan(std::string_view table, uint64_t partition,
+                                   std::string_view key_prefix);
+
+  /// Deletes from all replicas; true if any replica held the key.
+  bool Delete(std::string_view table, uint64_t partition,
+              std::string_view key);
+
+  /// Failure injection.
+  void SetNodeDown(size_t node, bool down);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t replication() const { return options_.replication; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Total stored bytes across nodes (replicas counted once each).
+  uint64_t TotalStoredBytes() const;
+  uint64_t TotalKeys() const;
+  /// Aggregate read requests (gets + scans) across nodes.
+  uint64_t TotalReadRequests() const;
+  uint64_t TotalBytesRead() const;
+  void ResetStats();
+
+ private:
+  std::string PhysicalKey(std::string_view table, uint64_t partition,
+                          std::string_view key) const;
+  /// Replica node indices for a token, primary first.
+  std::vector<size_t> Replicas(uint64_t token) const;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::atomic<uint64_t> read_counter_{0};  // replica load balancing
+};
+
+}  // namespace hgs
+
+#endif  // HGS_KVSTORE_CLUSTER_H_

@@ -1,0 +1,51 @@
+// Key/value plumbing shared by the simulated distributed store.
+//
+// The paper stores micro-deltas in Cassandra keyed by the composite delta key
+// {tsid, sid, did, pid} with placement key {tsid, sid} (Section 4.4). Here a
+// full key is an order-preserving byte string so that a node-local ordered
+// map clusters micro-deltas exactly as Cassandra's clustering columns would;
+// the placement token (a hash of the placement key) drives replica placement.
+
+#ifndef HGS_KVSTORE_KV_TYPES_H_
+#define HGS_KVSTORE_KV_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace hgs {
+
+struct KVPair {
+  std::string key;
+  std::string value;
+};
+
+/// Appends a big-endian fixed32 so lexicographic order == numeric order.
+inline void AppendOrdered32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>(v & 0xFF));
+}
+
+inline void AppendOrdered64(std::string* out, uint64_t v) {
+  AppendOrdered32(out, static_cast<uint32_t>(v >> 32));
+  AppendOrdered32(out, static_cast<uint32_t>(v & 0xFFFFFFFFull));
+}
+
+/// Placement token for a (table, partition) pair.
+inline uint64_t PlacementToken(std::string_view table, uint64_t partition) {
+  uint64_t h = Fnv1a64(table.data(), table.size());
+  h ^= partition * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace hgs
+
+#endif  // HGS_KVSTORE_KV_TYPES_H_

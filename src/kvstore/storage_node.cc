@@ -1,0 +1,129 @@
+#include "kvstore/storage_node.h"
+
+#include <thread>
+
+namespace hgs {
+
+StorageNode::StorageNode(int node_id, size_t server_threads,
+                         LatencyModel latency)
+    : node_id_(node_id), latency_(latency), servers_(server_threads) {}
+
+void StorageNode::ChargeLatency(size_t keys, size_t bytes) {
+  int64_t micros = latency_.CostMicros(keys, bytes);
+  stats_.simulated_micros.fetch_add(static_cast<uint64_t>(micros),
+                                    std::memory_order_relaxed);
+  if (micros <= 0) return;
+  if (!latency_.precise_wait) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    return;
+  }
+  // sleep_for on many hosts has ~1ms granularity, far coarser than the
+  // sub-millisecond latencies this model expresses. Wait to a wall-clock
+  // deadline instead: a coarse sleep covers the bulk, then a yield-spin
+  // reaches the deadline precisely. Because the deadline is absolute,
+  // concurrent waits overlap exactly as real I/O would.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+  constexpr int64_t kSleepGranularityMicros = 1'500;
+  if (micros > kSleepGranularityMicros) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(micros - kSleepGranularityMicros));
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+Result<std::string> StorageNode::DoGet(const std::string& key) {
+  if (IsDown()) {
+    return Status::IOError("storage node " + std::to_string(node_id_) +
+                           " is down");
+  }
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      // A miss still costs a seek.
+      stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
+      ChargeLatency(1, 0);
+      return Status::NotFound("key not found");
+    }
+    value = it->second;
+  }
+  stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.keys_read.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(value.size(), std::memory_order_relaxed);
+  ChargeLatency(1, value.size());
+  return value;
+}
+
+Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
+  if (IsDown()) {
+    return Status::IOError("storage node " + std::to_string(node_id_) +
+                           " is down");
+  }
+  std::vector<KVPair> out;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = data_.lower_bound(prefix);
+         it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.push_back(KVPair{it->first, it->second});
+      bytes += it->second.size();
+    }
+  }
+  stats_.scan_requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.keys_read.fetch_add(out.size(), std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  // Clustered rows: one seek for the whole contiguous run.
+  ChargeLatency(out.size(), bytes);
+  return out;
+}
+
+std::future<Result<std::string>> StorageNode::SubmitGet(std::string key) {
+  return servers_.Submit(
+      [this, key = std::move(key)]() { return DoGet(key); });
+}
+
+std::future<Result<std::vector<KVPair>>> StorageNode::SubmitScan(
+    std::string prefix) {
+  return servers_.Submit(
+      [this, prefix = std::move(prefix)]() { return DoScan(prefix); });
+}
+
+void StorageNode::Put(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    stats_.bytes_stored.fetch_sub(it->second.size(),
+                                  std::memory_order_relaxed);
+  }
+  stats_.bytes_stored.fetch_add(value.size(), std::memory_order_relaxed);
+  data_[std::move(key)] = std::move(value);
+}
+
+bool StorageNode::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  stats_.bytes_stored.fetch_sub(it->second.size(), std::memory_order_relaxed);
+  data_.erase(it);
+  return true;
+}
+
+size_t StorageNode::NumKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+void StorageNode::ResetStats() {
+  stats_.get_requests.store(0);
+  stats_.scan_requests.store(0);
+  stats_.keys_read.store(0);
+  stats_.bytes_read.store(0);
+  stats_.simulated_micros.store(0);
+}
+
+}  // namespace hgs

@@ -1,0 +1,102 @@
+// One simulated storage machine: an ordered in-memory store served by a
+// bounded pool of server threads behind a request queue, with a latency model
+// that charges a seek per request plus per-key and per-byte costs.
+//
+// The bounded server pool is what makes the simulation faithful to the
+// paper's cluster experiments: a machine can only serve `server_threads`
+// requests concurrently (the paper's Cassandra boxes had 4 cores), so client
+// parallelism c saturates near m * server_threads — the knee visible in
+// Figs 11/12.
+
+#ifndef HGS_KVSTORE_STORAGE_NODE_H_
+#define HGS_KVSTORE_STORAGE_NODE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "kvstore/kv_types.h"
+
+namespace hgs {
+
+/// Simulated I/O cost parameters (microseconds / bytes-per-microsecond).
+struct LatencyModel {
+  /// Charged once per Get/Scan request (network round trip + disk seek).
+  int64_t seek_micros = 250;
+  /// Charged per key touched by a request.
+  int64_t per_key_micros = 5;
+  /// Simulated transfer bandwidth; charged per value byte returned.
+  double bytes_per_micro = 120.0;  // ~120 MB/s
+  /// When false, requests complete instantly (pure in-memory store).
+  bool enabled = true;
+  /// Wait implementation. Precise waits hit sub-millisecond deadlines by
+  /// spinning the residue the OS sleep can't express (use when exact
+  /// per-request latency matters and waiter concurrency is low). Coarse
+  /// waits sleep only — no CPU burn, exact overlap, but latencies are
+  /// quantized to the host's ~1ms sleep granularity.
+  bool precise_wait = true;
+
+  int64_t CostMicros(size_t keys, size_t bytes) const {
+    if (!enabled) return 0;
+    return seek_micros + per_key_micros * static_cast<int64_t>(keys) +
+           static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_micro);
+  }
+};
+
+struct StorageNodeStats {
+  std::atomic<uint64_t> get_requests{0};
+  std::atomic<uint64_t> scan_requests{0};
+  std::atomic<uint64_t> keys_read{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_stored{0};
+  std::atomic<uint64_t> simulated_micros{0};
+};
+
+class StorageNode {
+ public:
+  StorageNode(int node_id, size_t server_threads, LatencyModel latency);
+
+  int node_id() const { return node_id_; }
+
+  /// Point read. NotFound if the key is absent.
+  std::future<Result<std::string>> SubmitGet(std::string key);
+
+  /// Prefix scan: all pairs whose key starts with `prefix`, in key order.
+  std::future<Result<std::vector<KVPair>>> SubmitScan(std::string prefix);
+
+  /// Write (no simulated latency: index construction is not a measured
+  /// quantity in the paper's evaluation).
+  void Put(std::string key, std::string value);
+  bool Delete(const std::string& key);
+
+  /// Failure injection: a down node fails every request with IOError.
+  void SetDown(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool IsDown() const { return down_.load(std::memory_order_relaxed); }
+
+  size_t NumKeys() const;
+  const StorageNodeStats& stats() const { return stats_; }
+  void ResetStats();
+
+ private:
+  Result<std::string> DoGet(const std::string& key);
+  Result<std::vector<KVPair>> DoScan(const std::string& prefix);
+  void ChargeLatency(size_t keys, size_t bytes);
+
+  const int node_id_;
+  LatencyModel latency_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;
+  std::atomic<bool> down_{false};
+  StorageNodeStats stats_;
+  ThreadPool servers_;  // must be last: tasks reference the members above
+};
+
+}  // namespace hgs
+
+#endif  // HGS_KVSTORE_STORAGE_NODE_H_

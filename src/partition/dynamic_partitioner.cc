@@ -1,0 +1,19 @@
+#include "partition/dynamic_partitioner.h"
+
+namespace hgs {
+
+Partitioning PartitionTimespan(const Graph& start_state,
+                               const std::vector<Event>& events,
+                               TimeInterval span,
+                               const DynamicPartitionOptions& options) {
+  if (options.strategy == PartitionStrategy::kRandom) {
+    return Partitioning::Random(options.num_partitions);
+  }
+  WeightedGraph collapsed =
+      CollapseTemporalGraph(start_state, events, span, options.collapse);
+  LocalityPartitionOptions lp = options.locality;
+  lp.k = options.num_partitions;
+  return LocalityPartition(collapsed, lp);
+}
+
+}  // namespace hgs

@@ -1,0 +1,36 @@
+// Dynamic graph partitioning (Section 4.5): per-timespan repartitioning.
+// Within a timespan the assignment is fixed; at each timespan boundary the
+// graph over the span is collapsed (Ω) and partitioned afresh.
+
+#ifndef HGS_PARTITION_DYNAMIC_PARTITIONER_H_
+#define HGS_PARTITION_DYNAMIC_PARTITIONER_H_
+
+#include <vector>
+
+#include "partition/static_partitioner.h"
+#include "partition/temporal_collapse.h"
+
+namespace hgs {
+
+enum class PartitionStrategy {
+  kRandom,    ///< node-id hash; no bookkeeping (Micropartitions table unused)
+  kLocality,  ///< Ω-collapse + LDG/FM min-cut per timespan
+};
+
+struct DynamicPartitionOptions {
+  PartitionStrategy strategy = PartitionStrategy::kRandom;
+  uint32_t num_partitions = 4;
+  CollapseOptions collapse;  // paper default: Union-Max edges, uniform nodes
+  LocalityPartitionOptions locality;
+};
+
+/// Computes the partitioning to use for a timespan, from the state at span
+/// start and the span's events.
+Partitioning PartitionTimespan(const Graph& start_state,
+                               const std::vector<Event>& events,
+                               TimeInterval span,
+                               const DynamicPartitionOptions& options);
+
+}  // namespace hgs
+
+#endif  // HGS_PARTITION_DYNAMIC_PARTITIONER_H_

@@ -1,0 +1,22 @@
+#include "partition/partitioning.h"
+
+namespace hgs {
+
+double Partitioning::EdgeCut(const WeightedGraph& g) const {
+  double cut = 0.0;
+  for (const auto& [key, w] : g.edge_weights) {
+    if (Of(key.u) != Of(key.v)) cut += w;
+  }
+  return cut;
+}
+
+std::vector<size_t> Partitioning::PartitionSizes(const WeightedGraph& g) const {
+  std::vector<size_t> sizes(k_, 0);
+  for (const auto& [id, w] : g.node_weights) {
+    (void)w;
+    ++sizes[Of(id)];
+  }
+  return sizes;
+}
+
+}  // namespace hgs

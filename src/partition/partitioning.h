@@ -1,0 +1,97 @@
+// Partition assignments and the weighted collapsed graphs they are computed
+// from (Section 4.5 of the paper).
+
+#ifndef HGS_PARTITION_PARTITIONING_H_
+#define HGS_PARTITION_PARTITIONING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hgs {
+
+/// A static weighted graph — the output of temporal collapse Ω and the input
+/// of the static partitioners.
+struct WeightedGraph {
+  std::unordered_map<NodeId, double> node_weights;
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> edge_weights;
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency;
+
+  void AddNode(NodeId id, double w = 1.0) {
+    auto [it, inserted] = node_weights.try_emplace(id, w);
+    if (!inserted) it->second = w;
+    adjacency.try_emplace(id);
+  }
+
+  void AddEdge(NodeId u, NodeId v, double w = 1.0) {
+    AddNode(u, node_weights.count(u) ? node_weights[u] : 1.0);
+    AddNode(v, node_weights.count(v) ? node_weights[v] : 1.0);
+    auto [it, inserted] = edge_weights.try_emplace(EdgeKey(u, v), w);
+    if (!inserted) {
+      it->second = w;
+      return;
+    }
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+
+  double EdgeWeight(NodeId u, NodeId v) const {
+    auto it = edge_weights.find(EdgeKey(u, v));
+    return it == edge_weights.end() ? 0.0 : it->second;
+  }
+
+  size_t NumNodes() const { return node_weights.size(); }
+  size_t NumEdges() const { return edge_weights.size(); }
+};
+
+/// Assignment of nodes to k horizontal partitions. Nodes that appear later
+/// (not present when the partitioning was computed) fall back to a hash.
+class Partitioning {
+ public:
+  Partitioning() = default;
+  Partitioning(uint32_t k, std::unordered_map<NodeId, PartitionId> map)
+      : k_(k), assignment_(std::move(map)) {}
+
+  /// Pure hash partitioning with no stored map.
+  static Partitioning Random(uint32_t k) { return Partitioning(k, {}); }
+
+  uint32_t k() const { return k_; }
+
+  PartitionId Of(NodeId id) const {
+    auto it = assignment_.find(id);
+    if (it != assignment_.end()) return it->second;
+    return HashFallback(id);
+  }
+
+  PartitionId HashFallback(NodeId id) const {
+    uint64_t h = id * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    return static_cast<PartitionId>(h % (k_ == 0 ? 1 : k_));
+  }
+
+  bool HasExplicitAssignment(NodeId id) const {
+    return assignment_.contains(id);
+  }
+
+  const std::unordered_map<NodeId, PartitionId>& assignment() const {
+    return assignment_;
+  }
+  std::unordered_map<NodeId, PartitionId>* mutable_assignment() {
+    return &assignment_;
+  }
+
+  /// Weighted edge-cut of this assignment on `g`.
+  double EdgeCut(const WeightedGraph& g) const;
+
+  /// Per-partition node counts over the nodes of `g`.
+  std::vector<size_t> PartitionSizes(const WeightedGraph& g) const;
+
+ private:
+  uint32_t k_ = 1;
+  std::unordered_map<NodeId, PartitionId> assignment_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_PARTITION_PARTITIONING_H_

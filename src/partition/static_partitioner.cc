@@ -1,0 +1,141 @@
+#include "partition/static_partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace hgs {
+
+Partitioning RandomPartition(uint32_t k) { return Partitioning::Random(k); }
+
+namespace {
+
+// Deterministic BFS-order node stream: visiting neighbors together lets the
+// greedy pass see locality. Components are seeded from the highest-degree
+// unvisited node.
+std::vector<NodeId> BfsStreamOrder(const WeightedGraph& g, uint64_t seed) {
+  std::vector<NodeId> order;
+  order.reserve(g.NumNodes());
+  std::vector<NodeId> by_degree;
+  by_degree.reserve(g.NumNodes());
+  for (const auto& [id, w] : g.node_weights) {
+    (void)w;
+    by_degree.push_back(id);
+  }
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    size_t da = g.adjacency.at(a).size();
+    size_t db = g.adjacency.at(b).size();
+    return da != db ? da > db : a < b;
+  });
+  (void)seed;
+  std::unordered_map<NodeId, bool> visited;
+  visited.reserve(g.NumNodes());
+  for (NodeId root : by_degree) {
+    if (visited[root]) continue;
+    std::deque<NodeId> queue{root};
+    visited[root] = true;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (NodeId v : g.adjacency.at(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Partitioning LocalityPartition(const WeightedGraph& g,
+                               const LocalityPartitionOptions& options) {
+  uint32_t k = std::max<uint32_t>(1, options.k);
+  size_t n = g.NumNodes();
+  if (n == 0) return Partitioning(k, {});
+  size_t cap = (n + k - 1) / k;  // ceil(n/k): the paper's balance upper bound
+
+  std::unordered_map<NodeId, PartitionId> assign;
+  assign.reserve(n);
+  std::vector<size_t> sizes(k, 0);
+
+  // --- Phase 1: LDG streaming assignment in BFS order. -------------------
+  // score(P) = w(neighbors already in P) * (1 - |P|/cap); ties to the
+  // emptier partition.
+  for (NodeId id : BfsStreamOrder(g, options.seed)) {
+    std::vector<double> nbr_weight(k, 0.0);
+    for (NodeId nb : g.adjacency.at(id)) {
+      auto it = assign.find(nb);
+      if (it != assign.end()) {
+        nbr_weight[it->second] += g.EdgeWeight(id, nb);
+      }
+    }
+    PartitionId best = 0;
+    double best_score = -1.0;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (sizes[p] >= cap) continue;
+      double penalty =
+          1.0 - static_cast<double>(sizes[p]) / static_cast<double>(cap);
+      double score = nbr_weight[p] * penalty + 1e-9 * penalty;
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    assign[id] = best;
+    ++sizes[best];
+  }
+
+  // --- Phase 2: FM-style refinement. --------------------------------------
+  // Single-node moves with positive cut gain, respecting the balance bounds.
+  size_t floor_size = n / k;
+  Rng rng(options.seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (const auto& [id, p] : assign) {
+    (void)p;
+    nodes.push_back(id);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    // Deterministic shuffle per pass.
+    for (size_t i = nodes.size(); i > 1; --i) {
+      std::swap(nodes[i - 1], nodes[rng.Uniform(i)]);
+    }
+    size_t moves = 0;
+    for (NodeId id : nodes) {
+      PartitionId cur = assign[id];
+      if (sizes[cur] <= floor_size) continue;  // would break lower bound
+      std::vector<double> nbr_weight(k, 0.0);
+      for (NodeId nb : g.adjacency.at(id)) {
+        nbr_weight[assign[nb]] += g.EdgeWeight(id, nb);
+      }
+      PartitionId best = cur;
+      double best_gain = 0.0;
+      for (uint32_t p = 0; p < k; ++p) {
+        if (p == cur || sizes[p] >= cap) continue;
+        double gain = nbr_weight[p] - nbr_weight[cur];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      if (best != cur) {
+        --sizes[cur];
+        ++sizes[best];
+        assign[id] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+
+  return Partitioning(k, std::move(assign));
+}
+
+}  // namespace hgs

@@ -1,0 +1,35 @@
+// Static graph partitioners (Section 4.5): the building blocks the dynamic
+// (temporal) partitioner runs on the collapsed graph.
+//
+//  * RandomPartition: node-id hash, zero bookkeeping, poor locality — the
+//    paper's "Random" configuration in Fig 15a.
+//  * LocalityPartition: streaming linear deterministic greedy (LDG)
+//    assignment in BFS order followed by bounded Fiduccia–Mattheyses-style
+//    refinement — the paper's "Maxflow" (min-cut) configuration. Balance
+//    constraint: ⌊V/k⌋ ≤ |Pr| ≤ ⌈V/k⌉.
+
+#ifndef HGS_PARTITION_STATIC_PARTITIONER_H_
+#define HGS_PARTITION_STATIC_PARTITIONER_H_
+
+#include "partition/partitioning.h"
+
+namespace hgs {
+
+/// Hash-based partitioning (no stored assignment).
+Partitioning RandomPartition(uint32_t k);
+
+struct LocalityPartitionOptions {
+  uint32_t k = 4;
+  /// FM refinement passes over all nodes (0 disables refinement).
+  int refine_passes = 2;
+  /// Deterministic seed for tie-breaking.
+  uint64_t seed = 42;
+};
+
+/// LDG + FM locality-aware partitioning of the weighted graph.
+Partitioning LocalityPartition(const WeightedGraph& g,
+                               const LocalityPartitionOptions& options);
+
+}  // namespace hgs
+
+#endif  // HGS_PARTITION_STATIC_PARTITIONER_H_

@@ -1,0 +1,51 @@
+// Temporal collapse Ω (Section 4.5): projecting the evolving graph over a
+// time span [ts, te) to a single weighted static graph that the static
+// partitioner runs on. Gτ must contain every vertex that existed at least
+// once during τ.
+
+#ifndef HGS_PARTITION_TEMPORAL_COLLAPSE_H_
+#define HGS_PARTITION_TEMPORAL_COLLAPSE_H_
+
+#include <vector>
+
+#include "delta/event.h"
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace hgs {
+
+/// Edge-weight collapse choice (paper's options 1-3).
+enum class CollapseFn {
+  /// State of the graph at the median timepoint of the span.
+  kMedian,
+  /// Edge included if it existed at any time; weight = max over time.
+  kUnionMax,
+  /// Edge included if it existed at any time; weight = time-weighted mean
+  /// (non-existence counts as 0). Default for TGI is kUnionMax.
+  kUnionMean,
+};
+
+/// Node-weight choice (paper's options 1-3 for w_n).
+enum class NodeWeightFn {
+  kUniform,    ///< w = 1
+  kDegree,     ///< w = collapsed degree
+  kAvgDegree,  ///< w = time-averaged degree over the span
+};
+
+struct CollapseOptions {
+  CollapseFn edge_fn = CollapseFn::kUnionMax;
+  NodeWeightFn node_fn = NodeWeightFn::kUniform;
+  /// Attribute carrying the edge weight; absent attribute = weight 1.
+  std::string weight_attr = "weight";
+};
+
+/// Collapses `start_state` evolved by `events` (chronological, timestamps in
+/// [span.start, span.end)) into a weighted static graph.
+WeightedGraph CollapseTemporalGraph(const Graph& start_state,
+                                    const std::vector<Event>& events,
+                                    TimeInterval span,
+                                    const CollapseOptions& options);
+
+}  // namespace hgs
+
+#endif  // HGS_PARTITION_TEMPORAL_COLLAPSE_H_

@@ -1,0 +1,36 @@
+// The TAF execution engine: a fixed pool of `ma` workers (the paper's Spark
+// cluster stand-in, see DESIGN.md substitutions) plus the connection to the
+// TGI query manager used for the parallel fetch protocol of Fig 10 — every
+// worker pulls its share of temporal nodes directly from the index.
+
+#ifndef HGS_TAF_ENGINE_H_
+#define HGS_TAF_ENGINE_H_
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "tgi/query.h"
+
+namespace hgs::taf {
+
+class TAFEngine {
+ public:
+  TAFEngine(TGIQueryManager* qm, size_t num_workers)
+      : qm_(qm), num_workers_(num_workers == 0 ? 1 : num_workers) {}
+
+  TGIQueryManager* query_manager() const { return qm_; }
+  size_t num_workers() const { return num_workers_; }
+
+  /// Data-parallel loop over n items across the worker cluster.
+  void ParallelOver(size_t n, const std::function<void(size_t)>& fn) const {
+    ParallelFor(n, num_workers_, fn);
+  }
+
+ private:
+  TGIQueryManager* qm_;
+  size_t num_workers_;
+};
+
+}  // namespace hgs::taf
+
+#endif  // HGS_TAF_ENGINE_H_

@@ -1,0 +1,93 @@
+#include "taf/metrics.h"
+
+#include <unordered_set>
+
+namespace hgs::taf::metrics {
+
+double CountLabel(const Graph& g, const std::string& key,
+                  const std::string& value) {
+  return static_cast<double>(algo::CountLabel(g, key, value));
+}
+
+double CountLabelDelta(const Graph& before, double prev_value, const Event& e,
+                       const std::string& key, const std::string& value) {
+  double v = prev_value;
+  auto had_label = [&](NodeId id) {
+    const NodeRecord* rec = before.GetNode(id);
+    if (rec == nullptr) return false;
+    auto got = rec->attrs.Get(key);
+    return got.has_value() && *got == value;
+  };
+  switch (e.type) {
+    case EventType::kAddNode: {
+      if (before.HasNode(e.u)) break;  // outside the member set or re-add
+      auto got = e.attrs.Get(key);
+      if (got.has_value() && *got == value) v += 1.0;
+      break;
+    }
+    case EventType::kRemoveNode:
+      if (had_label(e.u)) v -= 1.0;
+      break;
+    case EventType::kSetNodeAttr:
+      if (e.key != key || !before.HasNode(e.u)) break;
+      if (e.prev_value == value && e.value != value) v -= 1.0;
+      if (e.prev_value != value && e.value == value) v += 1.0;
+      break;
+    case EventType::kDelNodeAttr:
+      if (e.key == key && e.prev_value == value && before.HasNode(e.u)) {
+        v -= 1.0;
+      }
+      break;
+    default:
+      break;  // edge events don't change node-label counts
+  }
+  return v;
+}
+
+double TriangleCount(const Graph& g) {
+  return static_cast<double>(algo::TriangleCount(g));
+}
+
+double TriangleCountDelta(const Graph& before, double prev_value,
+                          const Event& e) {
+  auto common_neighbors = [&](NodeId u, NodeId v) {
+    const auto& nu = before.Neighbors(u);
+    const auto& nv = before.Neighbors(v);
+    const auto& small = nu.size() < nv.size() ? nu : nv;
+    const auto& large = nu.size() < nv.size() ? nv : nu;
+    std::unordered_set<NodeId> large_set(large.begin(), large.end());
+    double count = 0;
+    for (NodeId w : small) {
+      if (large_set.contains(w)) count += 1.0;
+    }
+    return count;
+  };
+  switch (e.type) {
+    case EventType::kAddEdge:
+      if (!before.HasNode(e.u) || !before.HasNode(e.v) ||
+          before.HasEdge(e.u, e.v)) {
+        return prev_value;  // boundary edge or duplicate: no member change
+      }
+      return prev_value + common_neighbors(e.u, e.v);
+    case EventType::kRemoveEdge:
+      if (!before.HasEdge(e.u, e.v)) return prev_value;
+      return prev_value - common_neighbors(e.u, e.v);
+    case EventType::kRemoveNode: {
+      if (!before.HasNode(e.u)) return prev_value;
+      // Well-formed streams remove incident edges first, so this is a
+      // no-op; defensively subtract triangles through the node.
+      double through = 0;
+      const auto& nbrs = before.Neighbors(e.u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (before.HasEdge(nbrs[i], nbrs[j])) through += 1.0;
+        }
+      }
+      return prev_value - through;
+    }
+    default:
+      return prev_value;  // node/attr events don't change triangles
+  }
+}
+
+}  // namespace hgs::taf::metrics

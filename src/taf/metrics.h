@@ -1,0 +1,52 @@
+// Metric libraries for TAF analyses — the NodeMetrics / GraphMetrics of the
+// paper's examples (Fig 7), including the incremental label-counting pair of
+// Fig 8 used by NodeComputeDelta.
+
+#ifndef HGS_TAF_METRICS_H_
+#define HGS_TAF_METRICS_H_
+
+#include <string>
+
+#include "delta/event.h"
+#include "graph/algorithms.h"
+#include "taf/temporal_node.h"
+
+namespace hgs::taf::metrics {
+
+/// GraphMetrics.density.
+inline double Density(const Graph& g) { return algo::Density(g); }
+
+/// NodeMetrics.LCC on an ego network (the subgraph around `center`).
+inline double LocalClusteringCoefficient(const Graph& ego, NodeId center) {
+  return algo::LocalClusteringCoefficient(ego, center);
+}
+
+/// Degree of a temporal node at its window start.
+inline double InitialDegree(const NodeT& n) {
+  return static_cast<double>(n.GetStateAt(n.GetStartTime()).Degree());
+}
+
+/// Fig 8's fCountLabel: fresh count of nodes whose `key` equals `value`.
+double CountLabel(const Graph& g, const std::string& key,
+                  const std::string& value);
+
+/// Fig 8's fCountLabelDel: incremental update of the label count from one
+/// event. `before` is the subgraph state before the event.
+double CountLabelDelta(const Graph& before, double prev_value,
+                       const Event& e, const std::string& key,
+                       const std::string& value);
+
+/// Fresh triangle count — the f() of the paper's "more intricate"
+/// incremental pattern-matching example (Section 5.2): counting a small
+/// subgraph pattern over versions.
+double TriangleCount(const Graph& g);
+
+/// Incremental triangle count: an edge (u,v) add/remove changes the count
+/// by |N(u) ∩ N(v)| in the state before the event — an O(deg) update versus
+/// an O(|E|^1.5) recount.
+double TriangleCountDelta(const Graph& before, double prev_value,
+                          const Event& e);
+
+}  // namespace hgs::taf::metrics
+
+#endif  // HGS_TAF_METRICS_H_

@@ -1,0 +1,131 @@
+#include "taf/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace hgs::taf {
+
+std::vector<std::pair<NodeId, double>> ComparePerNode(
+    const SoN& a, const SoN& b,
+    const std::function<double(const NodeT&)>& fn) {
+  std::unordered_map<NodeId, double> va;
+  std::unordered_map<NodeId, double> vb;
+  for (const NodeT& n : a.nodes()) va[n.id()] = fn(n);
+  for (const NodeT& n : b.nodes()) vb[n.id()] = fn(n);
+  std::vector<std::pair<NodeId, double>> out;
+  out.reserve(va.size() + vb.size());
+  for (const auto& [id, v] : va) {
+    auto it = vb.find(id);
+    out.emplace_back(id, v - (it == vb.end() ? 0.0 : it->second));
+  }
+  for (const auto& [id, v] : vb) {
+    if (!va.contains(id)) out.emplace_back(id, -v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CompareSeriesResult CompareSeries(
+    const SoN& a, const SoN& b,
+    const std::function<double(const SoN&, Timestamp)>& fn,
+    const std::function<std::vector<Timestamp>(const SoN&, const SoN&)>&
+        timepoints) {
+  std::vector<Timestamp> times;
+  if (timepoints != nullptr) {
+    times = timepoints(a, b);
+  } else {
+    std::vector<Timestamp> pa = a.AllChangePoints();
+    std::vector<Timestamp> pb = b.AllChangePoints();
+    times.reserve(pa.size() + pb.size());
+    std::merge(pa.begin(), pa.end(), pb.begin(), pb.end(),
+               std::back_inserter(times));
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    if (times.empty()) times.push_back(a.GetStartTime());
+  }
+  CompareSeriesResult out;
+  out.a.reserve(times.size());
+  out.b.reserve(times.size());
+  for (Timestamp t : times) {
+    out.a.emplace_back(t, fn(a, t));
+    out.b.emplace_back(t, fn(b, t));
+  }
+  return out;
+}
+
+double CountExisting(const SoN& son, Timestamp t) {
+  double count = 0;
+  for (const NodeT& n : son.nodes()) {
+    if (n.GetStateAt(t).exists) count += 1.0;
+  }
+  return count;
+}
+
+namespace agg {
+
+std::optional<std::pair<Timestamp, double>> Max(const Series& series) {
+  if (series.empty()) return std::nullopt;
+  auto it = std::max_element(
+      series.begin(), series.end(),
+      [](const auto& x, const auto& y) { return x.second < y.second; });
+  return *it;
+}
+
+std::optional<std::pair<Timestamp, double>> Min(const Series& series) {
+  if (series.empty()) return std::nullopt;
+  auto it = std::min_element(
+      series.begin(), series.end(),
+      [](const auto& x, const auto& y) { return x.second < y.second; });
+  return *it;
+}
+
+double Mean(const Series& series) {
+  if (series.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : series) sum += v;
+  return sum / static_cast<double>(series.size());
+}
+
+double TimeWeightedMean(const Series& series) {
+  if (series.size() < 2) return series.empty() ? 0.0 : series[0].second;
+  double integral = 0.0;
+  for (size_t i = 0; i + 1 < series.size(); ++i) {
+    integral += series[i].second *
+                static_cast<double>(series[i + 1].first - series[i].first);
+  }
+  double span =
+      static_cast<double>(series.back().first - series.front().first);
+  return span <= 0.0 ? series[0].second : integral / span;
+}
+
+std::vector<Timestamp> Peak(const Series& series) {
+  std::vector<Timestamp> out;
+  for (size_t i = 1; i + 1 < series.size(); ++i) {
+    if (series[i].second > series[i - 1].second &&
+        series[i].second > series[i + 1].second) {
+      out.push_back(series[i].first);
+    }
+  }
+  return out;
+}
+
+std::optional<Timestamp> Saturate(const Series& series, double tolerance) {
+  if (series.empty()) return std::nullopt;
+  double final_value = series.back().second;
+  double band = std::abs(final_value) * tolerance;
+  // Walk backwards: the saturation point is the first time after which the
+  // series never leaves the band around its final value.
+  size_t first_settled = series.size() - 1;
+  for (size_t i = series.size(); i-- > 0;) {
+    if (std::abs(series[i].second - final_value) <= band) {
+      first_settled = i;
+    } else {
+      break;
+    }
+  }
+  return series[first_settled].first;
+}
+
+}  // namespace agg
+
+}  // namespace hgs::taf

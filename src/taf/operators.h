@@ -1,0 +1,68 @@
+// Cross-operand operators and temporal aggregation (Section 5.1, operators
+// 7-9): Compare over two SoNs, and the TempAggregation family over scalar
+// timeseries (Max, Min, Mean, Peak, Saturate).
+
+#ifndef HGS_TAF_OPERATORS_H_
+#define HGS_TAF_OPERATORS_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "taf/son.h"
+
+namespace hgs::taf {
+
+/// Compare (7), per-node form: evaluates `fn` on the nodes of both operands
+/// and returns (node-id, value_a - value_b) for every id present in either
+/// (missing side contributes 0).
+std::vector<std::pair<NodeId, double>> ComparePerNode(
+    const SoN& a, const SoN& b,
+    const std::function<double(const NodeT&)>& fn);
+
+/// Compare, set-level form (the Fig 7b usage): evaluates a set-level scalar
+/// on both operands at each timepoint produced by `timepoints` (defaults to
+/// the union of both operands' change points) and returns the two series.
+struct CompareSeriesResult {
+  Series a;
+  Series b;
+};
+CompareSeriesResult CompareSeries(
+    const SoN& a, const SoN& b,
+    const std::function<double(const SoN&, Timestamp)>& fn,
+    const std::function<std::vector<Timestamp>(const SoN&, const SoN&)>&
+        timepoints = nullptr);
+
+/// Set-level count of nodes existing at t (the paper's SON.count()).
+double CountExisting(const SoN& son, Timestamp t);
+
+// -- TempAggregation (9) ----------------------------------------------------
+
+namespace agg {
+
+/// Largest value in the series (nullopt for an empty series).
+std::optional<std::pair<Timestamp, double>> Max(const Series& series);
+
+/// Smallest value in the series.
+std::optional<std::pair<Timestamp, double>> Min(const Series& series);
+
+/// Arithmetic mean of the values (0 for an empty series).
+double Mean(const Series& series);
+
+/// Time-weighted mean: each value holds until the next sample.
+double TimeWeightedMean(const Series& series);
+
+/// Timepoints of strict local maxima ("times at which there was a peak in
+/// the network density").
+std::vector<Timestamp> Peak(const Series& series);
+
+/// First time the series reaches and holds within `tolerance` (relative) of
+/// its final value — the saturation point. nullopt if it never settles.
+std::optional<Timestamp> Saturate(const Series& series,
+                                  double tolerance = 0.05);
+
+}  // namespace agg
+
+}  // namespace hgs::taf
+
+#endif  // HGS_TAF_OPERATORS_H_

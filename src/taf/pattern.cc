@@ -1,0 +1,141 @@
+#include "taf/pattern.h"
+
+namespace hgs::taf {
+
+std::string WedgeState::LabelOf(const Graph& g, NodeId id,
+                                const WedgePattern& pattern) {
+  const NodeRecord* rec = g.GetNode(id);
+  if (rec == nullptr) return "";
+  auto v = rec->attrs.Get(pattern.label_key);
+  return v.has_value() ? std::string(*v) : "";
+}
+
+double WedgeState::WedgesAt(const NodeAux& aux,
+                            const WedgePattern& pattern) const {
+  if (aux.label != pattern.center) return 0;
+  auto tally = [&aux](const std::string& label) {
+    auto it = aux.neighbor_labels.find(label);
+    return it == aux.neighbor_labels.end() ? 0 : it->second;
+  };
+  if (pattern.left == pattern.right) {
+    double n = tally(pattern.left);
+    return n * (n - 1) / 2.0;
+  }
+  return static_cast<double>(tally(pattern.left)) *
+         static_cast<double>(tally(pattern.right));
+}
+
+WedgeState WedgeState::FromGraph(const Graph& g, const WedgePattern& pattern) {
+  WedgeState state;
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    NodeAux aux;
+    aux.label = LabelOf(g, id, pattern);
+    for (NodeId nb : g.Neighbors(id)) {
+      aux.neighbor_labels[LabelOf(g, nb, pattern)]++;
+    }
+    state.count_ += state.WedgesAt(aux, pattern);
+    state.nodes_.emplace(id, std::move(aux));
+  });
+  return state;
+}
+
+void WedgeState::ApplyEvent(const Graph& before, const Event& e,
+                            const WedgePattern& pattern) {
+  // Re-counts wedges at `id` around a mutation of its aux entry.
+  auto mutate = [&](NodeId id, auto&& fn) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    count_ -= WedgesAt(it->second, pattern);
+    fn(it->second);
+    count_ += WedgesAt(it->second, pattern);
+  };
+
+  switch (e.type) {
+    case EventType::kAddNode: {
+      if (before.HasNode(e.u)) break;  // boundary re-add: out of scope
+      NodeAux aux;
+      auto v = e.attrs.Get(pattern.label_key);
+      aux.label = v.has_value() ? std::string(*v) : "";
+      nodes_.emplace(e.u, std::move(aux));  // no neighbors yet: 0 wedges
+      break;
+    }
+    case EventType::kRemoveNode: {
+      auto it = nodes_.find(e.u);
+      if (it == nodes_.end()) break;
+      std::string label = it->second.label;
+      count_ -= WedgesAt(it->second, pattern);
+      nodes_.erase(it);
+      // Well-formed streams removed incident edges first; defensively sweep
+      // any neighbor tallies still referencing the node.
+      for (NodeId nb : before.Neighbors(e.u)) {
+        mutate(nb, [&](NodeAux& aux) { aux.neighbor_labels[label]--; });
+      }
+      break;
+    }
+    case EventType::kAddEdge:
+    case EventType::kRemoveEdge: {
+      // Only edges fully inside the tracked node set count (member-induced
+      // subgraph semantics).
+      auto iu = nodes_.find(e.u);
+      auto iv = nodes_.find(e.v);
+      if (iu == nodes_.end() || iv == nodes_.end()) break;
+      bool exists = before.HasEdge(e.u, e.v);
+      if (e.type == EventType::kAddEdge && exists) break;
+      if (e.type == EventType::kRemoveEdge && !exists) break;
+      int delta = e.type == EventType::kAddEdge ? 1 : -1;
+      std::string lu = iu->second.label;
+      std::string lv = iv->second.label;
+      mutate(e.u, [&](NodeAux& aux) { aux.neighbor_labels[lv] += delta; });
+      mutate(e.v, [&](NodeAux& aux) { aux.neighbor_labels[lu] += delta; });
+      break;
+    }
+    case EventType::kSetNodeAttr:
+    case EventType::kDelNodeAttr: {
+      if (e.key != pattern.label_key) break;
+      auto it = nodes_.find(e.u);
+      if (it == nodes_.end()) break;
+      std::string old_label = it->second.label;
+      std::string new_label =
+          e.type == EventType::kSetNodeAttr ? e.value : "";
+      if (old_label == new_label) break;
+      // The node's own wedges change (center membership)...
+      mutate(e.u, [&](NodeAux& aux) { aux.label = new_label; });
+      // ...and every neighbor's tallies shift from old to new label.
+      for (NodeId nb : before.Neighbors(e.u)) {
+        mutate(nb, [&](NodeAux& aux) {
+          aux.neighbor_labels[old_label]--;
+          aux.neighbor_labels[new_label]++;
+        });
+      }
+      break;
+    }
+    default:
+      break;  // edge-attribute events don't affect the pattern
+  }
+}
+
+double CountWedges(const Graph& g, const WedgePattern& pattern) {
+  double total = 0;
+  g.ForEachNode([&](NodeId id, const NodeRecord& rec) {
+    auto center = rec.attrs.Get(pattern.label_key);
+    if (!center.has_value() || *center != pattern.center) return;
+    int n_left = 0;
+    int n_right = 0;
+    for (NodeId nb : g.Neighbors(id)) {
+      const NodeRecord* nrec = g.GetNode(nb);
+      auto label = nrec->attrs.Get(pattern.label_key);
+      std::string l = label.has_value() ? std::string(*label) : "";
+      if (l == pattern.left) ++n_left;
+      if (l == pattern.right) ++n_right;
+    }
+    if (pattern.left == pattern.right) {
+      total += static_cast<double>(n_left) *
+               static_cast<double>(n_left - 1) / 2.0;
+    } else {
+      total += static_cast<double>(n_left) * static_cast<double>(n_right);
+    }
+  });
+  return total;
+}
+
+}  // namespace hgs::taf

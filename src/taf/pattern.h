@@ -1,0 +1,74 @@
+// Incremental subgraph-pattern counting — the paper's "somewhat more
+// intricate example" (Section 5.2): counting occurrences of a small labelled
+// pattern across long sequences of subgraph versions requires an inverted
+// index that is updated per event, so each version's answer costs O(1)-ish
+// instead of a fresh subgraph-match.
+//
+// The pattern here is a labelled wedge  A — B — C : a center node whose
+// `label_key` equals `center`, with two distinct neighbors labelled `left`
+// and `right` (unordered when left == right). The auxiliary information the
+// paper's f∆ signature calls for — "some auxiliary information pertaining to
+// that state of the node" — is carried inside the operator's value type:
+// WedgeState = running count + per-node label/neighbor-label tallies.
+
+#ifndef HGS_TAF_PATTERN_H_
+#define HGS_TAF_PATTERN_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "delta/event.h"
+#include "graph/graph.h"
+
+namespace hgs::taf {
+
+/// The labelled wedge pattern A—B—C.
+struct WedgePattern {
+  std::string label_key = "label";
+  std::string center;
+  std::string left;
+  std::string right;
+};
+
+/// Value + auxiliary index for incremental wedge counting. Copyable (it is
+/// an operator value), but the interesting use is threading one instance
+/// through a version sequence.
+class WedgeState {
+ public:
+  WedgeState() = default;
+
+  /// Builds the state (count + index) from a materialized graph — the
+  /// paper's f(): a fresh evaluation that also seeds the auxiliary index.
+  static WedgeState FromGraph(const Graph& g, const WedgePattern& pattern);
+
+  /// The paper's f∆(): updates count and index for one event, given the
+  /// subgraph state *before* the event. O(degree) per structural event,
+  /// O(1) per attribute event.
+  void ApplyEvent(const Graph& before, const Event& e,
+                  const WedgePattern& pattern);
+
+  double count() const { return count_; }
+
+ private:
+  struct NodeAux {
+    std::string label;
+    // label -> number of neighbors with that label
+    std::unordered_map<std::string, int> neighbor_labels;
+  };
+
+  /// Wedges centered at `id`, computed from the aux tallies.
+  double WedgesAt(const NodeAux& aux, const WedgePattern& pattern) const;
+
+  static std::string LabelOf(const Graph& g, NodeId id,
+                             const WedgePattern& pattern);
+
+  std::unordered_map<NodeId, NodeAux> nodes_;
+  double count_ = 0;
+};
+
+/// Fresh (non-incremental) wedge count, the brute-force reference.
+double CountWedges(const Graph& g, const WedgePattern& pattern);
+
+}  // namespace hgs::taf
+
+#endif  // HGS_TAF_PATTERN_H_

@@ -1,0 +1,87 @@
+#include "taf/temporal_node.h"
+
+#include <algorithm>
+
+namespace hgs::taf {
+
+std::vector<Timestamp> NodeT::ChangePoints() const {
+  std::vector<Timestamp> out;
+  out.reserve(history_.events.size());
+  for (const Event& e : history_.events.events()) out.push_back(e.time);
+  return out;
+}
+
+StaticNodeView NodeT::ViewFromDelta(NodeId id, const Delta& d) {
+  StaticNodeView view;
+  view.id = id;
+  const auto* rec = d.FindNode(id);
+  view.exists = rec != nullptr && rec->has_value();
+  if (view.exists) view.attrs = (*rec)->attrs;
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& e) {
+        if (!e.has_value()) return;
+        if (key.u == id) {
+          view.neighbors.push_back(key.v);
+          view.edges.push_back(*e);
+        } else if (key.v == id) {
+          view.neighbors.push_back(key.u);
+          view.edges.push_back(*e);
+        }
+      });
+  std::sort(view.neighbors.begin(), view.neighbors.end());
+  std::sort(view.edges.begin(), view.edges.end(),
+            [](const EdgeRecord& a, const EdgeRecord& b) {
+              return EdgeKey(a.src, a.dst) < EdgeKey(b.src, b.dst);
+            });
+  return view;
+}
+
+StaticNodeView NodeT::GetStateAt(Timestamp t) const {
+  Delta state = history_.initial;
+  history_.events.ApplyUpTo(t, &state);
+  return ViewFromDelta(history_.node, state);
+}
+
+std::vector<std::pair<Timestamp, StaticNodeView>> NodeT::GetVersions() const {
+  std::vector<std::pair<Timestamp, StaticNodeView>> out;
+  out.reserve(history_.events.size() + 1);
+  Delta state = history_.initial;
+  out.emplace_back(history_.from, ViewFromDelta(history_.node, state));
+  for (const Event& e : history_.events.events()) {
+    state.ApplyEvent(e);
+    out.emplace_back(e.time, ViewFromDelta(history_.node, state));
+  }
+  return out;
+}
+
+std::vector<NodeId> NodeT::GetNeighborIDsAt(Timestamp t) const {
+  return GetStateAt(t).neighbors;
+}
+
+NodeT::Iterator::Iterator(const NodeT* node)
+    : node_(node), state_(node->history_.initial),
+      time_(node->history_.from) {}
+
+const Event& NodeT::Iterator::PeekNextEvent() const {
+  return node_->history_.events.events()[next_];
+}
+
+StaticNodeView NodeT::Iterator::GetNextVersion() {
+  const Event& e = node_->history_.events.events()[next_++];
+  state_.ApplyEvent(e);
+  time_ = e.time;
+  return ViewFromDelta(node_->history_.node, state_);
+}
+
+const Event& NodeT::Iterator::GetNextEvent() {
+  const Event& e = node_->history_.events.events()[next_++];
+  state_.ApplyEvent(e);
+  time_ = e.time;
+  return e;
+}
+
+StaticNodeView NodeT::Iterator::CurrentVersion() const {
+  return ViewFromDelta(node_->history_.node, state_);
+}
+
+}  // namespace hgs::taf

@@ -1,0 +1,84 @@
+// NodeT (Definition 6): the sequence of states of one node over a time
+// range, stored — exactly as Section 5.2 prescribes — as an initial snapshot
+// of the node followed by chronologically sorted events, with iterator-style
+// access to versions and events.
+
+#ifndef HGS_TAF_TEMPORAL_NODE_H_
+#define HGS_TAF_TEMPORAL_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "tgi/query.h"
+
+namespace hgs::taf {
+
+/// The state of a node at one timepoint: record plus incident edges.
+struct StaticNodeView {
+  NodeId id = kInvalidNodeId;
+  bool exists = false;
+  Attributes attrs;
+  std::vector<NodeId> neighbors;
+  std::vector<EdgeRecord> edges;  ///< incident edges, canonical order
+
+  size_t Degree() const { return neighbors.size(); }
+};
+
+class NodeT {
+ public:
+  NodeT() = default;
+  explicit NodeT(NodeHistory history) : history_(std::move(history)) {}
+
+  NodeId id() const { return history_.node; }
+  Timestamp GetStartTime() const { return history_.from; }
+  Timestamp GetEndTime() const { return history_.to; }
+  const NodeHistory& history() const { return history_; }
+
+  /// Number of change points in the range.
+  size_t VersionCount() const { return history_.events.size(); }
+
+  /// Timestamps at which this node changed, ascending.
+  std::vector<Timestamp> ChangePoints() const;
+
+  /// State of the node as of time t (GetVersionAt in the paper).
+  StaticNodeView GetStateAt(Timestamp t) const;
+
+  /// All versions in order: the initial state plus one per event.
+  std::vector<std::pair<Timestamp, StaticNodeView>> GetVersions() const;
+
+  /// Neighbor ids as of t (getNeighborIDsAt in the paper).
+  std::vector<NodeId> GetNeighborIDsAt(Timestamp t) const;
+
+  /// Chronological iteration over versions without materializing them all.
+  class Iterator {
+   public:
+    explicit Iterator(const NodeT* node);
+    bool HasNextEvent() const { return next_ < node_->history_.events.size(); }
+    /// The event that produces the next version.
+    const Event& PeekNextEvent() const;
+    /// Advances past one event and returns the resulting version.
+    StaticNodeView GetNextVersion();
+    /// Advances past one event and returns it.
+    const Event& GetNextEvent();
+    /// Current (already reached) version.
+    StaticNodeView CurrentVersion() const;
+    Timestamp CurrentTime() const { return time_; }
+
+   private:
+    const NodeT* node_;
+    Delta state_;
+    Timestamp time_;
+    size_t next_ = 0;
+  };
+
+  Iterator GetIterator() const { return Iterator(this); }
+
+ private:
+  static StaticNodeView ViewFromDelta(NodeId id, const Delta& d);
+
+  NodeHistory history_;
+};
+
+}  // namespace hgs::taf
+
+#endif  // HGS_TAF_TEMPORAL_NODE_H_

@@ -1,0 +1,484 @@
+#include "tgi/builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tgi/layout.h"
+
+namespace hgs {
+
+namespace {
+
+// Scratch node of the intersection tree during construction.
+struct TreeBuildNode {
+  Delta delta;
+  int parent = -1;
+  int checkpoint_index = -1;
+  std::vector<int> children;
+};
+
+// Groups a delta's components by micro-partition. Edge components are
+// replicated into both endpoints' partitions (partitioned-snapshot semantics,
+// Example 5).
+std::unordered_map<MicroPartitionId, Delta> SplitDeltaByPid(
+    const Delta& d, const std::function<MicroPartitionId(NodeId)>& pid_of) {
+  std::unordered_map<MicroPartitionId, Delta> out;
+  d.ForEachNodeEntry([&](NodeId id, const std::optional<NodeRecord>& rec) {
+    Delta& slot = out[pid_of(id)];
+    if (rec.has_value()) {
+      slot.PutNode(id, *rec);
+    } else {
+      slot.TombstoneNode(id);
+    }
+  });
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        MicroPartitionId pu = pid_of(key.u);
+        MicroPartitionId pv = pid_of(key.v);
+        auto put = [&](MicroPartitionId p) {
+          Delta& slot = out[p];
+          if (rec.has_value()) {
+            slot.PutEdge(key, *rec);
+          } else {
+            slot.TombstoneEdge(key);
+          }
+        };
+        put(pu);
+        if (pv != pu) put(pv);
+      });
+  return out;
+}
+
+}  // namespace
+
+TGIBuilder::TGIBuilder(Cluster* cluster, TGIOptions options)
+    : cluster_(cluster), options_(options) {
+  if (options_.eventlist_size == 0) options_.eventlist_size = 1;
+  if (options_.micro_delta_size == 0) options_.micro_delta_size = 1;
+  if (options_.num_horizontal_partitions == 0) {
+    options_.num_horizontal_partitions = 1;
+  }
+  // The checkpoint interval must be a whole number of eventlists.
+  options_.checkpoint_interval = options_.EffectiveCheckpointInterval();
+}
+
+Status TGIBuilder::Ingest(const std::vector<Event>& events) {
+  for (const Event& e : events) {
+    if (e.time <= last_time_) {
+      return Status::InvalidArgument(
+          "event timestamps must be strictly increasing");
+    }
+    last_time_ = e.time;
+    if (first_time_ == kMaxTimestamp) first_time_ = e.time;
+    pending_.push_back(e);
+    ++total_events_;
+    if (pending_.size() >= options_.events_per_timespan) {
+      std::vector<Event> span;
+      span.swap(pending_);
+      HGS_RETURN_NOT_OK(BuildTimespan(span));
+    }
+  }
+  return Status::OK();
+}
+
+Status TGIBuilder::Finish() {
+  if (!pending_.empty()) {
+    std::vector<Event> span;
+    span.swap(pending_);
+    HGS_RETURN_NOT_OK(BuildTimespan(span));
+  }
+  tgi::GraphMeta meta;
+  meta.start = first_time_ == kMaxTimestamp ? 0 : first_time_;
+  meta.end = last_time_ == kMinTimestamp ? 0 : last_time_;
+  meta.event_count = total_events_;
+  meta.timespan_count = static_cast<uint32_t>(next_tsid_);
+  meta.num_horizontal_partitions =
+      static_cast<uint32_t>(options_.num_horizontal_partitions);
+  meta.clustering_order = static_cast<uint8_t>(options_.clustering_order);
+  meta.replicate_one_hop = options_.replicate_one_hop;
+  meta.micropartition_buckets =
+      static_cast<uint32_t>(options_.micropartition_buckets);
+  return cluster_->Put(tgi::kGraphTable, 0, "meta", meta.Serialize());
+}
+
+Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {
+  const auto tsid = static_cast<TimespanId>(next_tsid_);
+  const size_t l = options_.eventlist_size;
+  const size_t cp = options_.checkpoint_interval;
+  const size_t ns = options_.num_horizontal_partitions;
+  const Timestamp span_start_t = events.front().time;
+  const Timestamp span_end_t = events.back().time;
+
+  // ---- 1. Partitioning for this span. -----------------------------------
+  // Size the micro-partition count for the node population of the span.
+  size_t adds = 0;
+  for (const Event& e : events) {
+    if (e.type == EventType::kAddNode) ++adds;
+  }
+  size_t node_population = state_.NumNodes() + adds;
+  uint32_t k_parts = static_cast<uint32_t>(
+      std::max<size_t>(1, (node_population + options_.micro_delta_size - 1) /
+                              options_.micro_delta_size));
+
+  DynamicPartitionOptions dyn;
+  dyn.strategy = options_.partition_strategy;
+  dyn.num_partitions = k_parts;
+  dyn.collapse = options_.collapse;
+  Partitioning partitioning = PartitionTimespan(
+      state_, events, TimeInterval{span_start_t, span_end_t + 1}, dyn);
+  auto pid_of = [&partitioning](NodeId id) { return partitioning.Of(id); };
+
+  // ---- 2. Stream the events. ---------------------------------------------
+  // span-start state is checkpoint 0.
+  const Graph span_start_state = state_;
+
+  std::unordered_map<NodeId, size_t> node_first_touch;
+  std::unordered_map<EdgeKey, size_t, EdgeKeyHash> edge_first_touch;
+  // Capture buffers: checkpoint i's values of every key touched before it.
+  std::vector<Delta> leaves;  // leaf 0 = span start (filled from patches)
+  std::vector<Timestamp> checkpoint_times;
+  leaves.emplace_back();
+  checkpoint_times.push_back(span_start_t - 1);
+
+  // Per-eventlist micro-eventlists under construction.
+  std::vector<std::pair<Timestamp, Timestamp>> eventlist_bounds;
+  std::unordered_map<MicroPartitionId, EventList> current_micro_evl;
+  // Node events buffered for auxiliary (replication) eventlists; they can
+  // only be routed once the span's full cut-edge map is known.
+  std::vector<std::pair<size_t, Event>> buffered_node_events;
+  size_t current_evl_index = 0;
+  Timestamp current_evl_first = 0;
+
+  // Version chains: node -> segment under construction.
+  std::unordered_map<NodeId, tgi::VersionChainSegment> chains;
+
+  // Span-wide union adjacency for replication (edge cuts only).
+  // ext_nbr_of[n] = micro-partitions that replicate node n.
+  std::unordered_map<NodeId, std::vector<MicroPartitionId>> replicated_into;
+  auto note_edge_for_replication = [&](NodeId u, NodeId v) {
+    if (!options_.replicate_one_hop) return;
+    MicroPartitionId pu = pid_of(u);
+    MicroPartitionId pv = pid_of(v);
+    if (pu == pv) return;
+    auto add = [&](NodeId n, MicroPartitionId p) {
+      auto& vec = replicated_into[n];
+      if (std::find(vec.begin(), vec.end(), p) == vec.end()) vec.push_back(p);
+    };
+    add(u, pv);
+    add(v, pu);
+  };
+  if (options_.replicate_one_hop) {
+    span_start_state.ForEachEdge(
+        [&](const EdgeKey& key, const EdgeRecord&) {
+          note_edge_for_replication(key.u, key.v);
+        });
+  }
+
+  auto flush_eventlist = [&](Timestamp last_t) -> Status {
+    eventlist_bounds.emplace_back(current_evl_first, last_t);
+    DeltaId did = tgi::EventlistDid(current_evl_index);
+    for (auto& [pid, evl] : current_micro_evl) {
+      evl.SetScope(current_evl_first - 1, last_t);
+      PartitionId sid = tgi::SidOf(pid, ns);
+      HGS_RETURN_NOT_OK(cluster_->Put(
+          tgi::kDeltasTable, tgi::DeltaPlacement(tsid, sid, ns),
+          tgi::DeltaRowKey(options_.clustering_order, did, pid, false),
+          evl.Serialize()));
+    }
+    current_micro_evl.clear();
+    ++current_evl_index;
+    return Status::OK();
+  };
+
+  auto record_version = [&](NodeId n, size_t evl_index, Timestamp t) {
+    auto& seg = chains[n];
+    if (seg.entries.empty()) {
+      seg.node = n;
+      seg.tsid = tsid;
+      seg.pid = pid_of(n);
+    }
+    if (!seg.entries.empty() &&
+        seg.entries.back().eventlist_index == evl_index) {
+      seg.entries.back().last_time = t;
+      seg.entries.back().event_count++;
+      return;
+    }
+    tgi::VersionEntry entry;
+    entry.tsid = tsid;
+    entry.eventlist_index = static_cast<uint32_t>(evl_index);
+    entry.pid = pid_of(n);
+    entry.first_time = t;
+    entry.last_time = t;
+    entry.event_count = 1;
+    seg.entries.push_back(entry);
+  };
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i % l == 0) current_evl_first = e.time;
+
+    // Touched-key tracking.
+    if (e.IsNodeEvent()) {
+      node_first_touch.try_emplace(e.u, i);
+    } else {
+      edge_first_touch.try_emplace(EdgeKey(e.u, e.v), i);
+      node_first_touch.try_emplace(e.u, i);
+      node_first_touch.try_emplace(e.v, i);
+      if (e.type == EventType::kAddEdge) {
+        note_edge_for_replication(e.u, e.v);
+      }
+    }
+
+    // Micro-eventlists: the event goes to every touched node's partition.
+    MicroPartitionId pu = pid_of(e.u);
+    current_micro_evl[pu].Append(e);
+    record_version(e.u, current_evl_index, e.time);
+    if (e.IsEdgeEvent()) {
+      MicroPartitionId pv = pid_of(e.v);
+      if (pv != pu) current_micro_evl[pv].Append(e);
+      record_version(e.v, current_evl_index, e.time);
+    } else if (options_.replicate_one_hop) {
+      // Node events must also reach the partitions replicating this node;
+      // buffered until the span's replication map is complete.
+      buffered_node_events.emplace_back(current_evl_index, e);
+    }
+
+    ApplyEventToGraph(e, &state_);
+
+    bool end_of_eventlist = (i + 1) % l == 0 || i + 1 == events.size();
+    if (end_of_eventlist) {
+      HGS_RETURN_NOT_OK(flush_eventlist(e.time));
+    }
+    bool checkpoint_due = (i + 1) % cp == 0 && i + 1 < events.size();
+    if (checkpoint_due) {
+      // Capture current values of everything touched so far.
+      Delta cb;
+      for (const auto& [nid, first] : node_first_touch) {
+        (void)first;
+        const NodeRecord* rec = state_.GetNode(nid);
+        if (rec != nullptr) cb.PutNode(nid, *rec);
+      }
+      for (const auto& [key, first] : edge_first_touch) {
+        (void)first;
+        const EdgeRecord* rec = state_.GetEdge(key.u, key.v);
+        if (rec != nullptr) cb.PutEdge(key, *rec);
+      }
+      leaves.push_back(std::move(cb));
+      checkpoint_times.push_back(e.time);
+    }
+  }
+
+  // ---- 3. Patch leaves with keys first touched after each checkpoint. ----
+  // Those keys' state at the checkpoint equals their span-start state.
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    size_t boundary = li * cp;  // events applied before checkpoint li
+    Delta& leaf = leaves[li];
+    for (const auto& [nid, first] : node_first_touch) {
+      if (first >= boundary) {
+        const NodeRecord* rec = span_start_state.GetNode(nid);
+        if (rec != nullptr) leaf.PutNode(nid, *rec);
+      }
+    }
+    for (const auto& [key, first] : edge_first_touch) {
+      if (first >= boundary) {
+        const EdgeRecord* rec = span_start_state.GetEdge(key.u, key.v);
+        if (rec != nullptr) leaf.PutEdge(key, *rec);
+      }
+    }
+  }
+
+  // ---- 4. Span-stable delta: everything never touched during the span. --
+  Delta span_stable;
+  span_start_state.ForEachNode([&](NodeId id, const NodeRecord& rec) {
+    if (!node_first_touch.contains(id)) span_stable.PutNode(id, rec);
+  });
+  span_start_state.ForEachEdge(
+      [&](const EdgeKey& key, const EdgeRecord& rec) {
+        if (!edge_first_touch.contains(key)) span_stable.PutEdge(key, rec);
+      });
+
+  // ---- 5. Intersection tree over the checkpoint residues. ----------------
+  std::vector<TreeBuildNode> pool;
+  pool.reserve(leaves.size() * 2);
+  std::vector<int> level;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    TreeBuildNode node;
+    node.delta = std::move(leaves[i]);
+    node.checkpoint_index = static_cast<int>(i);
+    pool.push_back(std::move(node));
+    level.push_back(static_cast<int>(pool.size()) - 1);
+  }
+  uint32_t arity = std::max<uint32_t>(2, options_.hierarchy_arity);
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i < level.size(); i += arity) {
+      size_t group_end = std::min(level.size(), i + arity);
+      if (group_end - i == 1) {
+        // Odd child out: promote it unchanged.
+        next.push_back(level[i]);
+        continue;
+      }
+      Delta parent_delta = pool[static_cast<size_t>(level[i])].delta;
+      for (size_t j = i + 1; j < group_end; ++j) {
+        parent_delta = Delta::Intersect(
+            parent_delta, pool[static_cast<size_t>(level[j])].delta);
+      }
+      TreeBuildNode parent;
+      parent.delta = std::move(parent_delta);
+      for (size_t j = i; j < group_end; ++j) parent.children.push_back(level[j]);
+      pool.push_back(std::move(parent));
+      int parent_id = static_cast<int>(pool.size()) - 1;
+      for (size_t j = i; j < group_end; ++j) {
+        pool[static_cast<size_t>(level[j])].parent = parent_id;
+      }
+      next.push_back(parent_id);
+    }
+    level.swap(next);
+  }
+  int root_pool_id = level.empty() ? -1 : level[0];
+
+  // BFS numbering: did 0 = root.
+  std::vector<int> bfs;
+  std::vector<int32_t> did_of_pool(pool.size(), -1);
+  if (root_pool_id >= 0) {
+    bfs.push_back(root_pool_id);
+    for (size_t i = 0; i < bfs.size(); ++i) {
+      for (int c : pool[static_cast<size_t>(bfs[i])].children) {
+        bfs.push_back(c);
+      }
+    }
+    for (size_t i = 0; i < bfs.size(); ++i) {
+      did_of_pool[static_cast<size_t>(bfs[i])] = static_cast<int32_t>(i);
+    }
+  }
+
+  // ---- 6. Store tree deltas micro-partitioned. ----------------------------
+  std::vector<tgi::TreeNode> tree_meta(bfs.size());
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    const TreeBuildNode& node = pool[static_cast<size_t>(bfs[i])];
+    tree_meta[i].checkpoint_index = node.checkpoint_index;
+    tree_meta[i].parent =
+        node.parent < 0 ? -1 : did_of_pool[static_cast<size_t>(node.parent)];
+    Delta to_store;
+    if (node.parent < 0) {
+      to_store = Delta::Sum(span_stable, node.delta);
+    } else {
+      to_store = Delta::Difference(
+          node.delta, pool[static_cast<size_t>(node.parent)].delta);
+    }
+    auto micro = SplitDeltaByPid(to_store, pid_of);
+    DeltaId did = static_cast<DeltaId>(i);
+    for (auto& [pid, d] : micro) {
+      PartitionId sid = tgi::SidOf(pid, ns);
+      HGS_RETURN_NOT_OK(cluster_->Put(
+          tgi::kDeltasTable, tgi::DeltaPlacement(tsid, sid, ns),
+          tgi::DeltaRowKey(options_.clustering_order, did, pid, false),
+          d.Serialize()));
+    }
+    // Auxiliary replication micro-deltas: records of nodes replicated into
+    // a partition because they are 1-hop neighbors across the cut.
+    if (options_.replicate_one_hop) {
+      std::unordered_map<MicroPartitionId, Delta> aux;
+      to_store.ForEachNodeEntry(
+          [&](NodeId id, const std::optional<NodeRecord>& rec) {
+            auto it = replicated_into.find(id);
+            if (it == replicated_into.end()) return;
+            for (MicroPartitionId p : it->second) {
+              if (rec.has_value()) {
+                aux[p].PutNode(id, *rec);
+              } else {
+                aux[p].TombstoneNode(id);
+              }
+            }
+          });
+      for (auto& [pid, d] : aux) {
+        PartitionId sid = tgi::SidOf(pid, ns);
+        HGS_RETURN_NOT_OK(cluster_->Put(
+            tgi::kDeltasTable, tgi::DeltaPlacement(tsid, sid, ns),
+            tgi::DeltaRowKey(options_.clustering_order, did, pid, true),
+            d.Serialize()));
+      }
+    }
+  }
+
+  // ---- 6b. Auxiliary (replication) eventlists. ----------------------------
+  if (options_.replicate_one_hop && !buffered_node_events.empty()) {
+    // (eventlist index, pid) -> events of nodes replicated into pid.
+    std::map<std::pair<size_t, MicroPartitionId>, EventList> aux_evls;
+    for (const auto& [evl_index, e] : buffered_node_events) {
+      auto it = replicated_into.find(e.u);
+      if (it == replicated_into.end()) continue;
+      for (MicroPartitionId p : it->second) {
+        aux_evls[{evl_index, p}].Append(e);
+      }
+    }
+    for (auto& [key, evl] : aux_evls) {
+      auto [evl_index, pid] = key;
+      evl.SetScope(eventlist_bounds[evl_index].first - 1,
+                   eventlist_bounds[evl_index].second);
+      PartitionId sid = tgi::SidOf(pid, ns);
+      HGS_RETURN_NOT_OK(cluster_->Put(
+          tgi::kDeltasTable, tgi::DeltaPlacement(tsid, sid, ns),
+          tgi::DeltaRowKey(options_.clustering_order,
+                           tgi::EventlistDid(evl_index), pid, true),
+          evl.Serialize()));
+    }
+  }
+
+  // ---- 7. Version chains. -------------------------------------------------
+  for (auto& [nid, seg] : chains) {
+    HGS_RETURN_NOT_OK(cluster_->Put(tgi::kVersionsTable,
+                                    tgi::NodePlacement(nid),
+                                    tgi::VersionRowKey(nid, tsid),
+                                    seg.Serialize()));
+  }
+
+  // ---- 8. Micropartitions table (locality partitioning only). ------------
+  if (options_.partition_strategy == PartitionStrategy::kLocality) {
+    size_t buckets = std::max<size_t>(1, options_.micropartition_buckets);
+    std::vector<std::vector<std::pair<NodeId, MicroPartitionId>>> bucketed(
+        buckets);
+    for (const auto& [nid, pid] : partitioning.assignment()) {
+      bucketed[tgi::NodePlacement(nid) % buckets].emplace_back(nid, pid);
+    }
+    for (size_t b = 0; b < buckets; ++b) {
+      if (bucketed[b].empty()) continue;
+      std::sort(bucketed[b].begin(), bucketed[b].end());
+      std::string key;
+      AppendOrdered32(&key, static_cast<uint32_t>(b));
+      HGS_RETURN_NOT_OK(
+          cluster_->Put(tgi::kMicropartsTable,
+                        static_cast<uint64_t>(tsid) * buckets + b, key,
+                        tgi::SerializeMicropartBucket(bucketed[b])));
+    }
+  }
+
+  // ---- 9. Timespan metadata. ----------------------------------------------
+  tgi::TimespanMeta meta;
+  meta.tsid = tsid;
+  meta.start = span_start_t;
+  meta.end = span_end_t;
+  meta.event_count = events.size();
+  meta.eventlist_size = static_cast<uint32_t>(l);
+  meta.checkpoint_interval = static_cast<uint32_t>(cp);
+  meta.num_micro_partitions = k_parts;
+  meta.strategy = static_cast<uint8_t>(options_.partition_strategy);
+  meta.checkpoints = std::move(checkpoint_times);
+  meta.eventlist_bounds = std::move(eventlist_bounds);
+  meta.tree = std::move(tree_meta);
+  BinaryWriter w;
+  meta.SerializeTo(&w);
+  std::string ts_key;
+  AppendOrdered32(&ts_key, tsid);
+  HGS_RETURN_NOT_OK(cluster_->Put(tgi::kTimespansTable, 0, ts_key,
+                                  w.FinishWithChecksum()));
+
+  ++next_tsid_;
+  HGS_LOG_INFO("built timespan " << tsid << ": " << events.size()
+                                 << " events, " << meta.checkpoints.size()
+                                 << " checkpoints, k_parts=" << k_parts);
+  return Status::OK();
+}
+
+}  // namespace hgs

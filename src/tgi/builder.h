@@ -1,0 +1,72 @@
+// TGIBuilder: constructs the Temporal Graph Index from a chronological event
+// stream (Section 4.4, "Construction and Update").
+//
+// Per timespan (a fixed number of events), the builder:
+//   1. computes the span's node -> micro-partition assignment (random hash or
+//      Ω-collapse + locality min-cut),
+//   2. chunks the events into eventlists of size l, micro-partitioned by the
+//      touched nodes' pids (edge events go to both endpoints' pids),
+//   3. captures snapshot checkpoints every `checkpoint_interval` events and
+//      compresses them into a DeltaGraph-style intersection tree: the stored
+//      deltas are the root (span-stable state plus the intersection of all
+//      checkpoint residues) and the derived deltas child - parent,
+//   4. accumulates per-node version chains pointing at the eventlists that
+//      touch each node,
+//   5. when 1-hop replication is on, emits auxiliary micro-deltas carrying
+//      the records of out-of-partition neighbors.
+//
+// Event streams must have strictly increasing timestamps (a transaction-time
+// order), and RemoveEdge events must precede the RemoveNode of an endpoint.
+
+#ifndef HGS_TGI_BUILDER_H_
+#define HGS_TGI_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "delta/eventlist.h"
+#include "graph/graph.h"
+#include "kvstore/cluster.h"
+#include "tgi/metadata.h"
+#include "tgi/options.h"
+
+namespace hgs {
+
+class TGIBuilder {
+ public:
+  TGIBuilder(Cluster* cluster, TGIOptions options);
+
+  /// Appends events (chronological, strictly increasing timestamps; must
+  /// also be after everything previously ingested). Complete timespans are
+  /// built and persisted as they fill up.
+  Status Ingest(const std::vector<Event>& events);
+
+  /// Builds the final partial timespan and writes the global metadata.
+  /// Further Ingest calls continue the index (batch updates); call Finish
+  /// again to re-publish metadata.
+  Status Finish();
+
+  /// State of the graph after everything ingested so far.
+  const Graph& current_state() const { return state_; }
+
+  uint64_t total_events() const { return total_events_; }
+  uint32_t timespans_built() const {
+    return static_cast<uint32_t>(next_tsid_);
+  }
+
+ private:
+  Status BuildTimespan(const std::vector<Event>& events);
+
+  Cluster* cluster_;
+  TGIOptions options_;
+  Graph state_;  // graph state at the start of the pending buffer
+  std::vector<Event> pending_;
+  Timestamp last_time_ = kMinTimestamp;
+  Timestamp first_time_ = kMaxTimestamp;
+  uint64_t total_events_ = 0;
+  size_t next_tsid_ = 0;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_TGI_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "tgi/layout.h"
+
+namespace hgs::tgi {
+
+namespace {
+
+uint32_t ReadOrdered32(std::string_view s, size_t pos) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(s[pos])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 3]));
+}
+
+}  // namespace
+
+std::string DeltaRowKey(ClusteringOrder order, DeltaId did,
+                        MicroPartitionId pid, bool aux) {
+  std::string key;
+  key.reserve(9);
+  if (order == ClusteringOrder::kDeltaMajor) {
+    AppendOrdered32(&key, did);
+    key.push_back(aux ? '\1' : '\0');
+    AppendOrdered32(&key, pid);
+  } else {
+    AppendOrdered32(&key, pid);
+    key.push_back(aux ? '\1' : '\0');
+    AppendOrdered32(&key, did);
+  }
+  return key;
+}
+
+std::string DeltaScanPrefix(DeltaId did) {
+  std::string key;
+  key.reserve(5);
+  AppendOrdered32(&key, did);
+  key.push_back('\0');  // aux == false only
+  return key;
+}
+
+std::string PartitionScanPrefix(MicroPartitionId pid) {
+  std::string key;
+  key.reserve(5);
+  AppendOrdered32(&key, pid);
+  key.push_back('\0');
+  return key;
+}
+
+bool ParseDeltaRowKey(ClusteringOrder order, std::string_view key,
+                      DeltaId* did, MicroPartitionId* pid, bool* aux) {
+  if (key.size() != 9) return false;
+  uint32_t first = ReadOrdered32(key, 0);
+  uint32_t second = ReadOrdered32(key, 5);
+  *aux = key[4] != '\0';
+  if (order == ClusteringOrder::kDeltaMajor) {
+    *did = first;
+    *pid = second;
+  } else {
+    *pid = first;
+    *did = second;
+  }
+  return true;
+}
+
+std::string VersionRowKey(NodeId id, TimespanId tsid) {
+  std::string key;
+  key.reserve(12);
+  AppendOrdered64(&key, id);
+  AppendOrdered32(&key, tsid);
+  return key;
+}
+
+std::string VersionScanPrefix(NodeId id) {
+  std::string key;
+  key.reserve(8);
+  AppendOrdered64(&key, id);
+  return key;
+}
+
+}  // namespace hgs::tgi

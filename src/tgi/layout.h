@@ -1,0 +1,81 @@
+// Physical layout of TGI data in the key-value store (Section 4.4).
+//
+// Five tables mirror the paper's Cassandra schema:
+//   deltas(tsid, sid, did, pid, dval)   — micro-deltas and micro-eventlists
+//   versions(nid, tsid)                 — per-node version chains
+//   timespans(tsid)                     — timespan metadata
+//   graph()                             — global graph/index metadata
+//   microparts(tsid, bucket)            — node -> micro-partition maps
+//
+// A micro-delta's full key is {tsid, sid, did, pid}; its placement key is
+// {tsid, sid}. did values: tree deltas take [0, tree_size); eventlist j takes
+// kEventlistDidBase + j. The aux byte separates 1-hop replication rows so
+// snapshot scans never read them.
+
+#ifndef HGS_TGI_LAYOUT_H_
+#define HGS_TGI_LAYOUT_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "kvstore/kv_types.h"
+#include "tgi/options.h"
+
+namespace hgs::tgi {
+
+inline constexpr std::string_view kDeltasTable = "deltas";
+inline constexpr std::string_view kVersionsTable = "versions";
+inline constexpr std::string_view kTimespansTable = "timespans";
+inline constexpr std::string_view kGraphTable = "graph";
+inline constexpr std::string_view kMicropartsTable = "microparts";
+
+/// did namespace split: tree deltas below, eventlists at base + index.
+inline constexpr DeltaId kEventlistDidBase = 1u << 20;
+
+inline DeltaId EventlistDid(size_t eventlist_index) {
+  return kEventlistDidBase + static_cast<DeltaId>(eventlist_index);
+}
+
+/// Placement partition for the deltas table: {tsid, sid}.
+inline uint64_t DeltaPlacement(TimespanId tsid, PartitionId sid,
+                               size_t num_horizontal) {
+  return static_cast<uint64_t>(tsid) * num_horizontal + sid;
+}
+
+/// Horizontal partition of a micro-partition id.
+inline PartitionId SidOf(MicroPartitionId pid, size_t num_horizontal) {
+  return static_cast<PartitionId>(pid % num_horizontal);
+}
+
+/// Logical row key of a micro-delta within its (tsid, sid) partition.
+std::string DeltaRowKey(ClusteringOrder order, DeltaId did,
+                        MicroPartitionId pid, bool aux);
+
+/// Prefix matching every non-aux micro-partition of delta `did`
+/// (delta-major order only).
+std::string DeltaScanPrefix(DeltaId did);
+
+/// Prefix matching every non-aux delta of micro-partition `pid`
+/// (partition-major order only).
+std::string PartitionScanPrefix(MicroPartitionId pid);
+
+/// Parses a row key previously built by DeltaRowKey. Returns false on
+/// malformed keys.
+bool ParseDeltaRowKey(ClusteringOrder order, std::string_view key,
+                      DeltaId* did, MicroPartitionId* pid, bool* aux);
+
+/// Placement partition for per-node tables (versions).
+inline uint64_t NodePlacement(NodeId id) {
+  uint64_t h = id * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Row key of a node's version-chain segment for one timespan.
+std::string VersionRowKey(NodeId id, TimespanId tsid);
+/// Prefix matching all version-chain segments of a node.
+std::string VersionScanPrefix(NodeId id);
+
+}  // namespace hgs::tgi
+
+#endif  // HGS_TGI_LAYOUT_H_

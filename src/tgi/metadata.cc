@@ -1,0 +1,194 @@
+#include "tgi/metadata.h"
+
+#include <algorithm>
+
+namespace hgs::tgi {
+
+std::vector<DeltaId> TimespanMeta::PathToCheckpoint(
+    int32_t checkpoint_index) const {
+  // Locate the leaf for the checkpoint, then climb to the root.
+  int32_t leaf = -1;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    if (tree[i].checkpoint_index == checkpoint_index) {
+      leaf = static_cast<int32_t>(i);
+      break;
+    }
+  }
+  std::vector<DeltaId> path;
+  if (leaf < 0) return path;
+  for (int32_t cur = leaf; cur >= 0; cur = tree[static_cast<size_t>(cur)].parent) {
+    path.push_back(static_cast<DeltaId>(cur));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int32_t TimespanMeta::CheckpointBefore(Timestamp t) const {
+  int32_t best = -1;
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    if (checkpoints[i] <= t) best = static_cast<int32_t>(i);
+  }
+  return best;
+}
+
+int32_t TimespanMeta::EventlistCovering(Timestamp t) const {
+  int32_t best = -1;
+  for (size_t i = 0; i < eventlist_bounds.size(); ++i) {
+    if (eventlist_bounds[i].first <= t) best = static_cast<int32_t>(i);
+  }
+  return best;
+}
+
+void TimespanMeta::SerializeTo(BinaryWriter* w) const {
+  w->PutVarint32(tsid);
+  w->PutSigned64(start);
+  w->PutSigned64(end);
+  w->PutVarint64(event_count);
+  w->PutVarint32(eventlist_size);
+  w->PutVarint32(checkpoint_interval);
+  w->PutVarint32(num_micro_partitions);
+  w->PutFixed8(strategy);
+  w->PutVarint64(checkpoints.size());
+  for (Timestamp c : checkpoints) w->PutSigned64(c);
+  w->PutVarint64(eventlist_bounds.size());
+  for (const auto& [first, last] : eventlist_bounds) {
+    w->PutSigned64(first);
+    w->PutSigned64(last);
+  }
+  w->PutVarint64(tree.size());
+  for (const TreeNode& n : tree) {
+    w->PutSigned64(n.parent);
+    w->PutSigned64(n.checkpoint_index);
+  }
+}
+
+Result<TimespanMeta> TimespanMeta::DeserializeFrom(BinaryReader* r) {
+  TimespanMeta m;
+  HGS_ASSIGN_OR_RETURN(m.tsid, r->GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.start, r->GetSigned64());
+  HGS_ASSIGN_OR_RETURN(m.end, r->GetSigned64());
+  HGS_ASSIGN_OR_RETURN(m.event_count, r->GetVarint64());
+  HGS_ASSIGN_OR_RETURN(m.eventlist_size, r->GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.checkpoint_interval, r->GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.num_micro_partitions, r->GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.strategy, r->GetFixed8());
+  HGS_ASSIGN_OR_RETURN(uint64_t n_cp, r->GetVarint64());
+  m.checkpoints.reserve(n_cp);
+  for (uint64_t i = 0; i < n_cp; ++i) {
+    HGS_ASSIGN_OR_RETURN(Timestamp t, r->GetSigned64());
+    m.checkpoints.push_back(t);
+  }
+  HGS_ASSIGN_OR_RETURN(uint64_t n_el, r->GetVarint64());
+  m.eventlist_bounds.reserve(n_el);
+  for (uint64_t i = 0; i < n_el; ++i) {
+    HGS_ASSIGN_OR_RETURN(Timestamp first, r->GetSigned64());
+    HGS_ASSIGN_OR_RETURN(Timestamp last, r->GetSigned64());
+    m.eventlist_bounds.emplace_back(first, last);
+  }
+  HGS_ASSIGN_OR_RETURN(uint64_t n_tree, r->GetVarint64());
+  m.tree.reserve(n_tree);
+  for (uint64_t i = 0; i < n_tree; ++i) {
+    TreeNode node;
+    HGS_ASSIGN_OR_RETURN(int64_t parent, r->GetSigned64());
+    HGS_ASSIGN_OR_RETURN(int64_t cp, r->GetSigned64());
+    node.parent = static_cast<int32_t>(parent);
+    node.checkpoint_index = static_cast<int32_t>(cp);
+    m.tree.push_back(node);
+  }
+  return m;
+}
+
+std::string VersionChainSegment::Serialize() const {
+  BinaryWriter w;
+  w.PutVarint64(node);
+  w.PutVarint32(tsid);
+  w.PutVarint32(pid);
+  w.PutVarint64(entries.size());
+  for (const VersionEntry& e : entries) {
+    w.PutVarint32(e.eventlist_index);
+    w.PutVarint32(e.pid);
+    w.PutSigned64(e.first_time);
+    w.PutSigned64(e.last_time);
+    w.PutVarint32(e.event_count);
+  }
+  return w.FinishWithChecksum();
+}
+
+Result<VersionChainSegment> VersionChainSegment::Deserialize(
+    std::string_view data) {
+  BinaryReader r(data);
+  HGS_RETURN_NOT_OK(r.VerifyChecksum());
+  VersionChainSegment seg;
+  HGS_ASSIGN_OR_RETURN(seg.node, r.GetVarint64());
+  HGS_ASSIGN_OR_RETURN(seg.tsid, r.GetVarint32());
+  HGS_ASSIGN_OR_RETURN(seg.pid, r.GetVarint32());
+  HGS_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint64());
+  seg.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VersionEntry e;
+    e.tsid = seg.tsid;
+    HGS_ASSIGN_OR_RETURN(e.eventlist_index, r.GetVarint32());
+    HGS_ASSIGN_OR_RETURN(e.pid, r.GetVarint32());
+    HGS_ASSIGN_OR_RETURN(e.first_time, r.GetSigned64());
+    HGS_ASSIGN_OR_RETURN(e.last_time, r.GetSigned64());
+    HGS_ASSIGN_OR_RETURN(e.event_count, r.GetVarint32());
+    seg.entries.push_back(e);
+  }
+  return seg;
+}
+
+std::string GraphMeta::Serialize() const {
+  BinaryWriter w;
+  w.PutSigned64(start);
+  w.PutSigned64(end);
+  w.PutVarint64(event_count);
+  w.PutVarint32(timespan_count);
+  w.PutVarint32(num_horizontal_partitions);
+  w.PutFixed8(clustering_order);
+  w.PutBool(replicate_one_hop);
+  w.PutVarint32(micropartition_buckets);
+  return w.FinishWithChecksum();
+}
+
+Result<GraphMeta> GraphMeta::Deserialize(std::string_view data) {
+  BinaryReader r(data);
+  HGS_RETURN_NOT_OK(r.VerifyChecksum());
+  GraphMeta m;
+  HGS_ASSIGN_OR_RETURN(m.start, r.GetSigned64());
+  HGS_ASSIGN_OR_RETURN(m.end, r.GetSigned64());
+  HGS_ASSIGN_OR_RETURN(m.event_count, r.GetVarint64());
+  HGS_ASSIGN_OR_RETURN(m.timespan_count, r.GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.num_horizontal_partitions, r.GetVarint32());
+  HGS_ASSIGN_OR_RETURN(m.clustering_order, r.GetFixed8());
+  HGS_ASSIGN_OR_RETURN(m.replicate_one_hop, r.GetBool());
+  HGS_ASSIGN_OR_RETURN(m.micropartition_buckets, r.GetVarint32());
+  return m;
+}
+
+std::string SerializeMicropartBucket(
+    const std::vector<std::pair<NodeId, MicroPartitionId>>& entries) {
+  BinaryWriter w;
+  w.PutVarint64(entries.size());
+  for (const auto& [nid, pid] : entries) {
+    w.PutVarint64(nid);
+    w.PutVarint32(pid);
+  }
+  return w.FinishWithChecksum();
+}
+
+Result<std::vector<std::pair<NodeId, MicroPartitionId>>>
+DeserializeMicropartBucket(std::string_view data) {
+  BinaryReader r(data);
+  HGS_RETURN_NOT_OK(r.VerifyChecksum());
+  HGS_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint64());
+  std::vector<std::pair<NodeId, MicroPartitionId>> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HGS_ASSIGN_OR_RETURN(NodeId nid, r.GetVarint64());
+    HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, r.GetVarint32());
+    out.emplace_back(nid, pid);
+  }
+  return out;
+}
+
+}  // namespace hgs::tgi

@@ -1,0 +1,77 @@
+// Tuning knobs of the Temporal Graph Index (Section 4.4: "TGI is a tunable
+// index structure"). The evaluation sweeps eventlist size (l), micro-delta
+// partition size (ps), horizontal partition count, partitioning strategy and
+// replication; all are surfaced here.
+
+#ifndef HGS_TGI_OPTIONS_H_
+#define HGS_TGI_OPTIONS_H_
+
+#include <cstddef>
+
+#include "partition/dynamic_partitioner.h"
+
+namespace hgs {
+
+/// Clustering order of micro-delta keys (Section 4.4, item 5).
+enum class ClusteringOrder {
+  /// did | aux | pid — all micro-partitions of one delta are contiguous;
+  /// snapshot scans cost one seek per (delta, storage partition).
+  kDeltaMajor,
+  /// pid | aux | did — all deltas of one micro-partition are contiguous;
+  /// entity-centric fetches cost one seek per micro-partition.
+  kPartitionMajor,
+};
+
+struct TGIOptions {
+  /// Events per timespan (the partitioning is recomputed at span
+  /// boundaries; uniform span length "in numbers of events" per §4.5).
+  size_t events_per_timespan = 20'000;
+
+  /// Eventlist size l: events per eventlist delta.
+  size_t eventlist_size = 250;
+
+  /// Events between snapshot checkpoints (leaves of the temporal
+  /// hierarchy). Must be a multiple of eventlist_size; 0 derives
+  /// max(eventlist_size, events_per_timespan / 16).
+  size_t checkpoint_interval = 0;
+
+  /// Micro-delta partition size ps: target node count per micro-partition.
+  size_t micro_delta_size = 500;
+
+  /// Arity of the temporal-compression hierarchy (DeltaGraph's k).
+  uint32_t hierarchy_arity = 2;
+
+  /// Horizontal partitions (the paper's ns / sid domain): placement spread.
+  size_t num_horizontal_partitions = 4;
+
+  /// Node -> micro-partition strategy (Fig 15a: Random vs "Maxflow").
+  PartitionStrategy partition_strategy = PartitionStrategy::kRandom;
+
+  /// Ω-collapse configuration for locality partitioning.
+  CollapseOptions collapse;
+
+  /// 1-hop edge-cut replication into auxiliary micro-deltas (Fig 5d).
+  bool replicate_one_hop = false;
+
+  ClusteringOrder clustering_order = ClusteringOrder::kDeltaMajor;
+
+  /// Buckets of the Micropartitions table (locality partitioning only).
+  size_t micropartition_buckets = 64;
+
+  /// Effective checkpoint interval after defaulting rules.
+  size_t EffectiveCheckpointInterval() const {
+    size_t cp = checkpoint_interval;
+    if (cp == 0) {
+      cp = events_per_timespan / 16;
+      if (cp < eventlist_size) cp = eventlist_size;
+    }
+    // Round up to a multiple of the eventlist size.
+    size_t l = eventlist_size == 0 ? 1 : eventlist_size;
+    cp = ((cp + l - 1) / l) * l;
+    return cp;
+  }
+};
+
+}  // namespace hgs
+
+#endif  // HGS_TGI_OPTIONS_H_

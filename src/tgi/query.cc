@@ -1,0 +1,855 @@
+#include "tgi/query.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "tgi/layout.h"
+
+namespace hgs {
+
+namespace {
+
+class WallTimer {
+ public:
+  explicit WallTimer(FetchStats* stats) : stats_(stats) {}
+  ~WallTimer() {
+    if (stats_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    stats_->wall_seconds +=
+        std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  FetchStats* stats_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+// Thread-safe accumulation of fetch counters during a parallel fetch.
+struct AtomicStats {
+  std::atomic<uint64_t> kv_requests{0};
+  std::atomic<uint64_t> micro_deltas{0};
+  std::atomic<uint64_t> bytes{0};
+
+  void FlushInto(FetchStats* stats) const {
+    if (stats == nullptr) return;
+    stats->kv_requests += kv_requests.load();
+    stats->micro_deltas += micro_deltas.load();
+    stats->bytes += bytes.load();
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<Timestamp, Delta>> NodeHistory::Materialize() const {
+  std::vector<std::pair<Timestamp, Delta>> out;
+  Delta state = initial;
+  out.emplace_back(from, state);
+  for (const Event& e : events.events()) {
+    state.ApplyEvent(e);
+    out.emplace_back(e.time, state);
+  }
+  return out;
+}
+
+TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism)
+    : cluster_(cluster),
+      fetch_parallelism_(fetch_parallelism == 0 ? 1 : fetch_parallelism) {}
+
+Status TGIQueryManager::Open() {
+  auto meta_raw = cluster_->Get(tgi::kGraphTable, 0, "meta");
+  if (!meta_raw.ok()) return meta_raw.status();
+  HGS_ASSIGN_OR_RETURN(graph_meta_, tgi::GraphMeta::Deserialize(*meta_raw));
+  auto spans_raw = cluster_->Scan(tgi::kTimespansTable, 0, "");
+  if (!spans_raw.ok()) return spans_raw.status();
+  spans_.clear();
+  spans_.reserve(spans_raw->size());
+  for (const KVPair& kv : *spans_raw) {
+    BinaryReader r(kv.value);
+    HGS_RETURN_NOT_OK(r.VerifyChecksum());
+    HGS_ASSIGN_OR_RETURN(tgi::TimespanMeta meta,
+                         tgi::TimespanMeta::DeserializeFrom(&r));
+    spans_.push_back(std::move(meta));
+  }
+  std::sort(spans_.begin(), spans_.end(),
+            [](const tgi::TimespanMeta& a, const tgi::TimespanMeta& b) {
+              return a.tsid < b.tsid;
+            });
+  opened_ = true;
+  return Status::OK();
+}
+
+const tgi::TimespanMeta* TGIQueryManager::SpanFor(Timestamp t) const {
+  const tgi::TimespanMeta* best = nullptr;
+  for (const auto& span : spans_) {
+    if (span.start <= t) {
+      best = &span;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+Result<std::optional<std::string>> TGIQueryManager::FetchValue(
+    std::string_view table, uint64_t partition, std::string_view key,
+    FetchStats* stats) {
+  auto res = cluster_->Get(table, partition, key);
+  if (stats != nullptr) ++stats->kv_requests;
+  if (!res.ok()) {
+    if (res.status().IsNotFound()) return std::optional<std::string>();
+    return res.status();
+  }
+  if (stats != nullptr) {
+    ++stats->micro_deltas;
+    stats->bytes += res->size();
+  }
+  return std::optional<std::string>(std::move(*res));
+}
+
+Result<MicroPartitionId> TGIQueryManager::PidOf(NodeId id,
+                                                const tgi::TimespanMeta& span,
+                                                FetchStats* stats) {
+  if (span.strategy == static_cast<uint8_t>(PartitionStrategy::kRandom)) {
+    return Partitioning::Random(span.num_micro_partitions).Of(id);
+  }
+  size_t buckets = std::max<uint32_t>(1, graph_meta_.micropartition_buckets);
+  uint64_t bucket = tgi::NodePlacement(id) % buckets;
+  uint64_t cache_key = static_cast<uint64_t>(span.tsid) * buckets + bucket;
+  {
+    std::lock_guard<std::mutex> lock(micropart_mu_);
+    auto it = micropart_cache_.find(cache_key);
+    if (it != micropart_cache_.end()) {
+      auto hit = it->second.find(id);
+      if (hit != it->second.end()) return hit->second;
+      return Partitioning::Random(span.num_micro_partitions).HashFallback(id);
+    }
+  }
+  std::string key;
+  AppendOrdered32(&key, static_cast<uint32_t>(bucket));
+  HGS_ASSIGN_OR_RETURN(
+      std::optional<std::string> raw,
+      FetchValue(tgi::kMicropartsTable, cache_key, key, stats));
+  std::unordered_map<NodeId, MicroPartitionId> map;
+  if (raw.has_value()) {
+    HGS_ASSIGN_OR_RETURN(auto entries, tgi::DeserializeMicropartBucket(*raw));
+    map.reserve(entries.size());
+    for (const auto& [nid, pid] : entries) map[nid] = pid;
+  }
+  MicroPartitionId result;
+  auto hit = map.find(id);
+  if (hit != map.end()) {
+    result = hit->second;
+  } else {
+    result = Partitioning::Random(span.num_micro_partitions).HashFallback(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(micropart_mu_);
+    micropart_cache_[cache_key] = std::move(map);
+  }
+  return result;
+}
+
+Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
+                                                FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  const tgi::TimespanMeta* span = SpanFor(t);
+  if (span == nullptr) return Delta();  // before all history
+
+  int32_t cpi = span->CheckpointBefore(t);
+  if (cpi < 0) cpi = 0;
+  std::vector<DeltaId> path = span->PathToCheckpoint(cpi);
+  size_t evl_from = static_cast<size_t>(cpi) * span->checkpoint_interval /
+                    span->eventlist_size;
+  int32_t evl_to = span->EventlistCovering(t);
+
+  // Assemble the fetch units: tree deltas along the path, then eventlists.
+  struct Unit {
+    DeltaId did;
+    size_t order;    // merge order
+    bool eventlist;  // value decode type
+    PartitionId sid;          // delta-major scan target
+    MicroPartitionId pid;     // partition-major get target
+  };
+  const size_t ns = graph_meta_.num_horizontal_partitions;
+  const auto order =
+      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+  std::vector<DeltaId> dids;
+  std::vector<bool> is_evl;
+  for (DeltaId did : path) {
+    dids.push_back(did);
+    is_evl.push_back(false);
+  }
+  if (evl_to >= 0) {
+    for (size_t j = evl_from; j <= static_cast<size_t>(evl_to); ++j) {
+      dids.push_back(tgi::EventlistDid(j));
+      is_evl.push_back(true);
+    }
+  }
+
+  std::vector<Unit> units;
+  if (order == ClusteringOrder::kDeltaMajor) {
+    for (size_t i = 0; i < dids.size(); ++i) {
+      for (size_t sid = 0; sid < ns; ++sid) {
+        units.push_back(Unit{dids[i], i, is_evl[i],
+                             static_cast<PartitionId>(sid), 0});
+      }
+    }
+  } else {
+    for (size_t i = 0; i < dids.size(); ++i) {
+      for (MicroPartitionId pid = 0; pid < span->num_micro_partitions;
+           ++pid) {
+        units.push_back(Unit{dids[i], i, is_evl[i], 0, pid});
+      }
+    }
+  }
+
+  // Parallel fetch into per-order slots. Deserialization happens inside the
+  // fetch tasks — the paper's query processors "process the raw deltas" in
+  // parallel; only the ordered merge below is sequential.
+  std::vector<std::vector<Delta>> slot_deltas(dids.size());
+  std::vector<std::vector<EventList>> slot_evls(dids.size());
+  std::vector<std::mutex> slot_mu(dids.size());
+  AtomicStats astats;
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  auto fail_with = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!failed.exchange(true)) first_error = s;
+  };
+  ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const Unit& u = units[i];
+    std::vector<std::string> raws;
+    if (order == ClusteringOrder::kDeltaMajor) {
+      auto res = cluster_->Scan(tgi::kDeltasTable,
+                                tgi::DeltaPlacement(span->tsid, u.sid, ns),
+                                tgi::DeltaScanPrefix(u.did));
+      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      if (!res.ok()) {
+        fail_with(res.status());
+        return;
+      }
+      for (KVPair& kv : *res) raws.push_back(std::move(kv.value));
+    } else {
+      PartitionId sid = tgi::SidOf(u.pid, ns);
+      auto res = cluster_->Get(tgi::kDeltasTable,
+                               tgi::DeltaPlacement(span->tsid, sid, ns),
+                               tgi::DeltaRowKey(order, u.did, u.pid, false));
+      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      if (!res.ok()) {
+        if (res.status().IsNotFound()) return;  // empty micro-partition
+        fail_with(res.status());
+        return;
+      }
+      raws.push_back(std::move(*res));
+    }
+    std::vector<Delta> deltas;
+    std::vector<EventList> evls;
+    for (const std::string& raw : raws) {
+      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
+      astats.bytes.fetch_add(raw.size(), std::memory_order_relaxed);
+      if (!u.eventlist) {
+        auto d = Delta::Deserialize(raw);
+        if (!d.ok()) {
+          fail_with(d.status());
+          return;
+        }
+        deltas.push_back(std::move(*d));
+      } else {
+        auto evl = EventList::Deserialize(raw);
+        if (!evl.ok()) {
+          fail_with(evl.status());
+          return;
+        }
+        evls.push_back(std::move(*evl));
+      }
+    }
+    std::lock_guard<std::mutex> lock(slot_mu[u.order]);
+    for (auto& d : deltas) slot_deltas[u.order].push_back(std::move(d));
+    for (auto& e : evls) slot_evls[u.order].push_back(std::move(e));
+  });
+  astats.FlushInto(stats);
+  if (failed.load()) return first_error;
+
+  // Merge: tree deltas root-to-leaf, then eventlists in order, up to t.
+  Delta acc;
+  for (size_t i = 0; i < dids.size(); ++i) {
+    if (!is_evl[i]) {
+      for (const Delta& d : slot_deltas[i]) acc.Add(d);
+    } else {
+      for (const EventList& evl : slot_evls[i]) evl.ApplyUpTo(t, &acc);
+    }
+  }
+  return acc;
+}
+
+Result<Graph> TGIQueryManager::GetSnapshot(Timestamp t, FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(Delta d, GetSnapshotDelta(t, stats));
+  return d.ToGraph();
+}
+
+Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
+    const std::vector<Timestamp>& times, FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  std::vector<Timestamp> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<Graph> by_sorted_index;
+  by_sorted_index.reserve(sorted.size());
+  Delta state;
+  const tgi::TimespanMeta* state_span = nullptr;
+  Timestamp state_time = kMinTimestamp;
+  int32_t state_cpi = -1;
+
+  for (Timestamp t : sorted) {
+    const tgi::TimespanMeta* span = SpanFor(t);
+    bool can_roll_forward = span != nullptr && span == state_span &&
+                            t >= state_time &&
+                            span->CheckpointBefore(t) == state_cpi;
+    if (!can_roll_forward) {
+      FetchStats inner;
+      auto delta = GetSnapshotDelta(t, &inner);
+      inner.wall_seconds = 0;
+      if (stats != nullptr) stats->Merge(inner);
+      if (!delta.ok()) return delta.status();
+      state = std::move(*delta);
+      state_span = span;
+      state_cpi = span == nullptr ? -1 : span->CheckpointBefore(t);
+    } else {
+      // Same span, same checkpoint: replay only the eventlists covering
+      // (state_time, t].
+      int32_t evl_from = span->EventlistCovering(state_time);
+      if (evl_from < 0) evl_from = 0;
+      int32_t evl_to = span->EventlistCovering(t);
+      const size_t ns = graph_meta_.num_horizontal_partitions;
+      for (int32_t j = evl_from; j <= evl_to; ++j) {
+        for (size_t sid = 0; sid < ns; ++sid) {
+          auto res = cluster_->Scan(
+              tgi::kDeltasTable,
+              tgi::DeltaPlacement(span->tsid, static_cast<PartitionId>(sid),
+                                  ns),
+              tgi::DeltaScanPrefix(
+                  tgi::EventlistDid(static_cast<size_t>(j))));
+          if (stats != nullptr) ++stats->kv_requests;
+          if (!res.ok()) return res.status();
+          for (const KVPair& kv : *res) {
+            if (stats != nullptr) {
+              ++stats->micro_deltas;
+              stats->bytes += kv.value.size();
+            }
+            HGS_ASSIGN_OR_RETURN(EventList evl,
+                                 EventList::Deserialize(kv.value));
+            // Skip events already applied, stop at t.
+            for (const Event& e : evl.events()) {
+              if (e.time > state_time && e.time <= t) state.ApplyEvent(e);
+            }
+          }
+        }
+      }
+    }
+    state_time = t;
+    by_sorted_index.push_back(state.ToGraph());
+  }
+
+  // Restore the caller's ordering.
+  std::vector<Graph> out(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), times[i]);
+    out[i] = by_sorted_index[static_cast<size_t>(it - sorted.begin())];
+  }
+  return out;
+}
+
+Result<Delta> TGIQueryManager::FetchMicroStateAt(const tgi::TimespanMeta& span,
+                                                 MicroPartitionId pid,
+                                                 Timestamp t, bool include_aux,
+                                                 FetchStats* stats) {
+  int32_t cpi = span.CheckpointBefore(t);
+  if (cpi < 0) cpi = 0;
+  std::vector<DeltaId> path = span.PathToCheckpoint(cpi);
+  size_t evl_from = static_cast<size_t>(cpi) * span.checkpoint_interval /
+                    span.eventlist_size;
+  int32_t evl_to = span.EventlistCovering(t);
+
+  const size_t ns = graph_meta_.num_horizontal_partitions;
+  const auto order =
+      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+  const PartitionId sid = tgi::SidOf(pid, ns);
+  const uint64_t placement = tgi::DeltaPlacement(span.tsid, sid, ns);
+
+  std::vector<DeltaId> dids;
+  std::vector<bool> is_evl;
+  for (DeltaId did : path) {
+    dids.push_back(did);
+    is_evl.push_back(false);
+  }
+  if (evl_to >= 0) {
+    for (size_t j = evl_from; j <= static_cast<size_t>(evl_to); ++j) {
+      dids.push_back(tgi::EventlistDid(j));
+      is_evl.push_back(true);
+    }
+  }
+
+  // Values per did (regular row + optional aux row).
+  std::vector<std::optional<std::string>> regular(dids.size());
+  std::vector<std::optional<std::string>> aux(dids.size());
+
+  if (order == ClusteringOrder::kPartitionMajor) {
+    // One contiguous scan yields every did of this micro-partition; filter
+    // to the ones we need (Section 4.4's entity-centric clustering payoff).
+    auto res = cluster_->Scan(tgi::kDeltasTable, placement,
+                              tgi::PartitionScanPrefix(pid));
+    if (stats != nullptr) ++stats->kv_requests;
+    if (!res.ok()) return res.status();
+    std::unordered_map<DeltaId, size_t> want;
+    for (size_t i = 0; i < dids.size(); ++i) want[dids[i]] = i;
+    for (KVPair& kv : *res) {
+      DeltaId did;
+      MicroPartitionId parsed_pid;
+      bool is_aux;
+      if (!tgi::ParseDeltaRowKey(order, kv.key, &did, &parsed_pid, &is_aux)) {
+        continue;
+      }
+      auto it = want.find(did);
+      if (it == want.end()) continue;
+      if (stats != nullptr) {
+        ++stats->micro_deltas;
+        stats->bytes += kv.value.size();
+      }
+      regular[it->second] = std::move(kv.value);
+    }
+    if (include_aux) {
+      for (size_t i = 0; i < dids.size(); ++i) {
+        HGS_ASSIGN_OR_RETURN(
+            aux[i],
+            FetchValue(tgi::kDeltasTable, placement,
+                       tgi::DeltaRowKey(order, dids[i], pid, true), stats));
+      }
+    }
+  } else {
+    AtomicStats astats;
+    std::atomic<bool> failed{false};
+    Status first_error;
+    std::mutex error_mu;
+    size_t total_units = dids.size() * (include_aux ? 2 : 1);
+    ParallelFor(total_units, fetch_parallelism_, [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      size_t idx = i % dids.size();
+      bool want_aux = i >= dids.size();
+      auto res = cluster_->Get(
+          tgi::kDeltasTable, placement,
+          tgi::DeltaRowKey(order, dids[idx], pid, want_aux));
+      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      if (!res.ok()) {
+        if (res.status().IsNotFound()) return;
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = res.status();
+        return;
+      }
+      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
+      astats.bytes.fetch_add(res->size(), std::memory_order_relaxed);
+      (want_aux ? aux : regular)[idx] = std::move(*res);
+    });
+    astats.FlushInto(stats);
+    if (failed.load()) return first_error;
+  }
+
+  Delta acc;
+  for (size_t i = 0; i < dids.size(); ++i) {
+    if (!is_evl[i]) {
+      if (regular[i].has_value()) {
+        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*regular[i]));
+        acc.Add(d);
+      }
+      if (aux[i].has_value()) {
+        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*aux[i]));
+        acc.Add(d);
+      }
+    } else {
+      if (regular[i].has_value()) {
+        HGS_ASSIGN_OR_RETURN(EventList evl,
+                             EventList::Deserialize(*regular[i]));
+        evl.ApplyUpTo(t, &acc);
+      }
+      if (aux[i].has_value()) {
+        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*aux[i]));
+        evl.ApplyUpTo(t, &acc);
+      }
+    }
+  }
+  return acc;
+}
+
+Result<Delta> TGIQueryManager::GetNodeStateDelta(NodeId id, Timestamp t,
+                                                 FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  const tgi::TimespanMeta* span = SpanFor(t);
+  if (span == nullptr) return Delta();
+  HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(id, *span, stats));
+  HGS_ASSIGN_OR_RETURN(Delta micro,
+                       FetchMicroStateAt(*span, pid, t, false, stats));
+  return micro.FilterById(id);
+}
+
+Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
+                                                    Timestamp to,
+                                                    FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  NodeHistory out;
+  out.node = id;
+  out.from = from;
+  out.to = to;
+  out.events.SetScope(from, to);
+
+  {
+    FetchStats inner;
+    auto initial = GetNodeStateDelta(id, from, &inner);
+    inner.wall_seconds = 0;  // absorbed into this call's timer
+    if (stats != nullptr) stats->Merge(inner);
+    if (!initial.ok()) return initial.status();
+    out.initial = std::move(*initial);
+  }
+
+  // Version chain: every (timespan, eventlist) that touched the node.
+  auto segments_raw =
+      cluster_->Scan(tgi::kVersionsTable, tgi::NodePlacement(id),
+                     tgi::VersionScanPrefix(id));
+  if (stats != nullptr) ++stats->kv_requests;
+  if (!segments_raw.ok()) return segments_raw.status();
+
+  struct Ref {
+    TimespanId tsid;
+    uint32_t eventlist_index;
+    MicroPartitionId pid;
+  };
+  std::vector<Ref> refs;
+  for (const KVPair& kv : *segments_raw) {
+    if (stats != nullptr) {
+      ++stats->micro_deltas;
+      stats->bytes += kv.value.size();
+    }
+    HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment seg,
+                         tgi::VersionChainSegment::Deserialize(kv.value));
+    for (const tgi::VersionEntry& e : seg.entries) {
+      if (e.last_time <= from || e.first_time > to) continue;
+      refs.push_back(Ref{e.tsid, e.eventlist_index, e.pid});
+    }
+  }
+
+  const size_t ns = graph_meta_.num_horizontal_partitions;
+  const auto order =
+      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+  std::vector<std::optional<std::string>> values(refs.size());
+  AtomicStats astats;
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  ParallelFor(refs.size(), fetch_parallelism_, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const Ref& ref = refs[i];
+    PartitionId sid = tgi::SidOf(ref.pid, ns);
+    auto res = cluster_->Get(
+        tgi::kDeltasTable, tgi::DeltaPlacement(ref.tsid, sid, ns),
+        tgi::DeltaRowKey(order, tgi::EventlistDid(ref.eventlist_index),
+                         ref.pid, false));
+    astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+    if (!res.ok()) {
+      if (res.status().IsNotFound()) return;
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!failed.exchange(true)) first_error = res.status();
+      return;
+    }
+    astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
+    astats.bytes.fetch_add(res->size(), std::memory_order_relaxed);
+    values[i] = std::move(*res);
+  });
+  astats.FlushInto(stats);
+  if (failed.load()) return first_error;
+
+  for (const auto& raw : values) {
+    if (!raw.has_value()) continue;
+    HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*raw));
+    for (const Event& e : evl.events()) {
+      if (e.Touches(id) && e.time > from && e.time <= to) {
+        out.events.Append(e);
+      }
+    }
+  }
+  out.events.Sort();
+  return out;
+}
+
+Result<std::vector<std::pair<Timestamp, Delta>>>
+TGIQueryManager::GetNodeVersions(NodeId id, Timestamp from, Timestamp to,
+                                 FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(NodeHistory history,
+                       GetNodeHistory(id, from, to, stats));
+  return history.Materialize();
+}
+
+Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
+                                                   int k, FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  const tgi::TimespanMeta* span = SpanFor(t);
+  if (span == nullptr) return Graph();
+  const bool replicated = graph_meta_.replicate_one_hop;
+
+  HGS_ASSIGN_OR_RETURN(MicroPartitionId center_pid, PidOf(id, *span, stats));
+  HGS_ASSIGN_OR_RETURN(
+      Delta acc, FetchMicroStateAt(*span, center_pid, t, replicated, stats));
+
+  std::unordered_set<MicroPartitionId> fetched_pids{center_pid};
+  std::unordered_set<NodeId> visited{id};
+  std::vector<NodeId> frontier{id};
+
+  for (int hop = 1; hop <= k && !frontier.empty(); ++hop) {
+    // Discover the next ring from edges incident to the frontier.
+    std::unordered_set<NodeId> next;
+    for (NodeId u : frontier) {
+      acc.ForEachEdgeEntry([&](const EdgeKey& key,
+                               const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        NodeId other;
+        if (key.u == u) {
+          other = key.v;
+        } else if (key.v == u) {
+          other = key.u;
+        } else {
+          return;
+        }
+        if (!visited.contains(other)) next.insert(other);
+      });
+    }
+    const bool last_hop = hop == k;
+    // Records for the new ring. On the last hop, nodes whose records are
+    // already known — via their own partition or via aux replication rows —
+    // need no further fetches (the paper's early termination).
+    std::vector<MicroPartitionId> missing;
+    for (NodeId n : next) {
+      const auto* rec = acc.FindNode(n);
+      bool have_record = rec != nullptr && rec->has_value();
+      if (last_hop && have_record) continue;
+      HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(n, *span, stats));
+      if (!fetched_pids.contains(pid)) missing.push_back(pid);
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    std::vector<Delta> fetched(missing.size());
+    std::atomic<bool> failed{false};
+    Status first_error;
+    std::mutex merge_mu;
+    ParallelFor(missing.size(), fetch_parallelism_, [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      FetchStats local;
+      auto res = FetchMicroStateAt(*span, missing[i], t, replicated, &local);
+      std::lock_guard<std::mutex> lock(merge_mu);
+      if (stats != nullptr) {
+        local.wall_seconds = 0;
+        stats->Merge(local);
+      }
+      if (!res.ok()) {
+        if (!failed.exchange(true)) first_error = res.status();
+        return;
+      }
+      fetched[i] = std::move(*res);
+    });
+    if (failed.load()) return first_error;
+    for (size_t i = 0; i < missing.size(); ++i) {
+      acc.Add(fetched[i]);
+      fetched_pids.insert(missing[i]);
+    }
+    for (NodeId n : next) visited.insert(n);
+    frontier.assign(next.begin(), next.end());
+  }
+
+  // Induced subgraph on the visited set, from whatever the fetch saw.
+  Graph out;
+  for (NodeId n : visited) {
+    const auto* rec = acc.FindNode(n);
+    if (rec != nullptr && rec->has_value()) out.AddNode(n, (*rec)->attrs);
+  }
+  acc.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        if (visited.contains(key.u) && visited.contains(key.v) &&
+            out.HasNode(key.u) && out.HasNode(key.v)) {
+          out.AddEdge(rec->src, rec->dst, rec->directed, rec->attrs);
+        }
+      });
+  return out;
+}
+
+Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
+    Timestamp from, Timestamp to, FetchStats* stats) {
+  WallTimer timer(stats);
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  const size_t ns = graph_meta_.num_horizontal_partitions;
+
+  // Collect the (tsid, eventlist, sid) scan units overlapping the range.
+  struct Unit {
+    TimespanId tsid;
+    size_t eventlist_index;
+    PartitionId sid;
+  };
+  std::vector<Unit> units;
+  for (const auto& span : spans_) {
+    if (span.end <= from || span.start > to) continue;
+    for (size_t j = 0; j < span.eventlist_bounds.size(); ++j) {
+      const auto& [first, last] = span.eventlist_bounds[j];
+      if (last <= from || first > to) continue;
+      for (size_t sid = 0; sid < ns; ++sid) {
+        units.push_back(Unit{span.tsid, j, static_cast<PartitionId>(sid)});
+      }
+    }
+  }
+
+  const auto order =
+      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+  std::vector<std::vector<Event>> per_unit(units.size());
+  AtomicStats astats;
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const Unit& u = units[i];
+    // In delta-major order the eventlist's micro-partitions are contiguous
+    // under a scan prefix; in partition-major order issue per-pid gets.
+    std::vector<std::string> raws;
+    if (order == ClusteringOrder::kDeltaMajor) {
+      auto res = cluster_->Scan(
+          tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
+          tgi::DeltaScanPrefix(tgi::EventlistDid(u.eventlist_index)));
+      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      if (!res.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = res.status();
+        return;
+      }
+      for (KVPair& kv : *res) raws.push_back(std::move(kv.value));
+    } else {
+      const auto& span = spans_[u.tsid];
+      for (MicroPartitionId pid = u.sid; pid < span.num_micro_partitions;
+           pid += ns) {
+        auto res = cluster_->Get(
+            tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
+            tgi::DeltaRowKey(order, tgi::EventlistDid(u.eventlist_index), pid,
+                             false));
+        astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+        if (!res.ok()) {
+          if (res.status().IsNotFound()) continue;
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!failed.exchange(true)) first_error = res.status();
+          return;
+        }
+        raws.push_back(std::move(*res));
+      }
+    }
+    std::vector<Event>& out = per_unit[i];
+    for (const std::string& raw : raws) {
+      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
+      astats.bytes.fetch_add(raw.size(), std::memory_order_relaxed);
+      auto evl = EventList::Deserialize(raw);
+      if (!evl.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = evl.status();
+        return;
+      }
+      for (const Event& e : evl->events()) {
+        if (e.time > from && e.time <= to) out.push_back(e);
+      }
+    }
+  });
+  astats.FlushInto(stats);
+  if (failed.load()) return first_error;
+
+  std::vector<Event> merged;
+  for (auto& part : per_unit) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  // Edge events are stored with both endpoints' partitions: deduplicate
+  // identical adjacent events (timestamps are unique per event).
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+Result<OneHopHistory> TGIQueryManager::GetOneHopHistory(NodeId id,
+                                                        Timestamp from,
+                                                        Timestamp to,
+                                                        FetchStats* stats) {
+  WallTimer timer(stats);
+  OneHopHistory out;
+  {
+    FetchStats inner;
+    auto center = GetNodeHistory(id, from, to, &inner);
+    inner.wall_seconds = 0;
+    if (stats != nullptr) stats->Merge(inner);
+    if (!center.ok()) return center.status();
+    out.center = std::move(*center);
+  }
+
+  // Neighbor activity intervals: initial edges are active from `from`; edge
+  // events extend / bound them (Algorithm 5's UpdateNeighborInfo).
+  std::unordered_map<NodeId, std::pair<Timestamp, Timestamp>> active;
+  out.center.initial.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        NodeId nbr = key.u == id ? key.v : key.u;
+        active[nbr] = {from, to};
+      });
+  for (const Event& e : out.center.events.events()) {
+    if (!e.IsEdgeEvent()) continue;
+    NodeId nbr = e.u == id ? e.v : e.u;
+    if (e.type == EventType::kAddEdge) {
+      auto it = active.find(nbr);
+      if (it == active.end()) {
+        active[nbr] = {e.time, to};
+      } else {
+        it->second.second = to;  // re-activated: extend to the end
+      }
+    } else if (e.type == EventType::kRemoveEdge) {
+      auto it = active.find(nbr);
+      if (it != active.end()) it->second.second = e.time;
+    }
+  }
+
+  std::vector<std::pair<NodeId, std::pair<Timestamp, Timestamp>>> nbrs(
+      active.begin(), active.end());
+  std::sort(nbrs.begin(), nbrs.end());
+  out.neighbors.resize(nbrs.size());
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex mu;
+  ParallelFor(nbrs.size(), fetch_parallelism_, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    FetchStats local;
+    auto res = GetNodeHistory(nbrs[i].first, nbrs[i].second.first,
+                              nbrs[i].second.second, &local);
+    std::lock_guard<std::mutex> lock(mu);
+    if (stats != nullptr) {
+      local.wall_seconds = 0;
+      stats->Merge(local);
+    }
+    if (!res.ok()) {
+      if (!failed.exchange(true)) first_error = res.status();
+      return;
+    }
+    out.neighbors[i] = std::move(*res);
+  });
+  if (failed.load()) return first_error;
+  return out;
+}
+
+}  // namespace hgs

@@ -1,0 +1,160 @@
+// TGIQueryManager: the read side of the Temporal Graph Index (Section 4.6).
+// Implements the paper's retrieval primitives:
+//   * GetSnapshot            — Algorithm 1 (graph as of time t)
+//   * GetNodeStateDelta      — static vertex (node + incident edges at t)
+//   * GetNodeHistory         — Algorithm 2 (version chains + eventlists)
+//   * GetKHopNeighborhood    — Algorithm 4 (expansion; replication-aware)
+//   * GetOneHopHistory       — Algorithm 5
+//
+// All fetches are decomposed into independent micro-delta reads executed by
+// `fetch_parallelism` concurrent clients (the paper's c).
+
+#ifndef HGS_TGI_QUERY_H_
+#define HGS_TGI_QUERY_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "delta/eventlist.h"
+#include "graph/graph.h"
+#include "kvstore/cluster.h"
+#include "tgi/metadata.h"
+#include "tgi/options.h"
+
+namespace hgs {
+
+/// Read-cost accounting for one retrieval call (the currency of Table 1).
+struct FetchStats {
+  uint64_t kv_requests = 0;    ///< point gets + scans issued
+  uint64_t micro_deltas = 0;   ///< values deserialized
+  uint64_t bytes = 0;          ///< raw value bytes fetched
+  double wall_seconds = 0.0;
+
+  void Merge(const FetchStats& o) {
+    kv_requests += o.kv_requests;
+    micro_deltas += o.micro_deltas;
+    bytes += o.bytes;
+    wall_seconds += o.wall_seconds;
+  }
+};
+
+/// A node's evolution over (from, to]: its state at `from` plus every event
+/// touching it afterwards. This is also the wire format TAF's NodeT wraps.
+struct NodeHistory {
+  NodeId node = kInvalidNodeId;
+  Timestamp from = 0;
+  Timestamp to = 0;
+  Delta initial;     ///< node record + incident edges as of `from`
+  EventList events;  ///< events touching the node, chronological
+
+  /// Change-point count (the paper's "version changes").
+  size_t VersionCount() const { return events.size(); }
+
+  /// Materialized per-version states: (time, node+edges delta), starting
+  /// with the initial state at `from`.
+  std::vector<std::pair<Timestamp, Delta>> Materialize() const;
+};
+
+/// Result of Algorithm 5: the center's history plus the histories of every
+/// node that was a neighbor at some point in the interval.
+struct OneHopHistory {
+  NodeHistory center;
+  std::vector<NodeHistory> neighbors;
+};
+
+class TGIQueryManager {
+ public:
+  explicit TGIQueryManager(Cluster* cluster, size_t fetch_parallelism = 1);
+
+  /// Loads graph + timespan metadata (cached for the manager's lifetime).
+  Status Open();
+
+  // -- retrieval primitives (Section 4.6) ---------------------------------
+  Result<Graph> GetSnapshot(Timestamp t, FetchStats* stats = nullptr);
+  Result<Delta> GetSnapshotDelta(Timestamp t, FetchStats* stats = nullptr);
+
+  /// Multipoint snapshot retrieval (Fig 1): the graph at each timepoint.
+  /// Consecutive points within one timespan reuse the previous state and
+  /// replay only the eventlists in between, rather than re-walking the tree.
+  Result<std::vector<Graph>> GetMultipointSnapshots(
+      const std::vector<Timestamp>& times, FetchStats* stats = nullptr);
+
+  /// The state of one node (record + incident edges) as of t. The returned
+  /// delta is empty if the node does not exist at t.
+  Result<Delta> GetNodeStateDelta(NodeId id, Timestamp t,
+                                  FetchStats* stats = nullptr);
+
+  Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
+                                     FetchStats* stats = nullptr);
+
+  /// Materialized node versions in (from, to]: GetNodeHistory + replay.
+  Result<std::vector<std::pair<Timestamp, Delta>>> GetNodeVersions(
+      NodeId id, Timestamp from, Timestamp to, FetchStats* stats = nullptr);
+
+  /// k-hop neighborhood at time t (Algorithm 4: iterative expansion). With
+  /// 1-hop replication enabled in the index, the last expansion level is
+  /// served from auxiliary micro-deltas without extra partition fetches.
+  Result<Graph> GetKHopNeighborhood(NodeId id, Timestamp t, int k,
+                                    FetchStats* stats = nullptr);
+
+  Result<OneHopHistory> GetOneHopHistory(NodeId id, Timestamp from,
+                                         Timestamp to,
+                                         FetchStats* stats = nullptr);
+
+  /// Every event in (from, to], across all timespans and partitions, in
+  /// chronological order. This is the full-log scan primitive (used by the
+  /// DeltaGraph baseline's version queries and by whole-graph evolution
+  /// analyses); its cost is proportional to the range's change volume.
+  Result<std::vector<Event>> GetEventsInRange(Timestamp from, Timestamp to,
+                                              FetchStats* stats = nullptr);
+
+  // -- metadata ------------------------------------------------------------
+  Timestamp HistoryStart() const { return graph_meta_.start; }
+  Timestamp HistoryEnd() const { return graph_meta_.end; }
+  uint64_t EventCount() const { return graph_meta_.event_count; }
+  size_t fetch_parallelism() const { return fetch_parallelism_; }
+  void set_fetch_parallelism(size_t c) {
+    fetch_parallelism_ = c == 0 ? 1 : c;
+  }
+
+ private:
+  /// Timespan whose range covers t (last span with start <= t), or nullptr
+  /// when t precedes all history.
+  const tgi::TimespanMeta* SpanFor(Timestamp t) const;
+
+  /// Micro-partition of `id` during a span (Micropartitions table lookup for
+  /// locality spans, hash for random spans).
+  Result<MicroPartitionId> PidOf(NodeId id, const tgi::TimespanMeta& span,
+                                 FetchStats* stats);
+
+  /// Reconstructed state of one micro-partition at time t: tree path point
+  /// reads + eventlist replay, optionally including aux replication rows.
+  Result<Delta> FetchMicroStateAt(const tgi::TimespanMeta& span,
+                                  MicroPartitionId pid, Timestamp t,
+                                  bool include_aux, FetchStats* stats);
+
+  /// Fetches one value; NotFound is mapped to "absent" (nullopt).
+  Result<std::optional<std::string>> FetchValue(std::string_view table,
+                                                uint64_t partition,
+                                                std::string_view key,
+                                                FetchStats* stats);
+
+  Cluster* cluster_;
+  size_t fetch_parallelism_;
+  bool opened_ = false;
+  tgi::GraphMeta graph_meta_;
+  std::vector<tgi::TimespanMeta> spans_;
+
+  std::mutex micropart_mu_;
+  // (tsid, bucket) -> node -> pid cache of the Micropartitions table.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<NodeId, MicroPartitionId>>
+      micropart_cache_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_TGI_QUERY_H_

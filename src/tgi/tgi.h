@@ -1,0 +1,54 @@
+// Convenience facade bundling the Temporal Graph Index's write path
+// (TGIBuilder) and read path (TGIQueryManager) over one key-value cluster.
+// Examples and benches that don't need fine-grained control start here.
+
+#ifndef HGS_TGI_TGI_H_
+#define HGS_TGI_TGI_H_
+
+#include <memory>
+#include <vector>
+
+#include "kvstore/cluster.h"
+#include "tgi/builder.h"
+#include "tgi/query.h"
+
+namespace hgs {
+
+class TGI {
+ public:
+  TGI(Cluster* cluster, TGIOptions options)
+      : cluster_(cluster), builder_(cluster, options) {}
+
+  /// Ingests a complete chronological event history and publishes metadata.
+  Status BuildFrom(const std::vector<Event>& events) {
+    HGS_RETURN_NOT_OK(builder_.Ingest(events));
+    return builder_.Finish();
+  }
+
+  /// Appends a batch of later events (the paper's batched update path) and
+  /// re-publishes metadata.
+  Status AppendBatch(const std::vector<Event>& events) {
+    HGS_RETURN_NOT_OK(builder_.Ingest(events));
+    return builder_.Finish();
+  }
+
+  /// Opens a query manager with `fetch_parallelism` parallel fetch clients.
+  Result<std::unique_ptr<TGIQueryManager>> OpenQueryManager(
+      size_t fetch_parallelism = 1) {
+    auto qm =
+        std::make_unique<TGIQueryManager>(cluster_, fetch_parallelism);
+    HGS_RETURN_NOT_OK(qm->Open());
+    return qm;
+  }
+
+  TGIBuilder* builder() { return &builder_; }
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  Cluster* cluster_;
+  TGIBuilder builder_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_TGI_TGI_H_

@@ -1,0 +1,146 @@
+#include "workload/event_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hgs::workload {
+
+namespace {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "%09";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '%':
+        out += "%25";
+        break;
+      case ';':
+        out += "%3B";
+        break;
+      case '=':
+        out += "%3D";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::Corruption("truncated escape");
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    int hi = hex(s[i + 1]);
+    int lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad escape");
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<EventType> TypeFromName(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(EventType::kDelEdgeAttr); ++i) {
+    auto type = static_cast<EventType>(i);
+    if (name == EventTypeToString(type)) return type;
+  }
+  return Status::InvalidArgument("unknown event type: " + name);
+}
+
+}  // namespace
+
+std::string EventToTsvLine(const Event& e) {
+  std::ostringstream out;
+  out << e.time << '\t' << EventTypeToString(e.type) << '\t' << e.u << '\t';
+  if (e.IsEdgeEvent()) out << e.v;
+  out << '\t' << (e.directed ? 1 : 0) << '\t' << Escape(e.key) << '\t'
+      << Escape(e.value) << '\t' << Escape(e.prev_value) << '\t';
+  bool first = true;
+  for (const auto& [k, v] : e.attrs.entries()) {
+    if (!first) out << ';';
+    out << Escape(k) << '=' << Escape(v);
+    first = false;
+  }
+  return out.str();
+}
+
+Result<Event> EventFromTsvLine(const std::string& line) {
+  std::vector<std::string> fields = SplitString(line, '\t');
+  if (fields.size() != 9) {
+    return Status::InvalidArgument("expected 9 TSV fields, got " +
+                                   std::to_string(fields.size()));
+  }
+  Event e;
+  e.time = std::strtoll(fields[0].c_str(), nullptr, 10);
+  HGS_ASSIGN_OR_RETURN(e.type, TypeFromName(fields[1]));
+  e.u = std::strtoull(fields[2].c_str(), nullptr, 10);
+  if (!fields[3].empty()) e.v = std::strtoull(fields[3].c_str(), nullptr, 10);
+  e.directed = fields[4] == "1";
+  HGS_ASSIGN_OR_RETURN(e.key, Unescape(fields[5]));
+  HGS_ASSIGN_OR_RETURN(e.value, Unescape(fields[6]));
+  HGS_ASSIGN_OR_RETURN(e.prev_value, Unescape(fields[7]));
+  if (!fields[8].empty()) {
+    for (const std::string& pair : SplitString(fields[8], ';')) {
+      std::vector<std::string> kv = SplitString(pair, '=');
+      if (kv.size() != 2) return Status::Corruption("bad attrs field");
+      HGS_ASSIGN_OR_RETURN(std::string k, Unescape(kv[0]));
+      HGS_ASSIGN_OR_RETURN(std::string v, Unescape(kv[1]));
+      e.attrs.Set(k, v);
+    }
+  }
+  return e;
+}
+
+Status WriteEventsTsv(const std::vector<Event>& events,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << "# time\ttype\tu\tv\tdirected\tkey\tvalue\tprev_value\tattrs\n";
+  for (const Event& e : events) out << EventToTsvLine(e) << '\n';
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadEventsTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::vector<Event> events;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto e = EventFromTsvLine(line);
+    if (!e.ok()) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) + ": " +
+                                e.status().message());
+    }
+    events.push_back(std::move(*e));
+  }
+  return events;
+}
+
+}  // namespace hgs::workload

@@ -1,0 +1,37 @@
+// Event-stream file I/O: a line-oriented TSV format so real traces can be
+// imported into the store and generated histories can be exported for
+// inspection. Format (tab-separated, one event per line):
+//
+//   time  type  u  v  directed  key  value  prev_value  attrs
+//
+// `type` is the EventTypeToString name; `attrs` is k=v pairs joined by ';'.
+// Fields are percent-escaped for tab/newline/%; absent fields are empty.
+
+#ifndef HGS_WORKLOAD_EVENT_IO_H_
+#define HGS_WORKLOAD_EVENT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "delta/event.h"
+
+namespace hgs::workload {
+
+/// Serializes one event as a TSV line (no trailing newline).
+std::string EventToTsvLine(const Event& e);
+
+/// Parses a line produced by EventToTsvLine.
+Result<Event> EventFromTsvLine(const std::string& line);
+
+/// Writes a stream to a file; returns IOError on filesystem failure.
+Status WriteEventsTsv(const std::vector<Event>& events,
+                      const std::string& path);
+
+/// Reads a stream from a file. Empty lines and lines starting with '#' are
+/// skipped.
+Result<std::vector<Event>> ReadEventsTsv(const std::string& path);
+
+}  // namespace hgs::workload
+
+#endif  // HGS_WORKLOAD_EVENT_IO_H_

@@ -1,0 +1,274 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace hgs::workload {
+
+namespace {
+
+// Maintains live structure so removals are always valid, and hands out
+// strictly increasing timestamps.
+class StreamState {
+ public:
+  explicit StreamState(Timestamp start = 0) : tick_(start) {}
+
+  Timestamp NextTick() { return ++tick_; }
+  Timestamp now() const { return tick_; }
+
+  void NoteAddNode(NodeId id) { live_nodes_.push_back(id); }
+  void NoteAddEdge(NodeId u, NodeId v) {
+    EdgeKey key(u, v);
+    if (edge_set_.insert(key).second) live_edges_.push_back(key);
+  }
+  void NoteRemoveEdge(const EdgeKey& key, size_t index_hint) {
+    edge_set_.erase(key);
+    live_edges_[index_hint] = live_edges_.back();
+    live_edges_.pop_back();
+  }
+
+  bool HasEdge(NodeId u, NodeId v) const {
+    return edge_set_.contains(EdgeKey(u, v));
+  }
+
+  const std::vector<NodeId>& live_nodes() const { return live_nodes_; }
+  const std::vector<EdgeKey>& live_edges() const { return live_edges_; }
+
+ private:
+  Timestamp tick_;
+  std::vector<NodeId> live_nodes_;
+  std::vector<EdgeKey> live_edges_;
+  std::unordered_set<EdgeKey, EdgeKeyHash> edge_set_;
+};
+
+}  // namespace
+
+std::vector<Event> GenerateWikiGrowth(const WikiGrowthOptions& options) {
+  Rng rng(options.seed);
+  StreamState state;
+  std::vector<Event> events;
+  events.reserve(options.num_events);
+  // Popularity-ordered arrival: earlier nodes are cited more (Zipf over
+  // arrival rank approximates preferential attachment well enough for the
+  // degree skew the experiments need).
+  NodeId next_id = 0;
+
+  auto add_node = [&]() {
+    NodeId id = next_id++;
+    Attributes attrs;
+    attrs.Set("kind", "article");
+    events.push_back(Event::AddNode(state.NextTick(), id, std::move(attrs)));
+    state.NoteAddNode(id);
+  };
+  // Seed a small core so the first citations have targets.
+  add_node();
+  add_node();
+
+  while (events.size() < options.num_events) {
+    double roll = rng.NextDouble();
+    if (roll < options.node_arrival_prob || state.live_nodes().size() < 3) {
+      add_node();
+    } else if (roll < options.node_arrival_prob + options.attr_event_prob) {
+      NodeId id =
+          state.live_nodes()[rng.Uniform(state.live_nodes().size())];
+      events.push_back(Event::SetNodeAttr(
+          state.NextTick(), id, "views",
+          std::to_string(rng.Uniform(1'000'000))));
+    } else {
+      // Citation: a recent node cites a Zipf-popular older node.
+      size_t n = state.live_nodes().size();
+      size_t recent_window = std::max<size_t>(1, n / 10);
+      NodeId src = state.live_nodes()[n - 1 - rng.Uniform(recent_window)];
+      NodeId dst = state.live_nodes()[rng.Zipf(n, options.zipf_skew)];
+      if (src == dst || state.HasEdge(src, dst)) {
+        add_node();  // keep the stream moving deterministically
+        continue;
+      }
+      events.push_back(
+          Event::AddEdge(state.NextTick(), src, dst, /*directed=*/true));
+      state.NoteAddEdge(src, dst);
+    }
+  }
+  events.resize(options.num_events);
+  return events;
+}
+
+std::vector<Event> AugmentWithChurn(std::vector<Event> base,
+                                    const ChurnOptions& options) {
+  Rng rng(options.seed);
+  // Rebuild live state from the base stream.
+  StreamState state(EndTime(base));
+  std::unordered_set<NodeId> seen;
+  for (const Event& e : base) {
+    switch (e.type) {
+      case EventType::kAddNode:
+        if (seen.insert(e.u).second) state.NoteAddNode(e.u);
+        break;
+      case EventType::kAddEdge:
+        state.NoteAddEdge(e.u, e.v);
+        break;
+      case EventType::kRemoveEdge: {
+        const auto& edges = state.live_edges();
+        EdgeKey key(e.u, e.v);
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (edges[i] == key) {
+            state.NoteRemoveEdge(key, i);
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  base.reserve(base.size() + options.num_events);
+  for (uint64_t i = 0; i < options.num_events; ++i) {
+    bool do_delete = rng.Bernoulli(options.delete_prob) &&
+                     !state.live_edges().empty();
+    if (do_delete) {
+      size_t idx = rng.Uniform(state.live_edges().size());
+      EdgeKey key = state.live_edges()[idx];
+      base.push_back(Event::RemoveEdge(state.NextTick(), key.u, key.v));
+      state.NoteRemoveEdge(key, idx);
+    } else {
+      const auto& nodes = state.live_nodes();
+      if (nodes.size() < 2) break;
+      NodeId u = nodes[rng.Uniform(nodes.size())];
+      NodeId v = nodes[rng.Uniform(nodes.size())];
+      if (u == v || state.HasEdge(u, v)) {
+        // Retry as a deletion if possible; otherwise skip the tick.
+        if (!state.live_edges().empty()) {
+          size_t idx = rng.Uniform(state.live_edges().size());
+          EdgeKey key = state.live_edges()[idx];
+          base.push_back(Event::RemoveEdge(state.NextTick(), key.u, key.v));
+          state.NoteRemoveEdge(key, idx);
+        }
+        continue;
+      }
+      base.push_back(Event::AddEdge(state.NextTick(), u, v));
+      state.NoteAddEdge(u, v);
+    }
+  }
+  return base;
+}
+
+std::vector<Event> GenerateFriendster(const FriendsterOptions& options) {
+  Rng rng(options.seed);
+  StreamState state;
+  std::vector<Event> events;
+  events.reserve(options.num_nodes + options.num_edges);
+  uint64_t communities =
+      std::max<uint64_t>(1, options.num_nodes / options.community_size);
+
+  // Interleave node arrivals and edges so the graph grows over time the way
+  // the paper's uniformly-dated Friendster snapshot does.
+  uint64_t nodes_added = 0;
+  uint64_t edges_added = 0;
+  std::vector<std::vector<NodeId>> members(communities);
+  double node_rate = static_cast<double>(options.num_nodes) /
+                     static_cast<double>(options.num_nodes + options.num_edges);
+
+  while (nodes_added < options.num_nodes || edges_added < options.num_edges) {
+    bool add_node = nodes_added < options.num_nodes &&
+                    (edges_added >= options.num_edges ||
+                     rng.NextDouble() < node_rate || nodes_added < 16);
+    if (add_node) {
+      NodeId id = nodes_added++;
+      uint64_t community = rng.Uniform(communities);
+      Attributes attrs;
+      attrs.Set("community", std::to_string(community));
+      events.push_back(
+          Event::AddNode(state.NextTick(), id, std::move(attrs)));
+      state.NoteAddNode(id);
+      members[community].push_back(id);
+      continue;
+    }
+    // Edge: pick a community, then endpoints — intra-community with high
+    // probability (planted-partition structure for the locality
+    // partitioner to find).
+    uint64_t cu = rng.Uniform(communities);
+    if (members[cu].size() < 2) continue;
+    NodeId u = members[cu][rng.Uniform(members[cu].size())];
+    NodeId v;
+    if (rng.NextDouble() < options.intra_community_prob) {
+      v = members[cu][rng.Uniform(members[cu].size())];
+    } else {
+      uint64_t cv = rng.Uniform(communities);
+      if (members[cv].empty()) continue;
+      v = members[cv][rng.Uniform(members[cv].size())];
+    }
+    if (u == v || state.HasEdge(u, v)) continue;
+    events.push_back(Event::AddEdge(state.NextTick(), u, v));
+    state.NoteAddEdge(u, v);
+    ++edges_added;
+  }
+  return events;
+}
+
+std::vector<Event> GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  StreamState state;
+  std::vector<Event> events;
+  events.reserve(options.num_authors + options.num_papers *
+                     (1 + options.authors_per_paper) +
+                 options.num_attr_events);
+
+  for (uint64_t i = 0; i < options.num_authors; ++i) {
+    Attributes attrs;
+    attrs.Set("EntityType", "Author");
+    events.push_back(Event::AddNode(state.NextTick(), i, std::move(attrs)));
+    state.NoteAddNode(i);
+  }
+  for (uint64_t p = 0; p < options.num_papers; ++p) {
+    NodeId paper_id = options.num_authors + p;
+    Attributes attrs;
+    attrs.Set("EntityType", "Paper");
+    events.push_back(
+        Event::AddNode(state.NextTick(), paper_id, std::move(attrs)));
+    state.NoteAddNode(paper_id);
+    for (uint64_t a = 0; a < options.authors_per_paper; ++a) {
+      NodeId author = rng.Zipf(options.num_authors, 1.0);
+      if (state.HasEdge(paper_id, author)) continue;
+      events.push_back(Event::AddEdge(state.NextTick(), paper_id, author));
+      state.NoteAddEdge(paper_id, author);
+    }
+  }
+  // Attribute churn: entities change type occasionally (e.g. an "Author"
+  // profile reclassified), which is exactly what fCountLabelDel in Fig 8
+  // reacts to. Track the evolving type so prev_value is always accurate.
+  uint64_t total = options.num_authors + options.num_papers;
+  std::vector<bool> is_author(total);
+  for (uint64_t id = 0; id < total; ++id) {
+    is_author[id] = id < options.num_authors;
+  }
+  for (uint64_t i = 0; i < options.num_attr_events; ++i) {
+    NodeId id = rng.Uniform(total);
+    const char* cur = is_author[id] ? "Author" : "Paper";
+    const char* alt = is_author[id] ? "Paper" : "Author";
+    bool flip = rng.Bernoulli(0.3);
+    events.push_back(Event::SetNodeAttr(state.NextTick(), id, "EntityType",
+                                        flip ? alt : cur, cur));
+    if (flip) is_author[id] = !is_author[id];
+  }
+  return events;
+}
+
+Timestamp EndTime(const std::vector<Event>& events) {
+  return events.empty() ? 0 : events.back().time;
+}
+
+Graph ReplayToGraph(const std::vector<Event>& events, Timestamp upto) {
+  Graph g;
+  for (const Event& e : events) {
+    if (e.time > upto) break;
+    ApplyEventToGraph(e, &g);
+  }
+  return g;
+}
+
+}  // namespace hgs::workload

@@ -1,0 +1,181 @@
+// Property tests for the graph algorithm library on randomized graphs:
+// every algorithm is checked against a brute-force reference or a
+// mathematical invariant, across seeds (parameterized).
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "workload/generators.h"
+
+namespace hgs {
+namespace {
+
+Graph RandomGraph(uint64_t seed, size_t n = 120, double edge_prob = 0.06) {
+  Rng rng(seed);
+  Graph g;
+  for (NodeId i = 0; i < n; ++i) g.AddNode(i);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+uint64_t BruteForceTriangles(const Graph& g) {
+  uint64_t count = 0;
+  auto ids = g.NodeIds();
+  std::sort(ids.begin(), ids.end());
+  for (size_t a = 0; a < ids.size(); ++a) {
+    for (size_t b = a + 1; b < ids.size(); ++b) {
+      if (!g.HasEdge(ids[a], ids[b])) continue;
+      for (size_t c = b + 1; c < ids.size(); ++c) {
+        if (g.HasEdge(ids[a], ids[c]) && g.HasEdge(ids[b], ids[c])) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+class AlgoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgoPropertyTest, TriangleCountMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam());
+  EXPECT_EQ(algo::TriangleCount(g), BruteForceTriangles(g));
+}
+
+TEST_P(AlgoPropertyTest, LccIsAWellDefinedRatio) {
+  Graph g = RandomGraph(GetParam() + 10);
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    double c = algo::LocalClusteringCoefficient(g, id);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    // Brute force: count closed pairs among neighbors.
+    const auto& nbrs = g.Neighbors(id);
+    if (nbrs.size() < 2) {
+      EXPECT_DOUBLE_EQ(c, 0.0);
+      return;
+    }
+    size_t closed = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    double expect = 2.0 * static_cast<double>(closed) /
+                    (static_cast<double>(nbrs.size()) *
+                     static_cast<double>(nbrs.size() - 1));
+    EXPECT_NEAR(c, expect, 1e-12);
+  });
+}
+
+TEST_P(AlgoPropertyTest, PageRankIsAProbabilityDistribution) {
+  Graph g = RandomGraph(GetParam() + 20, 100, 0.05);
+  auto pr = algo::PageRank(g, 40);
+  double sum = 0.0;
+  for (const auto& [id, score] : pr) {
+    EXPECT_GT(score, 0.0);
+    sum += score;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_P(AlgoPropertyTest, BfsDistancesSatisfyTriangleInequality) {
+  Graph g = RandomGraph(GetParam() + 30, 80, 0.08);
+  Rng rng(GetParam());
+  auto ids = g.NodeIds();
+  NodeId src = ids[rng.Uniform(ids.size())];
+  auto dist = algo::BfsDistances(g, src);
+  // d(src, v) <= d(src, u) + 1 for every edge (u, v).
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    auto du = dist.find(key.u);
+    auto dv = dist.find(key.v);
+    ASSERT_EQ(du != dist.end(), dv != dist.end());
+    if (du != dist.end()) {
+      EXPECT_LE(std::abs(du->second - dv->second), 1);
+    }
+  });
+}
+
+TEST_P(AlgoPropertyTest, ComponentsPartitionTheGraph) {
+  Graph g = RandomGraph(GetParam() + 40, 100, 0.02);  // sparse: many comps
+  auto labels = algo::ConnectedComponents(g);
+  EXPECT_EQ(labels.size(), g.NumNodes());
+  // Edge endpoints share a label; the label is the component's min id.
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    EXPECT_EQ(labels.at(key.u), labels.at(key.v));
+  });
+  for (const auto& [id, comp] : labels) {
+    EXPECT_LE(comp, id);
+    EXPECT_EQ(labels.at(comp), comp);  // the representative labels itself
+  }
+}
+
+TEST_P(AlgoPropertyTest, DegreeDistributionSumsToNodeCount) {
+  Graph g = RandomGraph(GetParam() + 50);
+  auto hist = algo::DegreeDistribution(g);
+  size_t total = 0;
+  size_t weighted = 0;
+  for (const auto& [deg, count] : hist) {
+    total += count;
+    weighted += deg * count;
+  }
+  EXPECT_EQ(total, g.NumNodes());
+  EXPECT_EQ(weighted, 2 * g.NumEdges());  // handshake lemma
+}
+
+TEST_P(AlgoPropertyTest, InducedSubgraphIsClosedUnderMembership) {
+  Graph g = RandomGraph(GetParam() + 60);
+  Rng rng(GetParam() + 61);
+  std::vector<NodeId> members;
+  for (NodeId id : g.NodeIds()) {
+    if (rng.Bernoulli(0.4)) members.push_back(id);
+  }
+  Graph sub = algo::InducedSubgraph(g, members);
+  std::unordered_set<NodeId> member_set(members.begin(), members.end());
+  EXPECT_EQ(sub.NumNodes(), member_set.size());
+  sub.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    EXPECT_TRUE(member_set.contains(key.u));
+    EXPECT_TRUE(member_set.contains(key.v));
+    EXPECT_TRUE(g.HasEdge(key.u, key.v));
+  });
+  // Every in-member edge of g survives.
+  size_t expected_edges = 0;
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    if (member_set.contains(key.u) && member_set.contains(key.v)) {
+      ++expected_edges;
+    }
+  });
+  EXPECT_EQ(sub.NumEdges(), expected_edges);
+}
+
+TEST_P(AlgoPropertyTest, KHopNeighborhoodMatchesBfs) {
+  Graph g = RandomGraph(GetParam() + 70, 90, 0.05);
+  Rng rng(GetParam() + 71);
+  auto ids = g.NodeIds();
+  NodeId src = ids[rng.Uniform(ids.size())];
+  for (int k : {1, 2, 3}) {
+    auto hood = algo::KHopNeighborhood(g, src, k);
+    auto dist = algo::BfsDistances(g, src, k);
+    EXPECT_EQ(hood.size(), dist.size());
+    for (NodeId n : hood) EXPECT_TRUE(dist.contains(n));
+  }
+}
+
+TEST_P(AlgoPropertyTest, ClosenessBoundedByOne) {
+  Graph g = RandomGraph(GetParam() + 80, 60, 0.1);
+  g.ForEachNode([&](NodeId id, const NodeRecord&) {
+    double c = algo::ClosenessCentrality(g, id);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgoPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hgs

@@ -1,0 +1,210 @@
+// Correctness tests for the baseline indexes (Section 4.2): every index must
+// return the same answers as a direct event replay — they differ only in
+// cost, which Table 1's bench measures. A parameterized suite runs the same
+// assertions over all five baselines.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/copy_index.h"
+#include "baselines/copy_log_index.h"
+#include "baselines/delta_graph_index.h"
+#include "baselines/log_index.h"
+#include "baselines/node_centric_index.h"
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "workload/generators.h"
+
+namespace hgs {
+namespace {
+
+ClusterOptions FastCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.latency.enabled = false;
+  return opts;
+}
+
+struct IndexFixture {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<HistoricalIndex> index;
+};
+
+using Factory = std::function<IndexFixture()>;
+
+IndexFixture Make(const std::string& which) {
+  IndexFixture f;
+  f.cluster = std::make_unique<Cluster>(FastCluster());
+  if (which == "log") {
+    f.index = std::make_unique<LogIndex>(f.cluster.get(), 200);
+  } else if (which == "copy") {
+    f.index = std::make_unique<CopyIndex>(f.cluster.get(), 1);
+  } else if (which == "copy_sparse") {
+    f.index = std::make_unique<CopyIndex>(f.cluster.get(), 64);
+  } else if (which == "copylog") {
+    f.index = std::make_unique<CopyLogIndex>(f.cluster.get(), 800, 100);
+  } else if (which == "nodecentric") {
+    f.index = std::make_unique<NodeCentricIndex>(f.cluster.get());
+  } else {
+    f.index = std::make_unique<DeltaGraphIndex>(f.cluster.get(), 100, 400);
+  }
+  return f;
+}
+
+std::vector<Event> History(uint64_t seed, uint64_t n = 2'000) {
+  workload::WikiGrowthOptions w;
+  w.num_events = n / 2;
+  w.seed = seed;
+  auto events = workload::GenerateWikiGrowth(w);
+  return workload::AugmentWithChurn(std::move(events),
+                                    {.num_events = n / 2, .seed = seed + 5});
+}
+
+class BaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineTest, SnapshotsMatchReplay) {
+  IndexFixture f = Make(GetParam());
+  auto events = History(51);
+  ASSERT_TRUE(f.index->Build(events).ok());
+  for (double frac : {0.1, 0.5, 0.99}) {
+    Timestamp t = events[static_cast<size_t>(events.size() * frac)].time;
+    FetchStats stats;
+    auto snap = f.index->GetSnapshot(t, &stats);
+    ASSERT_TRUE(snap.ok()) << f.index->name() << " t=" << t;
+    Graph expected = workload::ReplayToGraph(events, t);
+    EXPECT_TRUE(*snap == expected)
+        << f.index->name() << " snapshot mismatch at t=" << t;
+    EXPECT_GT(stats.kv_requests, 0u);
+  }
+}
+
+TEST_P(BaselineTest, NodeStateMatchesReplay) {
+  IndexFixture f = Make(GetParam());
+  auto events = History(53);
+  ASSERT_TRUE(f.index->Build(events).ok());
+  Timestamp t = events[events.size() * 2 / 3].time;
+  Graph expected = workload::ReplayToGraph(events, t);
+  Rng rng(3);
+  auto ids = expected.NodeIds();
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto state = f.index->GetNodeStateDelta(id, t, nullptr);
+    ASSERT_TRUE(state.ok()) << f.index->name();
+    const auto* rec = state->FindNode(id);
+    ASSERT_TRUE(rec != nullptr && rec->has_value())
+        << f.index->name() << " node " << id;
+    EXPECT_EQ((*rec)->attrs, expected.GetNode(id)->attrs) << f.index->name();
+  }
+}
+
+TEST_P(BaselineTest, NodeHistoryEventsMatchLogFilter) {
+  if (GetParam() == "copy" || GetParam() == "copy_sparse") {
+    GTEST_SKIP() << "Copy synthesizes diffs, not raw events";
+  }
+  IndexFixture f = Make(GetParam());
+  auto events = History(59);
+  ASSERT_TRUE(f.index->Build(events).ok());
+  Timestamp from = events[events.size() / 4].time;
+  Timestamp to = events[events.size() * 3 / 4].time;
+  Graph at_from = workload::ReplayToGraph(events, from);
+  Rng rng(4);
+  auto ids = at_from.NodeIds();
+  for (int trial = 0; trial < 8; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto hist = f.index->GetNodeHistory(id, from, to, nullptr);
+    ASSERT_TRUE(hist.ok()) << f.index->name();
+    std::vector<Event> expected;
+    for (const Event& e : events) {
+      if (e.time > from && e.time <= to && e.Touches(id)) {
+        expected.push_back(e);
+      }
+    }
+    ASSERT_EQ(hist->events.size(), expected.size())
+        << f.index->name() << " node " << id;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(hist->events.events()[i], expected[i]) << f.index->name();
+    }
+  }
+}
+
+TEST_P(BaselineTest, OneHopMatchesReplay) {
+  IndexFixture f = Make(GetParam());
+  auto events = History(61);
+  ASSERT_TRUE(f.index->Build(events).ok());
+  Timestamp t = workload::EndTime(events);
+  Graph expected = workload::ReplayToGraph(events, t);
+  NodeId center = algo::HighestDegreeNode(expected);
+  auto hood = f.index->GetOneHop(center, t, nullptr);
+  ASSERT_TRUE(hood.ok()) << f.index->name();
+  Graph want = algo::InducedSubgraph(
+      expected, algo::KHopNeighborhood(expected, center, 1));
+  EXPECT_EQ(hood->NumNodes(), want.NumNodes()) << f.index->name();
+  for (NodeId n : expected.Neighbors(center)) {
+    EXPECT_TRUE(hood->HasEdge(center, n)) << f.index->name();
+  }
+}
+
+TEST_P(BaselineTest, StorageIsAccounted) {
+  IndexFixture f = Make(GetParam());
+  auto events = History(67, 1'000);
+  ASSERT_TRUE(f.index->Build(events).ok());
+  EXPECT_GT(f.index->StorageBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTest,
+                         ::testing::Values("log", "copy", "copy_sparse",
+                                           "copylog", "nodecentric",
+                                           "deltagraph"));
+
+// Table 1's qualitative claims, asserted as relative measurements.
+
+TEST(Table1Properties, CopyStoresMoreThanLog) {
+  auto events = History(71, 1'500);
+  IndexFixture log = Make("log");
+  IndexFixture copy = Make("copy");
+  ASSERT_TRUE(log.index->Build(events).ok());
+  ASSERT_TRUE(copy.index->Build(events).ok());
+  EXPECT_GT(copy.index->StorageBytes(), 10 * log.index->StorageBytes());
+}
+
+TEST(Table1Properties, CopySnapshotFetchesOneDeltaLogFetchesMany) {
+  auto events = History(73, 1'500);
+  IndexFixture log = Make("log");
+  IndexFixture copy = Make("copy");
+  ASSERT_TRUE(log.index->Build(events).ok());
+  ASSERT_TRUE(copy.index->Build(events).ok());
+  Timestamp t = workload::EndTime(events);
+  FetchStats log_stats, copy_stats;
+  ASSERT_TRUE(log.index->GetSnapshot(t, &log_stats).ok());
+  ASSERT_TRUE(copy.index->GetSnapshot(t, &copy_stats).ok());
+  EXPECT_EQ(copy_stats.micro_deltas, 1u);
+  EXPECT_GT(log_stats.micro_deltas, 5u);
+}
+
+TEST(Table1Properties, NodeCentricVertexQueryIsOneFetch) {
+  auto events = History(79, 1'500);
+  IndexFixture nc = Make("nodecentric");
+  ASSERT_TRUE(nc.index->Build(events).ok());
+  Timestamp t = workload::EndTime(events);
+  Graph final_state = workload::ReplayToGraph(events, t);
+  NodeId id = final_state.NodeIds().front();
+  FetchStats stats;
+  ASSERT_TRUE(nc.index->GetNodeHistory(id, 0, t, &stats).ok());
+  EXPECT_EQ(stats.kv_requests, 1u);
+}
+
+TEST(Table1Properties, NodeCentricSnapshotTouchesEveryNode) {
+  auto events = History(83, 1'500);
+  IndexFixture nc = Make("nodecentric");
+  ASSERT_TRUE(nc.index->Build(events).ok());
+  Timestamp t = workload::EndTime(events);
+  Graph final_state = workload::ReplayToGraph(events, t);
+  FetchStats stats;
+  ASSERT_TRUE(nc.index->GetSnapshot(t, &stats).ok());
+  EXPECT_GE(stats.kv_requests, final_state.NumNodes());
+}
+
+}  // namespace
+}  // namespace hgs

@@ -1,0 +1,352 @@
+// Tests of the delta framework: event application, the delta algebra laws of
+// Section 4.1 (sums, differences, intersections, identities, the documented
+// non-commutativity), eventlist scoping, and serialization round trips.
+// Includes randomized property tests driven by generated histories.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "delta/delta.h"
+#include "delta/event.h"
+#include "delta/eventlist.h"
+#include "workload/generators.h"
+
+namespace hgs {
+namespace {
+
+Delta MakeDelta(std::initializer_list<NodeId> nodes,
+                std::initializer_list<std::pair<NodeId, NodeId>> edges = {}) {
+  Delta d;
+  for (NodeId n : nodes) d.PutNode(n, NodeRecord{});
+  for (auto [u, v] : edges) {
+    d.PutEdge(EdgeKey(u, v), EdgeRecord{.src = u, .dst = v, .directed = false, .attrs = {}});
+  }
+  return d;
+}
+
+TEST(EventTest, FactoriesPopulateFields) {
+  Event e = Event::AddEdge(42, 1, 2, true, Attributes{{"w", "3"}});
+  EXPECT_EQ(e.time, 42);
+  EXPECT_EQ(e.type, EventType::kAddEdge);
+  EXPECT_EQ(e.u, 1u);
+  EXPECT_EQ(e.v, 2u);
+  EXPECT_TRUE(e.directed);
+  EXPECT_EQ(*e.attrs.Get("w"), "3");
+}
+
+TEST(EventTest, TouchesBothEndpointsOfEdge) {
+  Event e = Event::AddEdge(1, 10, 20);
+  EXPECT_TRUE(e.Touches(10));
+  EXPECT_TRUE(e.Touches(20));
+  EXPECT_FALSE(e.Touches(30));
+  Event n = Event::SetNodeAttr(2, 10, "k", "v");
+  EXPECT_TRUE(n.Touches(10));
+  EXPECT_FALSE(n.Touches(20));
+}
+
+TEST(EventTest, SerializationRoundTripAllTypes) {
+  std::vector<Event> events = {
+      Event::AddNode(1, 5, Attributes{{"a", "b"}}),
+      Event::RemoveNode(2, 5),
+      Event::AddEdge(3, 1, 2, true, Attributes{{"w", "1.5"}}),
+      Event::RemoveEdge(4, 1, 2),
+      Event::SetNodeAttr(5, 7, "k", "new", "old"),
+      Event::DelNodeAttr(6, 7, "k", "old"),
+      Event::SetEdgeAttr(7, 1, 2, "w", "2", "1.5"),
+      Event::DelEdgeAttr(8, 1, 2, "w", "2"),
+  };
+  BinaryWriter w;
+  for (const Event& e : events) e.SerializeTo(&w);
+  std::string buf = w.Finish();
+  BinaryReader r(buf);
+  for (const Event& e : events) {
+    auto got = Event::DeserializeFrom(&r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, e);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(EventTest, ApplyToGraphLifecycle) {
+  Graph g;
+  ApplyEventToGraph(Event::AddNode(1, 1), &g);
+  ApplyEventToGraph(Event::AddNode(2, 2), &g);
+  ApplyEventToGraph(Event::AddEdge(3, 1, 2), &g);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  ApplyEventToGraph(Event::SetNodeAttr(4, 1, "color", "red"), &g);
+  EXPECT_EQ(*g.GetNode(1)->attrs.Get("color"), "red");
+  ApplyEventToGraph(Event::SetEdgeAttr(5, 1, 2, "w", "9"), &g);
+  EXPECT_EQ(*g.GetEdge(1, 2)->attrs.Get("w"), "9");
+  ApplyEventToGraph(Event::RemoveEdge(6, 1, 2), &g);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  ApplyEventToGraph(Event::RemoveNode(7, 1), &g);
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_TRUE(g.HasNode(2));
+}
+
+TEST(DeltaTest, SumRightOperandWins) {
+  Delta a;
+  a.PutNode(1, NodeRecord{.attrs = Attributes{{"v", "old"}}});
+  Delta b;
+  b.PutNode(1, NodeRecord{.attrs = Attributes{{"v", "new"}}});
+  Delta s = Delta::Sum(a, b);
+  ASSERT_NE(s.FindNode(1), nullptr);
+  EXPECT_EQ(*(*s.FindNode(1))->attrs.Get("v"), "new");
+  // Non-commutativity witness (Definition 4 note).
+  Delta s2 = Delta::Sum(b, a);
+  EXPECT_FALSE(s == s2);
+}
+
+TEST(DeltaTest, SumWithEmptyIsIdentity) {
+  Delta a = MakeDelta({1, 2}, {{1, 2}});
+  EXPECT_EQ(Delta::Sum(a, Delta()), a);
+  EXPECT_EQ(Delta::Sum(Delta(), a), a);
+}
+
+TEST(DeltaTest, SumIsAssociative) {
+  Delta a = MakeDelta({1});
+  Delta b;
+  b.PutNode(1, NodeRecord{.attrs = Attributes{{"x", "1"}}});
+  b.PutNode(2, NodeRecord{});
+  Delta c;
+  c.TombstoneNode(2);
+  c.PutNode(3, NodeRecord{});
+  EXPECT_EQ(Delta::Sum(Delta::Sum(a, b), c), Delta::Sum(a, Delta::Sum(b, c)));
+}
+
+TEST(DeltaTest, DifferenceLaws) {
+  Delta a = MakeDelta({1, 2}, {{1, 2}});
+  // Δ - Δ = ∅ and Δ - ∅ = Δ (Section 4.1).
+  EXPECT_TRUE(Delta::Difference(a, a).Empty());
+  EXPECT_EQ(Delta::Difference(a, Delta()), a);
+  // Differing state on the same key is kept.
+  Delta b;
+  b.PutNode(1, NodeRecord{.attrs = Attributes{{"k", "v"}}});
+  b.PutNode(2, NodeRecord{});
+  Delta diff = Delta::Difference(a, b);
+  EXPECT_NE(diff.FindNode(1), nullptr);   // states differ -> kept
+  EXPECT_EQ(diff.FindNode(2), nullptr);   // identical -> removed
+}
+
+TEST(DeltaTest, IntersectKeepsIdenticalPairsOnly) {
+  Delta a = MakeDelta({1, 2, 3}, {{1, 2}});
+  Delta b = MakeDelta({2, 3}, {{1, 2}});
+  Delta bmod = b;
+  bmod.PutNode(3, NodeRecord{.attrs = Attributes{{"changed", "1"}}});
+  Delta i = Delta::Intersect(a, bmod);
+  EXPECT_EQ(i.FindNode(1), nullptr);
+  EXPECT_NE(i.FindNode(2), nullptr);
+  EXPECT_EQ(i.FindNode(3), nullptr);  // differing state excluded
+  EXPECT_NE(i.FindEdge(EdgeKey(1, 2)), nullptr);
+  // Δ ∩ ∅ = ∅.
+  EXPECT_TRUE(Delta::Intersect(a, Delta()).Empty());
+}
+
+TEST(DeltaTest, UnionIdentity) {
+  Delta a = MakeDelta({1, 2});
+  EXPECT_EQ(Delta::Union(a, Delta()), a);
+  EXPECT_EQ(Delta::Union(Delta(), a), a);
+}
+
+TEST(DeltaTest, ReconstructionInvariant) {
+  // child == parent + (child - parent) whenever parent ⊆-compatible, the
+  // identity the DeltaGraph hierarchy depends on.
+  Delta parent = MakeDelta({1, 2}, {{1, 2}});
+  Delta child = MakeDelta({1, 2, 3}, {{1, 2}, {2, 3}});
+  child.PutNode(1, NodeRecord{.attrs = Attributes{{"a", "b"}}});
+  Delta derived = Delta::Difference(child, parent);
+  EXPECT_EQ(Delta::Sum(parent, derived), child);
+}
+
+TEST(DeltaTest, TombstonesPropagateThroughSum) {
+  Delta base = MakeDelta({1, 2}, {{1, 2}});
+  Delta removal;
+  removal.TombstoneNode(1);
+  removal.TombstoneEdge(EdgeKey(1, 2));
+  Delta merged = Delta::Sum(base, removal);
+  Graph g = merged.ToGraph();
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_TRUE(g.HasNode(2));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(DeltaTest, ApplyEventSequence) {
+  Delta d;
+  d.ApplyEvent(Event::AddNode(1, 1));
+  d.ApplyEvent(Event::AddNode(2, 2));
+  d.ApplyEvent(Event::AddEdge(3, 1, 2));
+  d.ApplyEvent(Event::SetNodeAttr(4, 1, "k", "v"));
+  d.ApplyEvent(Event::RemoveEdge(5, 1, 2));
+  Graph g = d.ToGraph();
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_EQ(*g.GetNode(1)->attrs.Get("k"), "v");
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(DeltaTest, RemoveNodeTombstonesIncidentEdgesInDelta) {
+  Delta d;
+  d.ApplyEvent(Event::AddNode(1, 1));
+  d.ApplyEvent(Event::AddNode(2, 2));
+  d.ApplyEvent(Event::AddEdge(3, 1, 2));
+  d.ApplyEvent(Event::RemoveNode(4, 1));
+  const auto* edge = d.FindEdge(EdgeKey(1, 2));
+  ASSERT_NE(edge, nullptr);
+  EXPECT_FALSE(edge->has_value());  // tombstoned
+}
+
+TEST(DeltaTest, FilterByNodesKeepsIncidentEdges) {
+  Delta d = MakeDelta({1, 2, 3}, {{1, 2}, {2, 3}});
+  Delta f = d.FilterByNodes({1});
+  EXPECT_NE(f.FindNode(1), nullptr);
+  EXPECT_EQ(f.FindNode(2), nullptr);
+  EXPECT_NE(f.FindEdge(EdgeKey(1, 2)), nullptr);  // one endpoint in scope
+  EXPECT_EQ(f.FindEdge(EdgeKey(2, 3)), nullptr);
+}
+
+TEST(DeltaTest, ToGraphDropsDanglingEdges) {
+  Delta d;
+  d.PutEdge(EdgeKey(1, 2), EdgeRecord{.src = 1, .dst = 2, .directed = false, .attrs = {}});
+  d.PutNode(1, NodeRecord{});
+  EXPECT_EQ(d.ToGraph().NumEdges(), 0u);
+  EXPECT_EQ(d.ToGraphKeepDangling().NumEdges(), 1u);
+}
+
+TEST(DeltaTest, SerializationRoundTrip) {
+  Delta d = MakeDelta({1, 2, 3}, {{1, 2}, {2, 3}});
+  d.PutNode(9, NodeRecord{.attrs = Attributes{{"label", "hub"}}});
+  d.TombstoneNode(4);
+  d.TombstoneEdge(EdgeKey(7, 8));
+  auto back = Delta::Deserialize(d.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(DeltaTest, DeserializeRejectsCorruption) {
+  Delta d = MakeDelta({1, 2});
+  std::string buf = d.Serialize();
+  buf[buf.size() / 2] ^= 0x10;
+  EXPECT_FALSE(Delta::Deserialize(buf).ok());
+}
+
+TEST(DeltaTest, FromGraphRoundTrip) {
+  Graph g;
+  g.AddNode(1, Attributes{{"x", "1"}});
+  g.AddNode(2);
+  g.AddEdge(1, 2, true, Attributes{{"w", "5"}});
+  Delta d = Delta::FromGraph(g);
+  EXPECT_EQ(d.Cardinality(), 3u);
+  EXPECT_TRUE(d.ToGraph() == g);
+}
+
+TEST(EventListTest, FilterSemantics) {
+  EventList list(0, 100);
+  for (int i = 1; i <= 10; ++i) {
+    list.Append(Event::AddNode(i * 10, static_cast<NodeId>(i)));
+  }
+  // (after, upto] semantics.
+  EventList mid = list.FilterByTime(20, 50);
+  ASSERT_EQ(mid.size(), 3u);  // 30, 40, 50
+  EXPECT_EQ(mid.events().front().time, 30);
+  EXPECT_EQ(mid.events().back().time, 50);
+}
+
+TEST(EventListTest, FilterByNode) {
+  EventList list(0, 10);
+  list.Append(Event::AddNode(1, 1));
+  list.Append(Event::AddEdge(2, 1, 2));
+  list.Append(Event::AddNode(3, 3));
+  EventList for1 = list.FilterByNode(1);
+  EXPECT_EQ(for1.size(), 2u);
+  EventList for2 = list.FilterByNode(2);
+  EXPECT_EQ(for2.size(), 1u);  // edge touches both endpoints
+}
+
+TEST(EventListTest, ApplyUpToStopsAtT) {
+  EventList list(0, 100);
+  list.Append(Event::AddNode(10, 1));
+  list.Append(Event::AddNode(20, 2));
+  list.Append(Event::AddNode(30, 3));
+  Graph g;
+  list.ApplyUpTo(20, &g);
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_TRUE(g.HasNode(2));
+  EXPECT_FALSE(g.HasNode(3));
+}
+
+TEST(EventListTest, SerializationRoundTrip) {
+  EventList list(5, 50);
+  list.Append(Event::AddNode(10, 1, Attributes{{"a", "1"}}));
+  list.Append(Event::AddEdge(20, 1, 2, true));
+  list.Append(Event::SetNodeAttr(30, 1, "a", "2", "1"));
+  auto back = EventList::Deserialize(list.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, list);
+}
+
+TEST(EventListTest, SortIsStable) {
+  EventList list(0, 10);
+  list.Append(Event::AddNode(5, 2));
+  list.Append(Event::AddNode(3, 1));
+  list.Append(Event::AddNode(5, 3));
+  list.Sort();
+  EXPECT_EQ(list.events()[0].u, 1u);
+  EXPECT_EQ(list.events()[1].u, 2u);  // equal keys keep insertion order
+  EXPECT_EQ(list.events()[2].u, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over generated histories.
+// ---------------------------------------------------------------------------
+
+class DeltaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaPropertyTest, SnapshotDeltaEqualsEventReplay) {
+  // Accumulating events into a Delta and materializing equals replaying the
+  // events into a Graph directly (Example 4: Δsnapshot = G(t) - G(-∞)).
+  workload::WikiGrowthOptions opts;
+  opts.num_events = 3'000;
+  opts.seed = GetParam();
+  auto events = workload::GenerateWikiGrowth(opts);
+  auto churned = workload::AugmentWithChurn(
+      std::move(events), {.num_events = 2'000, .seed = GetParam() + 100});
+
+  Delta acc;
+  for (const Event& e : churned) acc.ApplyEvent(e);
+  Graph from_delta = acc.ToGraph();
+  Graph replayed = workload::ReplayToGraph(churned, kMaxTimestamp);
+  EXPECT_TRUE(from_delta == replayed);
+}
+
+TEST_P(DeltaPropertyTest, HierarchyReconstruction) {
+  // parent = ∩ children; child == parent + (child - parent) for snapshots
+  // taken from a generated history.
+  workload::WikiGrowthOptions opts;
+  opts.num_events = 2'000;
+  opts.seed = GetParam();
+  auto events = workload::GenerateWikiGrowth(opts);
+  Timestamp t_mid = events[events.size() / 2].time;
+  Delta child1 = Delta::FromGraph(workload::ReplayToGraph(events, t_mid));
+  Delta child2 =
+      Delta::FromGraph(workload::ReplayToGraph(events, kMaxTimestamp));
+  Delta parent = Delta::Intersect(child1, child2);
+  EXPECT_EQ(Delta::Sum(parent, Delta::Difference(child1, parent)), child1);
+  EXPECT_EQ(Delta::Sum(parent, Delta::Difference(child2, parent)), child2);
+}
+
+TEST_P(DeltaPropertyTest, SerializedRoundTripOnGeneratedHistory) {
+  workload::WikiGrowthOptions opts;
+  opts.num_events = 1'500;
+  opts.seed = GetParam() * 13 + 1;
+  auto events = workload::GenerateWikiGrowth(opts);
+  Delta acc;
+  for (const Event& e : events) acc.ApplyEvent(e);
+  auto back = Delta::Deserialize(acc.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace hgs

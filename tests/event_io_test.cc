@@ -1,0 +1,159 @@
+// Tests for the event TSV file format plus fuzz-style robustness checks for
+// every deserializer in the repository: arbitrary byte strings must never
+// crash a parser — they either round-trip or fail with a clean Status.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/compression.h"
+#include "common/rng.h"
+#include "delta/delta.h"
+#include "delta/eventlist.h"
+#include "tgi/metadata.h"
+#include "workload/event_io.h"
+#include "workload/generators.h"
+
+namespace hgs::workload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EventIoTest, LineRoundTripAllTypes) {
+  std::vector<Event> events = {
+      Event::AddNode(1, 5, Attributes{{"k", "v"}, {"name", "a b c"}}),
+      Event::RemoveNode(2, 5),
+      Event::AddEdge(3, 1, 2, true, Attributes{{"w", "1.5"}}),
+      Event::RemoveEdge(4, 1, 2),
+      Event::SetNodeAttr(5, 7, "key", "new", "old"),
+      Event::DelNodeAttr(6, 7, "key", "old"),
+      Event::SetEdgeAttr(7, 1, 2, "w", "2", "1.5"),
+      Event::DelEdgeAttr(8, 1, 2, "w", "2"),
+  };
+  for (const Event& e : events) {
+    auto back = EventFromTsvLine(EventToTsvLine(e));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, e);
+  }
+}
+
+TEST(EventIoTest, EscapingSurvivesHostileStrings) {
+  Event e = Event::SetNodeAttr(9, 1, "ta\tb", "v;a=l\nue%", "p%r;e=v");
+  e.attrs.Set("k\t;=%", "v\n\t%;=");
+  auto back = EventFromTsvLine(EventToTsvLine(e));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(EventIoTest, FileRoundTripGeneratedHistory) {
+  auto events = GenerateWikiGrowth({.num_events = 2'000, .seed = 5});
+  std::string path = TempPath("hgs_event_io_test.tsv");
+  ASSERT_TRUE(WriteEventsTsv(events, path).ok());
+  auto back = ReadEventsTsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, events);
+  std::remove(path.c_str());
+}
+
+TEST(EventIoTest, MissingFileIsIOError) {
+  auto res = ReadEventsTsv("/nonexistent/path/events.tsv");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsIOError());
+}
+
+TEST(EventIoTest, MalformedLinesReportLineNumbers) {
+  std::string path = TempPath("hgs_event_io_bad.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# header\n1\tAddNode\t5\t\t0\t\t\t\t\nnot\ta\tvalid\tline\n",
+               f);
+    std::fclose(f);
+  }
+  auto res = ReadEventsTsv(path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().message().find(":3:"), std::string::npos)
+      << res.status().ToString();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer fuzzing: random bytes and mutated valid payloads.
+// ---------------------------------------------------------------------------
+
+class FuzzDeserializers : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  std::string s;
+  size_t n = rng->Uniform(max_len + 1);
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(rng->Next() & 0xFF));
+  }
+  return s;
+}
+
+TEST_P(FuzzDeserializers, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::string junk = RandomBytes(&rng, 256);
+    (void)Delta::Deserialize(junk);
+    (void)EventList::Deserialize(junk);
+    (void)Decompress(junk);
+    (void)tgi::VersionChainSegment::Deserialize(junk);
+    (void)tgi::GraphMeta::Deserialize(junk);
+    (void)tgi::DeserializeMicropartBucket(junk);
+    (void)EventFromTsvLine(junk);
+  }
+}
+
+TEST_P(FuzzDeserializers, MutatedValidPayloadsFailCleanlyOrRoundTrip) {
+  Rng rng(GetParam() + 99);
+  // A real delta payload as the mutation base.
+  Delta d;
+  for (NodeId i = 0; i < 40; ++i) {
+    d.PutNode(i, NodeRecord{.attrs = Attributes{{"a", std::to_string(i)}}});
+  }
+  for (NodeId i = 0; i + 1 < 40; ++i) {
+    d.PutEdge(EdgeKey(i, i + 1), EdgeRecord{.src = i, .dst = i + 1, .directed = false, .attrs = {}});
+  }
+  std::string base = d.Serialize();
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 << rng.Uniform(8));
+    }
+    auto res = Delta::Deserialize(mutated);
+    // The checksum makes silent acceptance of mutations (other than
+    // restoring the original) essentially impossible.
+    if (mutated != base) {
+      EXPECT_FALSE(res.ok());
+    }
+  }
+}
+
+TEST_P(FuzzDeserializers, TruncatedValidPayloadsFailCleanly) {
+  Rng rng(GetParam() + 7);
+  EventList list(0, 100);
+  for (int i = 1; i <= 50; ++i) {
+    list.Append(Event::AddEdge(i, static_cast<NodeId>(i),
+                               static_cast<NodeId>(i + 1)));
+  }
+  std::string base = list.Serialize();
+  for (int i = 0; i < 100; ++i) {
+    size_t cut = rng.Uniform(base.size());
+    auto res = EventList::Deserialize(base.substr(0, cut));
+    EXPECT_FALSE(res.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDeserializers,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace hgs::workload

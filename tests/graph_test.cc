@@ -1,0 +1,213 @@
+// Tests for the graph snapshot structure and the algorithm library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/attributes.h"
+#include "graph/graph.h"
+
+namespace hgs {
+namespace {
+
+Graph Triangle() {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  return g;
+}
+
+// A 5-node path 1-2-3-4-5.
+Graph Path5() {
+  Graph g;
+  for (NodeId i = 1; i < 5; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(AttributesTest, SetGetEraseOrdered) {
+  Attributes a;
+  a.Set("b", "2");
+  a.Set("a", "1");
+  a.Set("c", "3");
+  EXPECT_EQ(*a.Get("a"), "1");
+  EXPECT_EQ(*a.Get("b"), "2");
+  a.Set("b", "20");
+  EXPECT_EQ(*a.Get("b"), "20");
+  EXPECT_TRUE(a.Erase("b"));
+  EXPECT_FALSE(a.Erase("b"));
+  EXPECT_FALSE(a.Get("b").has_value());
+  // Entries stay sorted for deterministic serialization.
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.entries()[0].first, "a");
+  EXPECT_EQ(a.entries()[1].first, "c");
+}
+
+TEST(AttributesTest, IntersectKeepsEqualEntries) {
+  Attributes a{{"x", "1"}, {"y", "2"}, {"z", "3"}};
+  Attributes b{{"x", "1"}, {"y", "9"}, {"w", "0"}};
+  Attributes i = Attributes::Intersect(a, b);
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_EQ(*i.Get("x"), "1");
+}
+
+TEST(GraphTest, AddRemoveNodes) {
+  Graph g;
+  EXPECT_TRUE(g.AddNode(1));
+  EXPECT_FALSE(g.AddNode(1));  // duplicate
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_TRUE(g.RemoveNode(1));
+  EXPECT_FALSE(g.RemoveNode(1));
+  EXPECT_EQ(g.NumNodes(), 0u);
+}
+
+TEST(GraphTest, EdgesCreateEndpointsImplicitly) {
+  Graph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(2, 1));  // undirected key canonicalization
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  Graph g;
+  EXPECT_FALSE(g.AddEdge(1, 1));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, RemoveNodeDetachesEdges) {
+  Graph g = Triangle();
+  g.RemoveNode(2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_EQ(g.Neighbors(1).size(), 1u);
+}
+
+TEST(GraphTest, EdgeRecordPreservesDirection) {
+  Graph g;
+  g.AddEdge(5, 2, /*directed=*/true);
+  const EdgeRecord* rec = g.GetEdge(2, 5);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->src, 5u);
+  EXPECT_EQ(rec->dst, 2u);
+  EXPECT_TRUE(rec->directed);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  Graph a = Triangle();
+  Graph b = Triangle();
+  EXPECT_TRUE(a == b);
+  b.AddNode(99);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(AlgorithmsTest, DegreeAndDensity) {
+  Graph g = Triangle();
+  EXPECT_EQ(algo::Degree(g, 1), 2u);
+  EXPECT_DOUBLE_EQ(algo::AverageDegree(g), 2.0);
+  EXPECT_DOUBLE_EQ(algo::Density(g), 1.0);  // complete graph
+  Graph p = Path5();
+  EXPECT_DOUBLE_EQ(algo::Density(p), 2.0 * 4 / (5 * 4));
+}
+
+TEST(AlgorithmsTest, ClusteringCoefficient) {
+  Graph g = Triangle();
+  EXPECT_DOUBLE_EQ(algo::LocalClusteringCoefficient(g, 1), 1.0);
+  // Star: center has no neighbor links.
+  Graph star;
+  for (NodeId i = 2; i <= 5; ++i) star.AddEdge(1, i);
+  EXPECT_DOUBLE_EQ(algo::LocalClusteringCoefficient(star, 1), 0.0);
+  EXPECT_DOUBLE_EQ(algo::LocalClusteringCoefficient(star, 2), 0.0);
+  // Triangle + pendant on node 1.
+  Graph g2 = Triangle();
+  g2.AddEdge(1, 4);
+  EXPECT_DOUBLE_EQ(algo::LocalClusteringCoefficient(g2, 1), 1.0 / 3.0);
+}
+
+TEST(AlgorithmsTest, TriangleCount) {
+  EXPECT_EQ(algo::TriangleCount(Triangle()), 1u);
+  EXPECT_EQ(algo::TriangleCount(Path5()), 0u);
+  // K4 has 4 triangles.
+  Graph k4;
+  for (NodeId i = 1; i <= 4; ++i) {
+    for (NodeId j = i + 1; j <= 4; ++j) k4.AddEdge(i, j);
+  }
+  EXPECT_EQ(algo::TriangleCount(k4), 4u);
+}
+
+TEST(AlgorithmsTest, PageRankSumsToOneAndRanksHubs) {
+  Graph star;
+  for (NodeId i = 2; i <= 6; ++i) star.AddEdge(1, i);
+  auto pr = algo::PageRank(star, 30);
+  double sum = 0;
+  for (const auto& [id, score] : pr) sum += score;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (NodeId i = 2; i <= 6; ++i) EXPECT_GT(pr[1], pr[i]);
+}
+
+TEST(AlgorithmsTest, BfsAndShortestPath) {
+  Graph p = Path5();
+  auto dist = algo::BfsDistances(p, 1);
+  EXPECT_EQ(dist[5], 4);
+  EXPECT_EQ(algo::ShortestPathLength(p, 1, 5), 4);
+  EXPECT_EQ(algo::ShortestPathLength(p, 1, 1), 0);
+  p.AddNode(99);
+  EXPECT_EQ(algo::ShortestPathLength(p, 1, 99), -1);
+  // Bounded BFS.
+  auto bounded = algo::BfsDistances(p, 1, 2);
+  EXPECT_TRUE(bounded.contains(3));
+  EXPECT_FALSE(bounded.contains(4));
+}
+
+TEST(AlgorithmsTest, ConnectedComponents) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddNode(5);
+  auto cc = algo::ConnectedComponents(g);
+  EXPECT_EQ(cc[1], cc[2]);
+  EXPECT_EQ(cc[3], cc[4]);
+  EXPECT_NE(cc[1], cc[3]);
+  EXPECT_EQ(cc[5], 5u);
+  EXPECT_EQ(algo::LargestComponentSize(g), 2u);
+}
+
+TEST(AlgorithmsTest, CountLabel) {
+  Graph g;
+  g.AddNode(1, Attributes{{"EntityType", "Author"}});
+  g.AddNode(2, Attributes{{"EntityType", "Paper"}});
+  g.AddNode(3, Attributes{{"EntityType", "Author"}});
+  EXPECT_EQ(algo::CountLabel(g, "EntityType", "Author"), 2u);
+  EXPECT_EQ(algo::CountLabel(g, "EntityType", "Editor"), 0u);
+}
+
+TEST(AlgorithmsTest, DegreeDistributionAndHub) {
+  Graph star;
+  for (NodeId i = 2; i <= 5; ++i) star.AddEdge(1, i);
+  auto hist = algo::DegreeDistribution(star);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(algo::HighestDegreeNode(star), 1u);
+  EXPECT_EQ(algo::HighestDegreeNode(Graph()), kInvalidNodeId);
+}
+
+TEST(AlgorithmsTest, InducedSubgraph) {
+  Graph g = Triangle();
+  g.AddEdge(3, 4);
+  Graph sub = algo::InducedSubgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.NumNodes(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 3u);
+  EXPECT_FALSE(sub.HasNode(4));
+}
+
+TEST(AlgorithmsTest, KHopNeighborhood) {
+  Graph p = Path5();
+  auto one_hop = algo::KHopNeighborhood(p, 3, 1);
+  EXPECT_EQ(one_hop.size(), 3u);  // {2,3,4}
+  auto two_hop = algo::KHopNeighborhood(p, 3, 2);
+  EXPECT_EQ(two_hop.size(), 5u);
+}
+
+}  // namespace
+}  // namespace hgs

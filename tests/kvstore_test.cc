@@ -1,0 +1,198 @@
+// Tests for the simulated distributed KV store: placement, replication,
+// failover, scans, compression transparency and stats accounting.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "kvstore/cluster.h"
+
+namespace hgs {
+namespace {
+
+ClusterOptions FastOptions(size_t nodes = 2, size_t replication = 1) {
+  ClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.replication = replication;
+  opts.latency.enabled = false;  // unit tests don't want simulated sleeps
+  return opts;
+}
+
+TEST(ClusterTest, PutGetRoundTrip) {
+  Cluster c(FastOptions());
+  ASSERT_TRUE(c.Put("t", 1, "key", "value").ok());
+  auto got = c.Get("t", 1, "key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+}
+
+TEST(ClusterTest, MissingKeyIsNotFound) {
+  Cluster c(FastOptions());
+  auto got = c.Get("t", 1, "nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST(ClusterTest, TablesAreNamespaces) {
+  Cluster c(FastOptions());
+  ASSERT_TRUE(c.Put("a", 1, "k", "va").ok());
+  ASSERT_TRUE(c.Put("b", 1, "k", "vb").ok());
+  EXPECT_EQ(*c.Get("a", 1, "k"), "va");
+  EXPECT_EQ(*c.Get("b", 1, "k"), "vb");
+}
+
+TEST(ClusterTest, ScanReturnsPrefixInOrder) {
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 7, "ab", "2").ok());
+  ASSERT_TRUE(c.Put("t", 7, "aa", "1").ok());
+  ASSERT_TRUE(c.Put("t", 7, "ac", "3").ok());
+  ASSERT_TRUE(c.Put("t", 7, "b", "x").ok());
+  auto res = c.Scan("t", 7, "a");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 3u);
+  EXPECT_EQ((*res)[0].key, "aa");
+  EXPECT_EQ((*res)[1].key, "ab");
+  EXPECT_EQ((*res)[2].key, "ac");
+  EXPECT_EQ((*res)[2].value, "3");
+}
+
+TEST(ClusterTest, ScanEmptyPrefixReturnsWholePartition) {
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 3, "x", "1").ok());
+  ASSERT_TRUE(c.Put("t", 3, "y", "2").ok());
+  ASSERT_TRUE(c.Put("t", 4, "z", "3").ok());  // different partition token
+  auto res = c.Scan("t", 3, "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 2u);
+}
+
+TEST(ClusterTest, DeleteRemovesFromAllReplicas) {
+  Cluster c(FastOptions(3, 3));
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  EXPECT_TRUE(c.Delete("t", 1, "k"));
+  EXPECT_TRUE(c.Get("t", 1, "k").status().IsNotFound());
+  EXPECT_FALSE(c.Delete("t", 1, "k"));
+}
+
+TEST(ClusterTest, ReplicationSurvivesNodeFailure) {
+  Cluster c(FastOptions(3, 2));
+  for (uint64_t p = 0; p < 30; ++p) {
+    ASSERT_TRUE(c.Put("t", p, "k" + std::to_string(p), "v").ok());
+  }
+  c.SetNodeDown(0, true);
+  for (uint64_t p = 0; p < 30; ++p) {
+    auto got = c.Get("t", p, "k" + std::to_string(p));
+    ASSERT_TRUE(got.ok()) << "partition " << p << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, "v");
+  }
+}
+
+TEST(ClusterTest, NoReplicationFailsWhenOwnerDown) {
+  Cluster c(FastOptions(2, 1));
+  // Find a partition owned by node 0.
+  bool found_failure = false;
+  for (uint64_t p = 0; p < 16 && !found_failure; ++p) {
+    std::string key = "k" + std::to_string(p);
+    ASSERT_TRUE(c.Put("t", p, key, "v").ok());
+    c.SetNodeDown(0, true);
+    auto got = c.Get("t", p, key);
+    if (!got.ok() && got.status().IsIOError()) found_failure = true;
+    c.SetNodeDown(0, false);
+  }
+  EXPECT_TRUE(found_failure);
+}
+
+TEST(ClusterTest, ReplicationClampedToNodeCount) {
+  Cluster c(FastOptions(2, 5));
+  EXPECT_EQ(c.replication(), 2u);
+}
+
+TEST(ClusterTest, CompressionIsTransparent) {
+  ClusterOptions opts = FastOptions(1);
+  opts.compression = CompressionKind::kLz;
+  Cluster c(opts);
+  std::string value;
+  for (int i = 0; i < 200; ++i) value += "repetitive-payload-";
+  ASSERT_TRUE(c.Put("t", 1, "k", value).ok());
+  auto got = c.Get("t", 1, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+  // Stored bytes should reflect compression.
+  EXPECT_LT(c.TotalStoredBytes(), value.size());
+  auto scanned = c.Scan("t", 1, "");
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ((*scanned)[0].value, value);
+}
+
+TEST(ClusterTest, StatsAccounting) {
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 1, "k", "0123456789").ok());
+  c.ResetStats();
+  ASSERT_TRUE(c.Get("t", 1, "k").ok());
+  ASSERT_TRUE(c.Scan("t", 1, "").ok());
+  EXPECT_EQ(c.TotalReadRequests(), 2u);
+  EXPECT_GT(c.TotalBytesRead(), 0u);
+  EXPECT_GT(c.TotalKeys(), 0u);
+}
+
+TEST(ClusterTest, OverwriteUpdatesStoredBytes) {
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 1, "k", std::string(100, 'a')).ok());
+  uint64_t before = c.TotalStoredBytes();
+  ASSERT_TRUE(c.Put("t", 1, "k", std::string(10, 'b')).ok());
+  EXPECT_LT(c.TotalStoredBytes(), before);
+  EXPECT_EQ(c.TotalKeys(), 1u);
+}
+
+TEST(LatencyModelTest, CostScalesWithKeysAndBytes) {
+  LatencyModel m;
+  m.seek_micros = 100;
+  m.per_key_micros = 10;
+  m.bytes_per_micro = 100.0;
+  EXPECT_EQ(m.CostMicros(0, 0), 100);
+  EXPECT_EQ(m.CostMicros(5, 0), 150);
+  EXPECT_EQ(m.CostMicros(0, 10'000), 200);
+  m.enabled = false;
+  EXPECT_EQ(m.CostMicros(5, 10'000), 0);
+}
+
+TEST(LatencySimulationTest, SleepsApproximatelyTheModelledCost) {
+  ClusterOptions opts;
+  opts.num_nodes = 1;
+  opts.latency.enabled = true;
+  opts.latency.seek_micros = 2'000;  // 2ms, measurable
+  opts.latency.per_key_micros = 0;
+  Cluster c(opts);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(c.Get("t", 1, "k").ok());
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  EXPECT_GE(ms, 1.5);
+}
+
+TEST(LatencySimulationTest, ParallelRequestsOverlapOnServerThreads) {
+  ClusterOptions opts;
+  opts.num_nodes = 1;
+  opts.server_threads_per_node = 4;
+  opts.latency.enabled = true;
+  opts.latency.seek_micros = 5'000;
+  Cluster c(opts);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c.Put("t", 1, "k" + std::to_string(i), "v").ok());
+  }
+  // 4 sequential gets ~ 20ms; 4 parallel gets on 4 server threads ~ 5ms.
+  auto start = std::chrono::steady_clock::now();
+  ParallelFor(4, 4, [&](size_t i) {
+    ASSERT_TRUE(c.Get("t", 1, "k" + std::to_string(i)).ok());
+  });
+  double parallel_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(parallel_ms, 16.0);
+}
+
+}  // namespace
+}  // namespace hgs

@@ -1,0 +1,404 @@
+// Tests for the Temporal Graph Analysis Framework: NodeT/SubgraphT
+// semantics, SoN/SoTS operators against brute-force references, the
+// incremental-vs-fresh computation equivalence (Fig 8), Compare/Evolution
+// (Fig 7), temporal aggregation, and worker-count invariance.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "kvstore/cluster.h"
+#include "taf/context.h"
+#include "taf/metrics.h"
+#include "taf/operators.h"
+#include "tgi/tgi.h"
+#include "workload/generators.h"
+
+namespace hgs::taf {
+namespace {
+
+ClusterOptions FastCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.latency.enabled = false;
+  return opts;
+}
+
+TGIOptions SmallTGI() {
+  TGIOptions opts;
+  opts.events_per_timespan = 2'000;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 400;
+  opts.micro_delta_size = 64;
+  opts.num_horizontal_partitions = 2;
+  return opts;
+}
+
+// Shared fixture: one built index over a generated history.
+class TafFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new Cluster(FastCluster());
+    events_ = new std::vector<Event>(MakeHistory());
+    tgi_ = new TGI(cluster_, SmallTGI());
+    ASSERT_TRUE(tgi_->BuildFrom(*events_).ok());
+    auto qm = tgi_->OpenQueryManager(4);
+    ASSERT_TRUE(qm.ok());
+    qm_ = qm->release();
+  }
+  static void TearDownTestSuite() {
+    delete qm_;
+    delete tgi_;
+    delete events_;
+    delete cluster_;
+    qm_ = nullptr;
+    tgi_ = nullptr;
+    events_ = nullptr;
+    cluster_ = nullptr;
+  }
+
+  static std::vector<Event> MakeHistory() {
+    workload::WikiGrowthOptions w;
+    w.num_events = 2'500;
+    w.seed = 101;
+    auto events = workload::GenerateWikiGrowth(w);
+    return workload::AugmentWithChurn(std::move(events),
+                                      {.num_events = 2'500, .seed = 102});
+  }
+
+  static Cluster* cluster_;
+  static std::vector<Event>* events_;
+  static TGI* tgi_;
+  static TGIQueryManager* qm_;
+};
+
+Cluster* TafFixture::cluster_ = nullptr;
+std::vector<Event>* TafFixture::events_ = nullptr;
+TGI* TafFixture::tgi_ = nullptr;
+TGIQueryManager* TafFixture::qm_ = nullptr;
+
+TEST_F(TafFixture, FetchAllNodesMatchesReplayPopulation) {
+  TAFContext ctx(qm_, 4);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  // Every node that ever existed is a temporal node.
+  std::unordered_set<NodeId> ever;
+  for (const Event& e : *events_) {
+    if (e.type == EventType::kAddNode) ever.insert(e.u);
+  }
+  EXPECT_EQ(son->size(), ever.size());
+}
+
+TEST_F(TafFixture, NodeTStateMatchesReplayAtProbes) {
+  TAFContext ctx(qm_, 4);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Rng rng(1);
+  for (Timestamp t : {to / 3, to / 2, to}) {
+    Graph expected = workload::ReplayToGraph(*events_, t);
+    for (int trial = 0; trial < 10; ++trial) {
+      const NodeT& n = son->nodes()[rng.Uniform(son->size())];
+      StaticNodeView v = n.GetStateAt(t);
+      EXPECT_EQ(v.exists, expected.HasNode(n.id()));
+      if (v.exists) {
+        EXPECT_EQ(v.Degree(), expected.Neighbors(n.id()).size());
+        EXPECT_EQ(v.attrs, expected.GetNode(n.id())->attrs);
+      }
+    }
+  }
+}
+
+TEST_F(TafFixture, VersionIteratorAgreesWithGetVersions) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  // Find a node with a few versions.
+  const NodeT* busy = nullptr;
+  for (const NodeT& n : son->nodes()) {
+    if (n.VersionCount() >= 3) {
+      busy = &n;
+      break;
+    }
+  }
+  ASSERT_NE(busy, nullptr);
+  auto versions = busy->GetVersions();
+  auto it = busy->GetIterator();
+  size_t idx = 1;
+  while (it.HasNextEvent()) {
+    StaticNodeView v = it.GetNextVersion();
+    ASSERT_LT(idx, versions.size());
+    EXPECT_EQ(v.Degree(), versions[idx].second.Degree());
+    EXPECT_EQ(v.attrs, versions[idx].second.attrs);
+    ++idx;
+  }
+  EXPECT_EQ(idx, versions.size());
+}
+
+TEST_F(TafFixture, TimesliceProducesStaticStates) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Timestamp t = to / 2;
+  SoN sliced = son->Timeslice(t);
+  Graph expected = workload::ReplayToGraph(*events_, t);
+  for (const NodeT& n : sliced.nodes()) {
+    EXPECT_EQ(n.VersionCount(), 0u);
+    StaticNodeView v = n.GetStateAt(t);
+    EXPECT_EQ(v.exists, expected.HasNode(n.id()));
+  }
+}
+
+TEST_F(TafFixture, GetGraphAtMatchesReplaySubgraph) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Timestamp t = to * 2 / 3;
+  Graph got = son->GetGraphAt(t);
+  Graph expected = workload::ReplayToGraph(*events_, t);
+  EXPECT_EQ(got.NumNodes(), expected.NumNodes());
+  EXPECT_EQ(got.NumEdges(), expected.NumEdges());
+}
+
+TEST_F(TafFixture, SelectByIdPredicate) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).WhereId([](NodeId id) {
+    return id < 50;
+  }).Fetch();
+  ASSERT_TRUE(son.ok());
+  for (const NodeT& n : son->nodes()) EXPECT_LT(n.id(), 50u);
+  EXPECT_GT(son->size(), 0u);
+}
+
+TEST_F(TafFixture, NodeComputeDegreeMatchesBruteForce) {
+  TAFContext ctx(qm_, 3);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Graph final_state = workload::ReplayToGraph(*events_, to);
+  std::function<double(const NodeT&)> final_degree =
+      [to](const NodeT& n) {
+        return static_cast<double>(n.GetStateAt(to).Degree());
+      };
+  auto degrees = son->NodeCompute(final_degree);
+  for (size_t i = 0; i < son->size(); ++i) {
+    NodeId id = son->nodes()[i].id();
+    double expected = final_state.HasNode(id)
+                          ? static_cast<double>(final_state.Neighbors(id).size())
+                          : 0.0;
+    EXPECT_DOUBLE_EQ(degrees[i], expected) << "node " << id;
+  }
+}
+
+TEST_F(TafFixture, WorkerCountDoesNotChangeResults) {
+  Timestamp to = workload::EndTime(*events_);
+  std::function<double(const NodeT&)> f = [](const NodeT& n) {
+    return static_cast<double>(n.VersionCount());
+  };
+  std::vector<double> results_1, results_4;
+  {
+    TAFContext ctx(qm_, 1);
+    auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+    ASSERT_TRUE(son.ok());
+    results_1 = son->NodeCompute(f);
+  }
+  {
+    TAFContext ctx(qm_, 4);
+    auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+    ASSERT_TRUE(son.ok());
+    results_4 = son->NodeCompute(f);
+  }
+  EXPECT_EQ(results_1, results_4);
+}
+
+TEST_F(TafFixture, NodeComputeTemporalVisitsEveryChangePoint) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  std::function<double(const StaticNodeView&)> degree =
+      [](const StaticNodeView& v) { return static_cast<double>(v.Degree()); };
+  auto series = son->NodeComputeTemporal(degree);
+  for (size_t i = 0; i < son->size(); ++i) {
+    EXPECT_EQ(series[i].size(), son->nodes()[i].VersionCount() + 1);
+  }
+}
+
+TEST_F(TafFixture, CustomTimepointSelector) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  // Fig 9a: start, middle, end.
+  std::function<std::vector<Timestamp>(const NodeT&)> three_points =
+      [](const NodeT& n) {
+        return std::vector<Timestamp>{
+            n.GetStartTime(), (n.GetStartTime() + n.GetEndTime()) / 2,
+            n.GetEndTime()};
+      };
+  std::function<double(const StaticNodeView&)> degree =
+      [](const StaticNodeView& v) { return static_cast<double>(v.Degree()); };
+  auto series = son->NodeComputeTemporal(degree, three_points);
+  for (const auto& s : series) EXPECT_EQ(s.size(), 3u);
+}
+
+TEST_F(TafFixture, EvolutionOfDensityIsComputable) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Series evol = son->Evolution(metrics::Density, 10);
+  ASSERT_EQ(evol.size(), 10u);
+  EXPECT_EQ(evol.front().first, son->GetStartTime());
+  EXPECT_EQ(evol.back().first, son->GetEndTime());
+  for (const auto& [t, v] : evol) EXPECT_GE(v, 0.0);
+}
+
+TEST_F(TafFixture, SubgraphFetchAndVersions) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  Graph final_state = workload::ReplayToGraph(*events_, to);
+  NodeId hub = algo::HighestDegreeNode(final_state);
+  Timestamp from = to / 2;
+  auto sots = ctx.Subgraphs(1).TimeRange(from, to).WithSeeds({hub}).Fetch();
+  ASSERT_TRUE(sots.ok());
+  ASSERT_EQ(sots->size(), 1u);
+  const SubgraphT& sg = sots->subgraphs()[0];
+  // Version at window start equals the 1-hop induced subgraph then.
+  Graph at_from = workload::ReplayToGraph(*events_, from);
+  if (at_from.HasNode(hub)) {
+    Graph v0 = sg.GetVersionAt(from);
+    Graph want = algo::InducedSubgraph(
+        at_from, algo::KHopNeighborhood(at_from, hub, 1));
+    EXPECT_EQ(v0.NumNodes(), want.NumNodes());
+  }
+}
+
+TEST_F(TafFixture, IncrementalEqualsFreshLabelCount) {
+  // Fig 8's central property: NodeComputeDelta computes exactly what
+  // NodeComputeTemporal computes.
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  Graph final_state = workload::ReplayToGraph(*events_, to);
+  // Take a few well-connected seeds.
+  std::vector<NodeId> seeds;
+  for (NodeId id : final_state.NodeIds()) {
+    if (final_state.Neighbors(id).size() >= 3) seeds.push_back(id);
+    if (seeds.size() == 5) break;
+  }
+  ASSERT_FALSE(seeds.empty());
+  auto sots =
+      ctx.Subgraphs(1).TimeRange(to / 2, to).WithSeeds(seeds).Fetch();
+  ASSERT_TRUE(sots.ok());
+
+  std::function<double(const Graph&)> fresh = [](const Graph& g) {
+    return metrics::CountLabel(g, "kind", "article");
+  };
+  std::function<double(const Graph&, const double&, const Event&)> inc =
+      [](const Graph& before, const double& prev, const Event& e) {
+        return metrics::CountLabelDelta(before, prev, e, "kind", "article");
+      };
+  auto fresh_series = sots->NodeComputeTemporal(fresh);
+  auto inc_series = sots->NodeComputeDelta(fresh, inc);
+  ASSERT_EQ(fresh_series.size(), inc_series.size());
+  for (size_t i = 0; i < fresh_series.size(); ++i) {
+    ASSERT_EQ(fresh_series[i].size(), inc_series[i].size()) << "subgraph " << i;
+    for (size_t j = 0; j < fresh_series[i].size(); ++j) {
+      EXPECT_EQ(fresh_series[i][j].first, inc_series[i][j].first);
+      EXPECT_DOUBLE_EQ(fresh_series[i][j].second, inc_series[i][j].second)
+          << "subgraph " << i << " version " << j;
+    }
+  }
+}
+
+TEST_F(TafFixture, ComparePerNodeDegrees) {
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  Timestamp t1 = to / 2;
+  SoN early = son->Timeslice(t1);
+  SoN late = son->Timeslice(to);
+  std::function<double(const NodeT&)> deg = [](const NodeT& n) {
+    return static_cast<double>(n.GetStateAt(n.GetStartTime()).Degree());
+  };
+  auto diffs = ComparePerNode(late, early, deg);
+  // Growth-only nodes can only gain or keep degree... but churn deletes
+  // edges too, so just verify the bookkeeping: same id set, finite values.
+  EXPECT_EQ(diffs.size(), son->size());
+  Graph g_early = workload::ReplayToGraph(*events_, t1);
+  Graph g_late = workload::ReplayToGraph(*events_, to);
+  for (const auto& [id, diff] : diffs) {
+    double want = 0;
+    if (g_late.HasNode(id)) {
+      want += static_cast<double>(g_late.Neighbors(id).size());
+    }
+    if (g_early.HasNode(id)) {
+      want -= static_cast<double>(g_early.Neighbors(id).size());
+    }
+    EXPECT_DOUBLE_EQ(diff, want) << "node " << id;
+  }
+}
+
+TEST_F(TafFixture, CompareSeriesCommunities) {
+  // Fig 7b shape: compare two attribute-defined subsets over time.
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch();
+  ASSERT_TRUE(son.ok());
+  SoN even = son->Select([](const NodeT& n) { return n.id() % 2 == 0; });
+  SoN odd = son->Select([](const NodeT& n) { return n.id() % 2 == 1; });
+  auto result = CompareSeries(even, odd, CountExisting);
+  ASSERT_FALSE(result.a.empty());
+  ASSERT_EQ(result.a.size(), result.b.size());
+  // Counts never exceed the subset sizes.
+  for (const auto& [t, v] : result.a) EXPECT_LE(v, even.size());
+  for (const auto& [t, v] : result.b) EXPECT_LE(v, odd.size());
+}
+
+TEST(TempAggregationTest, MaxMinMean) {
+  Series s = {{0, 1.0}, {10, 5.0}, {20, 3.0}};
+  EXPECT_DOUBLE_EQ(agg::Max(s)->second, 5.0);
+  EXPECT_EQ(agg::Max(s)->first, 10);
+  EXPECT_DOUBLE_EQ(agg::Min(s)->second, 1.0);
+  EXPECT_DOUBLE_EQ(agg::Mean(s), 3.0);
+  EXPECT_FALSE(agg::Max({}).has_value());
+}
+
+TEST(TempAggregationTest, TimeWeightedMean) {
+  // Value 1 for 10 ticks, then 3 for 10 ticks -> weighted mean 2.
+  Series s = {{0, 1.0}, {10, 3.0}, {20, 3.0}};
+  EXPECT_NEAR(agg::TimeWeightedMean(s), 2.0, 1e-9);
+}
+
+TEST(TempAggregationTest, PeakFindsLocalMaxima) {
+  Series s = {{0, 1}, {1, 5}, {2, 2}, {3, 7}, {4, 3}, {5, 4}};
+  auto peaks = agg::Peak(s);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1);
+  EXPECT_EQ(peaks[1], 3);
+}
+
+TEST(TempAggregationTest, SaturateFindsSettlePoint) {
+  Series s = {{0, 0.0}, {1, 5.0}, {2, 9.0}, {3, 9.8}, {4, 10.0}, {5, 10.0}};
+  auto sat = agg::Saturate(s, 0.05);
+  ASSERT_TRUE(sat.has_value());
+  EXPECT_EQ(*sat, 3);  // within 5% of 10.0 from t=3 onwards
+}
+
+TEST(TempAggregationTest, SaturateEmptyAndConstant) {
+  EXPECT_FALSE(agg::Saturate({}).has_value());
+  Series flat = {{0, 2.0}, {5, 2.0}};
+  auto sat = agg::Saturate(flat);
+  ASSERT_TRUE(sat.has_value());
+  EXPECT_EQ(*sat, 0);
+}
+
+}  // namespace
+}  // namespace hgs::taf

@@ -1,0 +1,542 @@
+// Integration and property tests for the Temporal Graph Index.
+//
+// The central invariant: every retrieval primitive must agree with a direct
+// replay of the event log. Parameterized suites sweep the index's tuning
+// space (eventlist size, partition size, strategy, clustering order,
+// replication) to assert the invariant holds across configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "kvstore/cluster.h"
+#include "tgi/layout.h"
+#include "tgi/tgi.h"
+#include "workload/generators.h"
+
+namespace hgs {
+namespace {
+
+ClusterOptions FastCluster(size_t nodes = 2) {
+  ClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.latency.enabled = false;
+  return opts;
+}
+
+std::vector<Event> SmallHistory(uint64_t seed = 1, uint64_t n = 6'000) {
+  workload::WikiGrowthOptions w;
+  w.num_events = n / 2;
+  w.seed = seed;
+  auto events = workload::GenerateWikiGrowth(w);
+  return workload::AugmentWithChurn(std::move(events),
+                                    {.num_events = n / 2, .seed = seed + 7});
+}
+
+TGIOptions SmallOptions() {
+  TGIOptions opts;
+  opts.events_per_timespan = 2'000;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 400;
+  opts.micro_delta_size = 64;
+  opts.num_horizontal_partitions = 2;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Layout unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(LayoutTest, DeltaRowKeyRoundTrip) {
+  for (ClusteringOrder order :
+       {ClusteringOrder::kDeltaMajor, ClusteringOrder::kPartitionMajor}) {
+    std::string key = tgi::DeltaRowKey(order, 12345, 678, true);
+    DeltaId did;
+    MicroPartitionId pid;
+    bool aux;
+    ASSERT_TRUE(tgi::ParseDeltaRowKey(order, key, &did, &pid, &aux));
+    EXPECT_EQ(did, 12345u);
+    EXPECT_EQ(pid, 678u);
+    EXPECT_TRUE(aux);
+  }
+}
+
+TEST(LayoutTest, DeltaMajorClustersMicroPartitionsOfOneDelta) {
+  // All pids of one did share the DeltaScanPrefix; aux rows do not.
+  std::string prefix = tgi::DeltaScanPrefix(42);
+  for (MicroPartitionId pid : {0u, 1u, 99u}) {
+    std::string key =
+        tgi::DeltaRowKey(ClusteringOrder::kDeltaMajor, 42, pid, false);
+    EXPECT_EQ(key.compare(0, prefix.size(), prefix), 0);
+    std::string aux_key =
+        tgi::DeltaRowKey(ClusteringOrder::kDeltaMajor, 42, pid, true);
+    EXPECT_NE(aux_key.compare(0, prefix.size(), prefix), 0);
+  }
+}
+
+TEST(LayoutTest, EventlistDidNamespaceDisjointFromTree) {
+  EXPECT_GE(tgi::EventlistDid(0), tgi::kEventlistDidBase);
+  EXPECT_LT(DeltaId{1000}, tgi::kEventlistDidBase);
+}
+
+TEST(MetadataTest, TimespanMetaRoundTrip) {
+  tgi::TimespanMeta m;
+  m.tsid = 3;
+  m.start = 100;
+  m.end = 200;
+  m.event_count = 50;
+  m.eventlist_size = 10;
+  m.checkpoint_interval = 20;
+  m.num_micro_partitions = 4;
+  m.strategy = 1;
+  m.checkpoints = {99, 120, 140};
+  m.eventlist_bounds = {{100, 109}, {110, 119}};
+  m.tree = {{-1, -1}, {0, 0}, {0, 1}};
+  BinaryWriter w;
+  m.SerializeTo(&w);
+  std::string buf = w.Finish();
+  BinaryReader r(buf);
+  auto back = tgi::TimespanMeta::DeserializeFrom(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(MetadataTest, PathToCheckpointClimbsToRoot) {
+  tgi::TimespanMeta m;
+  // Root 0 with children 1 (internal) and 4 (leaf cp2); 1 has leaves 2,3.
+  m.tree = {{-1, -1}, {0, -1}, {1, 0}, {1, 1}, {0, 2}};
+  auto path = m.PathToCheckpoint(1);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 3u);
+  auto path2 = m.PathToCheckpoint(2);
+  ASSERT_EQ(path2.size(), 2u);
+  EXPECT_EQ(path2[1], 4u);
+}
+
+TEST(MetadataTest, VersionChainSegmentRoundTrip) {
+  tgi::VersionChainSegment seg;
+  seg.node = 77;
+  seg.tsid = 2;
+  seg.pid = 5;
+  seg.entries = {{2, 0, 5, 10, 20, 3}, {2, 4, 5, 90, 95, 2}};
+  auto back = tgi::VersionChainSegment::Deserialize(seg.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, seg);
+}
+
+TEST(MetadataTest, GraphMetaRoundTrip) {
+  tgi::GraphMeta m;
+  m.start = 1;
+  m.end = 999;
+  m.event_count = 12345;
+  m.timespan_count = 7;
+  m.num_horizontal_partitions = 4;
+  m.clustering_order = 1;
+  m.replicate_one_hop = true;
+  m.micropartition_buckets = 32;
+  auto back = tgi::GraphMeta::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation.
+// ---------------------------------------------------------------------------
+
+TEST(BuilderTest, RejectsNonIncreasingTimestamps) {
+  Cluster cluster(FastCluster());
+  TGIBuilder builder(&cluster, SmallOptions());
+  std::vector<Event> bad = {Event::AddNode(5, 1), Event::AddNode(5, 2)};
+  EXPECT_EQ(builder.Ingest(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, EmptyHistoryFinishes) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  ASSERT_TRUE(tgi.BuildFrom({}).ok());
+  auto qm = tgi.OpenQueryManager();
+  ASSERT_TRUE(qm.ok());
+  auto snap = (*qm)->GetSnapshot(100);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->NumNodes(), 0u);
+}
+
+TEST(BuilderTest, TracksCurrentState) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(3, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  Graph expected = workload::ReplayToGraph(events, kMaxTimestamp);
+  EXPECT_TRUE(tgi.builder()->current_state() == expected);
+}
+
+// ---------------------------------------------------------------------------
+// The core invariant, swept across configurations.
+// Params: (strategy, clustering order, replicate, horizontal partitions).
+// ---------------------------------------------------------------------------
+
+using ConfigParam = std::tuple<PartitionStrategy, ClusteringOrder, bool, int>;
+
+class TGIConfigTest : public ::testing::TestWithParam<ConfigParam> {
+ protected:
+  TGIOptions OptionsFromParam() {
+    TGIOptions opts = SmallOptions();
+    opts.partition_strategy = std::get<0>(GetParam());
+    opts.clustering_order = std::get<1>(GetParam());
+    opts.replicate_one_hop = std::get<2>(GetParam());
+    opts.num_horizontal_partitions =
+        static_cast<size_t>(std::get<3>(GetParam()));
+    return opts;
+  }
+};
+
+TEST_P(TGIConfigTest, SnapshotsMatchReplayEverywhere) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(11, 5'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager(/*fetch_parallelism=*/4);
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  // Probe before history, at several interior points (including span and
+  // checkpoint boundaries), and beyond the end.
+  std::vector<Timestamp> probes = {-5, 0};
+  for (size_t frac = 1; frac <= 10; ++frac) {
+    probes.push_back(events[events.size() * frac / 10 - 1].time);
+  }
+  probes.push_back(workload::EndTime(events) + 50);
+  for (Timestamp t : probes) {
+    auto snap = qm->GetSnapshot(t);
+    ASSERT_TRUE(snap.ok()) << "t=" << t << ": " << snap.status().ToString();
+    Graph expected = workload::ReplayToGraph(events, t);
+    EXPECT_TRUE(*snap == expected)
+        << "snapshot mismatch at t=" << t << " (got " << snap->NumNodes()
+        << "/" << snap->NumEdges() << " nodes/edges, want "
+        << expected.NumNodes() << "/" << expected.NumEdges() << ")";
+  }
+}
+
+TEST_P(TGIConfigTest, NodeStatesMatchReplay) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(13, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager();
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  Rng rng(5);
+  Timestamp t = events[events.size() * 3 / 4].time;
+  Graph expected = workload::ReplayToGraph(events, t);
+  auto ids = expected.NodeIds();
+  ASSERT_FALSE(ids.empty());
+  for (int trial = 0; trial < 25; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto state = qm->GetNodeStateDelta(id, t);
+    ASSERT_TRUE(state.ok());
+    const auto* rec = state->FindNode(id);
+    ASSERT_NE(rec, nullptr) << "node " << id << " missing at t=" << t;
+    ASSERT_TRUE(rec->has_value());
+    EXPECT_EQ((*rec)->attrs, expected.GetNode(id)->attrs);
+    // Incident edges must match the replayed adjacency.
+    size_t edge_count = 0;
+    state->ForEachEdgeEntry(
+        [&](const EdgeKey& key, const std::optional<EdgeRecord>& e) {
+          if (e.has_value() && (key.u == id || key.v == id)) ++edge_count;
+        });
+    EXPECT_EQ(edge_count, expected.Neighbors(id).size()) << "node " << id;
+  }
+}
+
+TEST_P(TGIConfigTest, NodeHistoryMatchesLogFilter) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(17, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager();
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  Timestamp from = events[events.size() / 4].time;
+  Timestamp to = events[events.size() * 3 / 4].time;
+  Rng rng(6);
+  Graph at_from = workload::ReplayToGraph(events, from);
+  auto ids = at_from.NodeIds();
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto hist = qm->GetNodeHistory(id, from, to);
+    ASSERT_TRUE(hist.ok());
+    // Expected: all events touching the node in (from, to].
+    std::vector<Event> expected;
+    for (const Event& e : events) {
+      if (e.time > from && e.time <= to && e.Touches(id)) {
+        expected.push_back(e);
+      }
+    }
+    ASSERT_EQ(hist->events.size(), expected.size()) << "node " << id;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(hist->events.events()[i], expected[i]);
+    }
+    // Initial state matches replay at `from`.
+    const auto* rec = hist->initial.FindNode(id);
+    bool existed = at_from.HasNode(id);
+    EXPECT_EQ(rec != nullptr && rec->has_value(), existed);
+  }
+}
+
+TEST_P(TGIConfigTest, OneHopNeighborhoodMatchesReplay) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(19, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager();
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  Timestamp t = events[events.size() / 2].time;
+  Graph expected = workload::ReplayToGraph(events, t);
+  Rng rng(7);
+  auto ids = expected.NodeIds();
+  for (int trial = 0; trial < 15; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto hood = qm->GetKHopNeighborhood(id, t, 1);
+    ASSERT_TRUE(hood.ok());
+    // Node set must be exactly {id} ∪ neighbors(id).
+    std::unordered_set<NodeId> want{id};
+    for (NodeId n : expected.Neighbors(id)) want.insert(n);
+    EXPECT_EQ(hood->NumNodes(), want.size()) << "center " << id;
+    for (NodeId n : want) {
+      EXPECT_TRUE(hood->HasNode(n)) << "missing " << n;
+    }
+    // All center-incident edges present.
+    for (NodeId n : expected.Neighbors(id)) {
+      EXPECT_TRUE(hood->HasEdge(id, n));
+    }
+  }
+}
+
+TEST_P(TGIConfigTest, TwoHopCoversBfsSet) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(23, 3'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager();
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  Timestamp t = workload::EndTime(events);
+  Graph expected = workload::ReplayToGraph(events, t);
+  Rng rng(8);
+  auto ids = expected.NodeIds();
+  for (int trial = 0; trial < 8; ++trial) {
+    NodeId id = ids[rng.Uniform(ids.size())];
+    auto hood = qm->GetKHopNeighborhood(id, t, 2);
+    ASSERT_TRUE(hood.ok());
+    auto bfs = algo::BfsDistances(expected, id, 2);
+    EXPECT_EQ(hood->NumNodes(), bfs.size()) << "center " << id;
+    for (const auto& [n, d] : bfs) {
+      EXPECT_TRUE(hood->HasNode(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TGIConfigTest,
+    ::testing::Values(
+        ConfigParam{PartitionStrategy::kRandom, ClusteringOrder::kDeltaMajor,
+                    false, 2},
+        ConfigParam{PartitionStrategy::kRandom,
+                    ClusteringOrder::kPartitionMajor, false, 2},
+        ConfigParam{PartitionStrategy::kLocality, ClusteringOrder::kDeltaMajor,
+                    false, 2},
+        ConfigParam{PartitionStrategy::kRandom, ClusteringOrder::kDeltaMajor,
+                    true, 2},
+        ConfigParam{PartitionStrategy::kLocality,
+                    ClusteringOrder::kDeltaMajor, true, 3},
+        ConfigParam{PartitionStrategy::kRandom, ClusteringOrder::kDeltaMajor,
+                    false, 1}));
+
+// ---------------------------------------------------------------------------
+// Targeted behaviors beyond the core invariant.
+// ---------------------------------------------------------------------------
+
+TEST(TGITest, NodeVersionsReplayChronologically) {
+  Cluster cluster(FastCluster());
+  TGIOptions opts = SmallOptions();
+  Cluster c2(FastCluster());
+  TGI tgi(&c2, opts);
+  auto events = SmallHistory(29, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager().value();
+
+  // Find a node with several changes.
+  std::unordered_map<NodeId, int> touch_count;
+  for (const Event& e : events) {
+    ++touch_count[e.u];
+    if (e.IsEdgeEvent()) ++touch_count[e.v];
+  }
+  NodeId busy = 0;
+  int best = 0;
+  for (auto [id, cnt] : touch_count) {
+    if (cnt > best) {
+      best = cnt;
+      busy = id;
+    }
+  }
+  ASSERT_GT(best, 3);
+  Timestamp from = 0;
+  Timestamp to = workload::EndTime(events);
+  auto versions = qm->GetNodeVersions(busy, from, to);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), static_cast<size_t>(best) + 1);
+  for (size_t i = 1; i < versions->size(); ++i) {
+    EXPECT_GT((*versions)[i].first, (*versions)[i - 1].first);
+  }
+  // Final version equals the node's final state.
+  Graph final_state = workload::ReplayToGraph(events, to);
+  const auto* rec = versions->back().second.FindNode(busy);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->has_value(), final_state.HasNode(busy));
+}
+
+TEST(TGITest, OneHopHistoryCoversNeighborEvents) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(31, 3'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager().value();
+
+  Timestamp to = workload::EndTime(events);
+  Graph final_state = workload::ReplayToGraph(events, to);
+  // Pick the highest-degree node as the center.
+  NodeId center = algo::HighestDegreeNode(final_state);
+  auto hist = qm->GetOneHopHistory(center, 0, to);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->center.node, center);
+  // Every final neighbor appears among the returned neighbor histories.
+  std::unordered_set<NodeId> returned;
+  for (const auto& nh : hist->neighbors) returned.insert(nh.node);
+  for (NodeId n : final_state.Neighbors(center)) {
+    EXPECT_TRUE(returned.contains(n)) << "neighbor " << n;
+  }
+}
+
+TEST(TGITest, BatchUpdateAppendsNewTimespans) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(37, 6'000);
+  size_t half = events.size() / 2;
+  std::vector<Event> first(events.begin(), events.begin() + half);
+  std::vector<Event> second(events.begin() + half, events.end());
+
+  ASSERT_TRUE(tgi.BuildFrom(first).ok());
+  ASSERT_TRUE(tgi.AppendBatch(second).ok());
+
+  auto qm = tgi.OpenQueryManager().value();
+  for (double frac : {0.3, 0.6, 1.0}) {
+    Timestamp t = events[static_cast<size_t>(events.size() * frac) - 1].time;
+    auto snap = qm->GetSnapshot(t);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_TRUE(*snap == workload::ReplayToGraph(events, t)) << "t=" << t;
+  }
+}
+
+TEST(TGITest, SurvivesReplicaFailureWithReplication) {
+  ClusterOptions copts = FastCluster(3);
+  copts.replication = 2;
+  Cluster cluster(copts);
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(41, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  cluster.SetNodeDown(1, true);
+  auto qm = tgi.OpenQueryManager(2).value();
+  Timestamp t = workload::EndTime(events);
+  auto snap = qm->GetSnapshot(t);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(*snap == workload::ReplayToGraph(events, t));
+}
+
+TEST(TGITest, FailsCleanlyWithoutReplicationWhenNodeDown) {
+  Cluster cluster(FastCluster(2));
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(43, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  cluster.SetNodeDown(0, true);
+  TGIQueryManager qm(&cluster);
+  // Either Open or the snapshot fails with IOError — never a crash or a
+  // wrong answer.
+  Status open_status = qm.Open();
+  if (open_status.ok()) {
+    auto snap = qm.GetSnapshot(workload::EndTime(events));
+    EXPECT_FALSE(snap.ok());
+    EXPECT_TRUE(snap.status().IsIOError());
+  } else {
+    EXPECT_TRUE(open_status.IsIOError());
+  }
+}
+
+TEST(TGITest, FetchStatsAreAccounted) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(47, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager().value();
+  FetchStats snap_stats;
+  ASSERT_TRUE(qm->GetSnapshot(workload::EndTime(events), &snap_stats).ok());
+  EXPECT_GT(snap_stats.kv_requests, 0u);
+  EXPECT_GT(snap_stats.micro_deltas, 0u);
+  EXPECT_GT(snap_stats.bytes, 0u);
+
+  // A node-state fetch must touch far less data than a snapshot.
+  FetchStats node_stats;
+  Graph final_state = workload::ReplayToGraph(events, kMaxTimestamp);
+  NodeId some = final_state.NodeIds().front();
+  ASSERT_TRUE(
+      qm->GetNodeStateDelta(some, workload::EndTime(events), &node_stats)
+          .ok());
+  EXPECT_LT(node_stats.bytes, snap_stats.bytes / 4);
+}
+
+TEST(TGITest, QueryBeforeOpenFails) {
+  Cluster cluster(FastCluster());
+  TGIQueryManager qm(&cluster);
+  EXPECT_EQ(qm.GetSnapshot(10).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TGITest, ReplicationReducesOneHopFetches) {
+  auto events = workload::GenerateFriendster(
+      {.num_nodes = 1'500, .num_edges = 6'000, .community_size = 100});
+
+  auto run = [&](bool replicate) {
+    auto cluster = std::make_unique<Cluster>(FastCluster());
+    TGIOptions opts = SmallOptions();
+    opts.partition_strategy = PartitionStrategy::kLocality;
+    opts.replicate_one_hop = replicate;
+    TGI tgi(cluster.get(), opts);
+    EXPECT_TRUE(tgi.BuildFrom(events).ok());
+    auto qm = tgi.OpenQueryManager().value();
+    Timestamp t = workload::EndTime(events);
+    Graph final_state = workload::ReplayToGraph(events, t);
+    Rng rng(9);
+    auto ids = final_state.NodeIds();
+    FetchStats stats;
+    for (int i = 0; i < 30; ++i) {
+      NodeId id = ids[rng.Uniform(ids.size())];
+      EXPECT_TRUE(qm->GetKHopNeighborhood(id, t, 1, &stats).ok());
+    }
+    return stats.kv_requests;
+  };
+
+  uint64_t with_replication = run(true);
+  uint64_t without_replication = run(false);
+  EXPECT_LT(with_replication, without_replication);
+}
+
+}  // namespace
+}  // namespace hgs

@@ -1,0 +1,156 @@
+// Tests for the dataset generators: well-formedness invariants every stream
+// must satisfy (strictly increasing timestamps, valid removals), dataset
+// shape properties (degree skew, community structure), and determinism.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "workload/generators.h"
+
+namespace hgs::workload {
+namespace {
+
+// A stream is well formed iff: times strictly increase, edges are added only
+// between live nodes and when absent, removals target live entities, and
+// RemoveNode is never applied while incident edges are live.
+void AssertWellFormed(const std::vector<Event>& events) {
+  Timestamp last = kMinTimestamp;
+  Graph g;
+  for (const Event& e : events) {
+    ASSERT_GT(e.time, last) << "timestamps must strictly increase";
+    last = e.time;
+    switch (e.type) {
+      case EventType::kAddNode:
+        ASSERT_FALSE(g.HasNode(e.u)) << "AddNode of live node " << e.u;
+        break;
+      case EventType::kRemoveNode:
+        ASSERT_TRUE(g.HasNode(e.u));
+        ASSERT_TRUE(g.Neighbors(e.u).empty())
+            << "RemoveNode with live incident edges";
+        break;
+      case EventType::kAddEdge:
+        ASSERT_TRUE(g.HasNode(e.u) && g.HasNode(e.v));
+        ASSERT_FALSE(g.HasEdge(e.u, e.v));
+        break;
+      case EventType::kRemoveEdge:
+        ASSERT_TRUE(g.HasEdge(e.u, e.v));
+        break;
+      case EventType::kSetNodeAttr:
+      case EventType::kDelNodeAttr:
+        ASSERT_TRUE(g.HasNode(e.u));
+        break;
+      case EventType::kSetEdgeAttr:
+      case EventType::kDelEdgeAttr:
+        ASSERT_TRUE(g.HasEdge(e.u, e.v));
+        break;
+    }
+    ApplyEventToGraph(e, &g);
+  }
+}
+
+TEST(WikiGrowthTest, WellFormedAndSized) {
+  auto events = GenerateWikiGrowth({.num_events = 5'000, .seed = 1});
+  EXPECT_EQ(events.size(), 5'000u);
+  AssertWellFormed(events);
+}
+
+TEST(WikiGrowthTest, DeterministicForSeed) {
+  auto a = GenerateWikiGrowth({.num_events = 2'000, .seed = 9});
+  auto b = GenerateWikiGrowth({.num_events = 2'000, .seed = 9});
+  EXPECT_EQ(a, b);
+  auto c = GenerateWikiGrowth({.num_events = 2'000, .seed = 10});
+  EXPECT_NE(a, c);
+}
+
+TEST(WikiGrowthTest, DegreeSkewIsHeavy) {
+  auto events = GenerateWikiGrowth({.num_events = 20'000, .seed = 2});
+  Graph g = ReplayToGraph(events, kMaxTimestamp);
+  auto hist = algo::DegreeDistribution(g);
+  // Preferential attachment: the max degree dwarfs the average.
+  size_t max_degree = hist.rbegin()->first;
+  EXPECT_GT(static_cast<double>(max_degree), 8 * algo::AverageDegree(g));
+}
+
+TEST(ChurnTest, WellFormedAfterAugmentation) {
+  auto base = GenerateWikiGrowth({.num_events = 3'000, .seed = 3});
+  auto augmented =
+      AugmentWithChurn(std::move(base), {.num_events = 3'000, .seed = 4});
+  EXPECT_EQ(augmented.size(), 6'000u);
+  AssertWellFormed(augmented);
+}
+
+TEST(ChurnTest, ContainsDeletions) {
+  auto base = GenerateWikiGrowth({.num_events = 2'000, .seed = 5});
+  auto augmented =
+      AugmentWithChurn(std::move(base), {.num_events = 2'000, .seed = 6});
+  size_t deletions = 0;
+  for (const Event& e : augmented) {
+    if (e.type == EventType::kRemoveEdge) ++deletions;
+  }
+  EXPECT_GT(deletions, 200u);
+}
+
+TEST(FriendsterTest, WellFormedWithCommunities) {
+  auto events = GenerateFriendster(
+      {.num_nodes = 2'000, .num_edges = 6'000, .community_size = 100});
+  AssertWellFormed(events);
+  Graph g = ReplayToGraph(events, kMaxTimestamp);
+  EXPECT_EQ(g.NumNodes(), 2'000u);
+  EXPECT_EQ(g.NumEdges(), 6'000u);
+  // Every node carries a community attribute.
+  g.ForEachNode([&](NodeId, const NodeRecord& rec) {
+    EXPECT_TRUE(rec.attrs.Has("community"));
+  });
+  // Intra-community edges dominate.
+  size_t intra = 0, total = 0;
+  g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord&) {
+    auto cu = g.GetNode(key.u)->attrs.Get("community");
+    auto cv = g.GetNode(key.v)->attrs.Get("community");
+    if (*cu == *cv) ++intra;
+    ++total;
+  });
+  EXPECT_GT(intra, total * 6 / 10);
+}
+
+TEST(DblpTest, WellFormedBipartiteWithLabels) {
+  auto events = GenerateDblp({.num_authors = 200,
+                              .num_papers = 600,
+                              .authors_per_paper = 3,
+                              .num_attr_events = 2'000});
+  AssertWellFormed(events);
+  Graph g = ReplayToGraph(events, kMaxTimestamp);
+  EXPECT_EQ(g.NumNodes(), 800u);
+  size_t authors = algo::CountLabel(g, "EntityType", "Author");
+  size_t papers = algo::CountLabel(g, "EntityType", "Paper");
+  EXPECT_EQ(authors + papers, 800u);
+  EXPECT_GT(authors, 0u);
+  EXPECT_GT(papers, 0u);
+}
+
+TEST(DblpTest, AttrEventsCarryPreviousValue) {
+  auto events = GenerateDblp({.num_authors = 50,
+                              .num_papers = 100,
+                              .authors_per_paper = 2,
+                              .num_attr_events = 500});
+  Graph g;
+  for (const Event& e : events) {
+    if (e.type == EventType::kSetNodeAttr) {
+      auto cur = g.GetNode(e.u)->attrs.Get(e.key);
+      ASSERT_TRUE(cur.has_value());
+      EXPECT_EQ(*cur, e.prev_value) << "prev_value must match actual state";
+    }
+    ApplyEventToGraph(e, &g);
+  }
+}
+
+TEST(ReplayTest, UptoIsInclusive) {
+  std::vector<Event> events = {Event::AddNode(10, 1), Event::AddNode(20, 2)};
+  EXPECT_EQ(ReplayToGraph(events, 10).NumNodes(), 1u);
+  EXPECT_EQ(ReplayToGraph(events, 9).NumNodes(), 0u);
+  EXPECT_EQ(ReplayToGraph(events, 20).NumNodes(), 2u);
+}
+
+}  // namespace
+}  // namespace hgs::workload
