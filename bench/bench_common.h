@@ -12,6 +12,7 @@
 #ifndef HGS_BENCH_BENCH_COMMON_H_
 #define HGS_BENCH_BENCH_COMMON_H_
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -122,12 +123,17 @@ inline std::vector<Event> DatasetDblp() {
 }
 
 /// Default TGI tuning for benches (the paper's ps=500, l=250-scaled).
+/// The read cache is disabled: benchmark loops repeat identical queries,
+/// and a warm cache would measure hits instead of the fetch costs these
+/// figure reproductions sweep. Caching is benchmarked explicitly (warm
+/// rows in table1_access_costs).
 inline TGIOptions DefaultTGIOptions() {
   TGIOptions opts;
   opts.events_per_timespan = 20'000;
   opts.eventlist_size = 250;
   opts.micro_delta_size = 500;
   opts.num_horizontal_partitions = 4;
+  opts.read_cache_bytes = 0;
   return opts;
 }
 
@@ -211,6 +217,23 @@ inline std::vector<std::pair<NodeId, size_t>> NodesByVersionCount(
     }
   }
   return out;
+}
+
+/// Physical fetch round trips behind a FetchStats. Indexes that never go
+/// through the batched/cached fetch helpers leave kv_batches at 0; for
+/// them every logical request was its own round trip.
+inline uint64_t FetchRoundTrips(const FetchStats& s) {
+  return s.kv_batches > 0 || s.cache_hits > 0 ? s.kv_batches : s.kv_requests;
+}
+
+/// One-line fetch-efficiency summary (requests vs round trips vs cache),
+/// greppable into BENCH_*.json post-processing.
+inline void PrintFetchEfficiency(const char* label, const FetchStats& s) {
+  std::printf(
+      "%s: requests=%" PRIu64 " round_trips=%" PRIu64 " cache_hits=%" PRIu64
+      " cache_misses=%" PRIu64 " hit_rate=%.3f\n",
+      label, s.kv_requests, FetchRoundTrips(s), s.cache_hits, s.cache_misses,
+      s.CacheHitRate());
 }
 
 inline void PrintPreamble(const char* experiment, const char* paper_shape) {

@@ -1,0 +1,173 @@
+// ShardedLruCache: a byte-budgeted, sharded LRU map used for read-side
+// caching (the TGI partition-delta cache). Keys hash to one of N shards,
+// each guarded by its own mutex, so concurrent fetch clients rarely
+// contend. Eviction is least-recently-used within a shard, driven by the
+// per-entry byte charge supplied at insert time.
+
+#ifndef HGS_COMMON_LRU_CACHE_H_
+#define HGS_COMMON_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace hgs {
+
+/// Aggregated counters of a ShardedLruCache (summed across shards).
+struct LruCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_used = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards; 0 disables the
+  /// cache (every Get misses, Put is a no-op).
+  explicit ShardedLruCache(size_t capacity_bytes, size_t num_shards = 16)
+      : capacity_bytes_(capacity_bytes) {
+    if (num_shards == 0) num_shards = 1;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    shard_capacity_ = capacity_bytes_ / num_shards;
+    if (capacity_bytes_ > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+
+  /// Looks up `key`, refreshing its recency on a hit.
+  std::optional<Value> Get(const Key& key) {
+    if (capacity_bytes_ == 0) return std::nullopt;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts or replaces `key`, accounting `charge` bytes against the
+  /// budget and evicting LRU entries as needed. An entry larger than a
+  /// whole shard's budget is not admitted — and any existing entry under
+  /// the key is dropped, so a rejected replacement never leaves a stale
+  /// value behind.
+  void Put(const Key& key, Value value, size_t charge) {
+    if (capacity_bytes_ == 0) return;
+    if (charge > shard_capacity_) {
+      Erase(key);
+      return;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->charge;
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+    }
+    while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.push_front(Entry{key, std::move(value), charge});
+    shard.map[key] = shard.lru.begin();
+    shard.bytes += charge;
+    ++shard.insertions;
+  }
+
+  /// Removes `key` if present.
+  bool Erase(const Key& key) {
+    if (capacity_bytes_ == 0) return false;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.bytes -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (hit/miss counters are retained).
+  void Clear() {
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.map.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  LruCacheCounters Counters() const {
+    LruCacheCounters out;
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      out.hits += shard.hits;
+      out.misses += shard.misses;
+      out.insertions += shard.insertions;
+      out.evictions += shard.evictions;
+      out.bytes_used += shard.bytes;
+      out.entries += shard.map.size();
+    }
+    return out;
+  }
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  bool enabled() const { return capacity_bytes_ > 0; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    size_t charge;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;
+  // unique_ptr keeps Shard (with its mutex) immovable while the vector is
+  // sized once in the constructor.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_LRU_CACHE_H_

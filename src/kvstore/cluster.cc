@@ -1,5 +1,9 @@
 #include "kvstore/cluster.h"
 
+#include <future>
+#include <unordered_map>
+#include <utility>
+
 namespace hgs {
 
 Cluster::Cluster(ClusterOptions options) : options_(options) {
@@ -66,6 +70,74 @@ Result<std::string> Cluster::Get(std::string_view table, uint64_t partition,
     last = res.status();
   }
   return last;
+}
+
+Result<std::vector<std::optional<std::string>>> Cluster::MultiGet(
+    std::string_view table, const std::vector<MultiGetKey>& keys,
+    size_t* node_batches) {
+  std::vector<std::optional<std::string>> out(keys.size());
+  if (node_batches != nullptr) *node_batches = 0;
+  if (keys.empty()) return out;
+
+  // Pick a serving replica per key (load-balanced, skipping down nodes) and
+  // group the key indices by node.
+  std::unordered_map<size_t, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t token = PlacementToken(table, keys[i].partition);
+    std::vector<size_t> replicas = Replicas(token);
+    size_t start = read_counter_.fetch_add(1, std::memory_order_relaxed) %
+                   replicas.size();
+    size_t chosen = nodes_.size();
+    for (size_t j = 0; j < replicas.size(); ++j) {
+      size_t node = replicas[(start + j) % replicas.size()];
+      if (!nodes_[node]->IsDown()) {
+        chosen = node;
+        break;
+      }
+    }
+    if (chosen == nodes_.size()) {
+      return Status::IOError("no replica available");
+    }
+    by_node[chosen].push_back(i);
+  }
+
+  // One concurrent batch request per node; each node's server pool serves
+  // its batch while the others are in flight.
+  std::vector<std::pair<const std::vector<size_t>*,
+                        std::future<std::vector<Result<std::string>>>>>
+      inflight;
+  inflight.reserve(by_node.size());
+  for (const auto& [node, idxs] : by_node) {
+    std::vector<std::string> phys;
+    phys.reserve(idxs.size());
+    for (size_t i : idxs) {
+      phys.push_back(PhysicalKey(table, keys[i].partition, keys[i].key));
+    }
+    inflight.emplace_back(&idxs, nodes_[node]->SubmitMultiGet(std::move(phys)));
+  }
+  if (node_batches != nullptr) *node_batches += inflight.size();
+
+  for (auto& [idxs, fut] : inflight) {
+    std::vector<Result<std::string>> batch = fut.get();
+    for (size_t j = 0; j < idxs->size(); ++j) {
+      size_t i = (*idxs)[j];
+      Result<std::string>& res = batch[j];
+      if (res.ok()) {
+        HGS_ASSIGN_OR_RETURN(out[i], Decompress(*res));
+        continue;
+      }
+      if (res.status().IsNotFound()) continue;  // absent -> nullopt
+      // The node failed mid-flight; retry through the failover Get path.
+      if (node_batches != nullptr) ++*node_batches;
+      auto retry = Get(table, keys[i].partition, keys[i].key);
+      if (retry.ok()) {
+        out[i] = std::move(*retry);
+      } else if (!retry.status().IsNotFound()) {
+        return retry.status();
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::vector<KVPair>> Cluster::Scan(std::string_view table,

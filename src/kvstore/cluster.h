@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ struct ClusterOptions {
   LatencyModel latency;
 };
 
+/// One key of a batched read: the partition it lives in plus its logical
+/// key within that partition.
+struct MultiGetKey {
+  uint64_t partition = 0;
+  std::string key;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
@@ -45,6 +53,18 @@ class Cluster {
   /// is down. NotFound when no replica holds the key.
   Result<std::string> Get(std::string_view table, uint64_t partition,
                           std::string_view key);
+
+  /// Batched point reads. Keys are grouped by the storage node serving
+  /// them (replica choice is load-balanced, skipping down nodes) and each
+  /// group is dispatched as one node request, so the latency model charges
+  /// one seek per node batch instead of one per key. Returns one entry per
+  /// input key, in input order; absent keys yield nullopt. Keys whose node
+  /// fails mid-flight fall back to per-key Get (with its replica failover).
+  /// When `node_batches` is non-null it receives the number of node round
+  /// trips issued (batches plus any per-key fallbacks).
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      std::string_view table, const std::vector<MultiGetKey>& keys,
+      size_t* node_batches = nullptr);
 
   /// All pairs of the partition whose key begins with `key_prefix`, in key
   /// order. Keys returned are logical (table/token stripped).
@@ -70,6 +90,16 @@ class Cluster {
   uint64_t TotalBytesRead() const;
   void ResetStats();
 
+  /// Monotonic counter bumped whenever index metadata is (re-)published
+  /// (e.g. by TGIBuilder::Finish). Read-side caches compare it against the
+  /// value they observed at fill time and invalidate on mismatch.
+  uint64_t publish_epoch() const {
+    return publish_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpPublishEpoch() {
+    publish_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   std::string PhysicalKey(std::string_view table, uint64_t partition,
                           std::string_view key) const;
@@ -79,6 +109,7 @@ class Cluster {
   ClusterOptions options_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::atomic<uint64_t> read_counter_{0};  // replica load balancing
+  std::atomic<uint64_t> publish_epoch_{0};
 };
 
 }  // namespace hgs

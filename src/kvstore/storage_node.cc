@@ -58,6 +58,39 @@ Result<std::string> StorageNode::DoGet(const std::string& key) {
   return value;
 }
 
+std::vector<Result<std::string>> StorageNode::DoMultiGet(
+    const std::vector<std::string>& keys) {
+  std::vector<Result<std::string>> out;
+  out.reserve(keys.size());
+  if (IsDown()) {
+    Status down = Status::IOError("storage node " + std::to_string(node_id_) +
+                                  " is down");
+    for (size_t i = 0; i < keys.size(); ++i) out.push_back(down);
+    return out;
+  }
+  size_t found = 0;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : keys) {
+      auto it = data_.find(key);
+      if (it == data_.end()) {
+        out.push_back(Status::NotFound("key not found"));
+      } else {
+        ++found;
+        bytes += it->second.size();
+        out.push_back(it->second);
+      }
+    }
+  }
+  stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.keys_read.fetch_add(found, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  // One round trip: a single seek covers the whole batch.
+  ChargeLatency(keys.size(), bytes);
+  return out;
+}
+
 Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
   if (IsDown()) {
     return Status::IOError("storage node " + std::to_string(node_id_) +
@@ -85,6 +118,12 @@ Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
 std::future<Result<std::string>> StorageNode::SubmitGet(std::string key) {
   return servers_.Submit(
       [this, key = std::move(key)]() { return DoGet(key); });
+}
+
+std::future<std::vector<Result<std::string>>> StorageNode::SubmitMultiGet(
+    std::vector<std::string> keys) {
+  return servers_.Submit(
+      [this, keys = std::move(keys)]() { return DoMultiGet(keys); });
 }
 
 std::future<Result<std::vector<KVPair>>> StorageNode::SubmitScan(

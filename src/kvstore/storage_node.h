@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -67,6 +68,13 @@ class StorageNode {
   /// Point read. NotFound if the key is absent.
   std::future<Result<std::string>> SubmitGet(std::string key);
 
+  /// Batched point reads served as ONE request: the seek cost is charged
+  /// once for the whole batch (per-key and per-byte costs still apply), and
+  /// the batch counts as one get request in the stats. One Result per input
+  /// key, in input order; absent keys yield NotFound.
+  std::future<std::vector<Result<std::string>>> SubmitMultiGet(
+      std::vector<std::string> keys);
+
   /// Prefix scan: all pairs whose key starts with `prefix`, in key order.
   std::future<Result<std::vector<KVPair>>> SubmitScan(std::string prefix);
 
@@ -85,6 +93,8 @@ class StorageNode {
 
  private:
   Result<std::string> DoGet(const std::string& key);
+  std::vector<Result<std::string>> DoMultiGet(
+      const std::vector<std::string>& keys);
   Result<std::vector<KVPair>> DoScan(const std::string& prefix);
   void ChargeLatency(size_t keys, size_t bytes);
 

@@ -99,7 +99,12 @@ Status TGIBuilder::Finish() {
   meta.replicate_one_hop = options_.replicate_one_hop;
   meta.micropartition_buckets =
       static_cast<uint32_t>(options_.micropartition_buckets);
-  return cluster_->Put(tgi::kGraphTable, 0, "meta", meta.Serialize());
+  HGS_RETURN_NOT_OK(
+      cluster_->Put(tgi::kGraphTable, 0, "meta", meta.Serialize()));
+  // Signal open query managers that their metadata and read caches are
+  // stale; they refresh lazily on their next query.
+  cluster_->BumpPublishEpoch();
+  return Status::OK();
 }
 
 Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {

@@ -7,6 +7,7 @@
 #define HGS_TGI_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "partition/dynamic_partitioner.h"
 
@@ -57,6 +58,20 @@ struct TGIOptions {
 
   /// Buckets of the Micropartitions table (locality partitioning only).
   size_t micropartition_buckets = 64;
+
+  /// Byte budget of the read-side partition-delta cache used by query
+  /// managers opened through TGI::OpenQueryManager. Fetched micro-delta
+  /// rows and partition scans are cached keyed by their (table, partition,
+  /// row) coordinates, with LRU byte-budget eviction, so repeated and
+  /// overlapping retrievals skip the simulated fetch round trips entirely.
+  /// The cache is invalidated whenever index metadata is re-published
+  /// (BuildFrom / AppendBatch), keeping batched updates correct. 0 disables
+  /// caching.
+  size_t read_cache_bytes = 64ull << 20;
+
+  /// Shard count of the read cache; each shard has its own lock, so this
+  /// bounds lock contention between parallel fetch clients.
+  size_t read_cache_shards = 16;
 
   /// Effective checkpoint interval after defaulting rules.
   size_t EffectiveCheckpointInterval() const {

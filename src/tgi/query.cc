@@ -31,16 +31,55 @@ class WallTimer {
 // Thread-safe accumulation of fetch counters during a parallel fetch.
 struct AtomicStats {
   std::atomic<uint64_t> kv_requests{0};
+  std::atomic<uint64_t> kv_batches{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> micro_deltas{0};
   std::atomic<uint64_t> bytes{0};
+
+  /// Accumulates a task-local FetchStats (wall_seconds is ignored; the
+  /// caller's WallTimer covers the whole query).
+  void Add(const FetchStats& s) {
+    kv_requests.fetch_add(s.kv_requests, std::memory_order_relaxed);
+    kv_batches.fetch_add(s.kv_batches, std::memory_order_relaxed);
+    cache_hits.fetch_add(s.cache_hits, std::memory_order_relaxed);
+    cache_misses.fetch_add(s.cache_misses, std::memory_order_relaxed);
+    micro_deltas.fetch_add(s.micro_deltas, std::memory_order_relaxed);
+    bytes.fetch_add(s.bytes, std::memory_order_relaxed);
+  }
 
   void FlushInto(FetchStats* stats) const {
     if (stats == nullptr) return;
     stats->kv_requests += kv_requests.load();
+    stats->kv_batches += kv_batches.load();
+    stats->cache_hits += cache_hits.load();
+    stats->cache_misses += cache_misses.load();
     stats->micro_deltas += micro_deltas.load();
     stats->bytes += bytes.load();
   }
 };
+
+// Cache key of one read: kind byte ('G' point read / 'S' scan), the publish
+// epoch the reading query ran at, table, partition token, then the row key
+// or scan prefix. Epoch-tagged keys make late inserts from an in-flight
+// old-epoch query invisible to queries running after an invalidation.
+std::string ReadCacheKey(char kind, uint64_t epoch, std::string_view table,
+                         uint64_t partition, std::string_view row) {
+  std::string out;
+  out.reserve(2 + 8 + table.size() + 8 + row.size());
+  out.push_back(kind);
+  AppendOrdered64(&out, epoch);
+  out.append(table);
+  out.push_back('\0');
+  AppendOrdered64(&out, partition);
+  out.append(row);
+  return out;
+}
+
+// Approximate heap footprint of a cache entry, for byte-budget eviction.
+size_t CacheCharge(const std::string& key, const std::string& value) {
+  return key.size() + value.size() + 64;
+}
 
 }  // namespace
 
@@ -55,36 +94,100 @@ std::vector<std::pair<Timestamp, Delta>> NodeHistory::Materialize() const {
   return out;
 }
 
-TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism)
+TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism,
+                                 size_t read_cache_bytes,
+                                 size_t read_cache_shards)
     : cluster_(cluster),
-      fetch_parallelism_(fetch_parallelism == 0 ? 1 : fetch_parallelism) {}
+      fetch_parallelism_(fetch_parallelism == 0 ? 1 : fetch_parallelism) {
+  if (read_cache_bytes > 0) {
+    read_cache_ =
+        std::make_unique<ReadCache>(read_cache_bytes, read_cache_shards);
+  }
+}
 
-Status TGIQueryManager::Open() {
+Result<TGIQueryManager::MetaRef> TGIQueryManager::LoadMetadata(
+    uint64_t epoch) const {
   auto meta_raw = cluster_->Get(tgi::kGraphTable, 0, "meta");
   if (!meta_raw.ok()) return meta_raw.status();
-  HGS_ASSIGN_OR_RETURN(graph_meta_, tgi::GraphMeta::Deserialize(*meta_raw));
+  auto state = std::make_shared<MetaState>();
+  state->epoch = epoch;
+  HGS_ASSIGN_OR_RETURN(state->graph, tgi::GraphMeta::Deserialize(*meta_raw));
   auto spans_raw = cluster_->Scan(tgi::kTimespansTable, 0, "");
   if (!spans_raw.ok()) return spans_raw.status();
-  spans_.clear();
-  spans_.reserve(spans_raw->size());
+  state->spans.reserve(spans_raw->size());
   for (const KVPair& kv : *spans_raw) {
     BinaryReader r(kv.value);
     HGS_RETURN_NOT_OK(r.VerifyChecksum());
     HGS_ASSIGN_OR_RETURN(tgi::TimespanMeta meta,
                          tgi::TimespanMeta::DeserializeFrom(&r));
-    spans_.push_back(std::move(meta));
+    state->spans.push_back(std::move(meta));
   }
-  std::sort(spans_.begin(), spans_.end(),
+  std::sort(state->spans.begin(), state->spans.end(),
             [](const tgi::TimespanMeta& a, const tgi::TimespanMeta& b) {
               return a.tsid < b.tsid;
             });
+  return MetaRef(std::move(state));
+}
+
+Status TGIQueryManager::Open() {
+  uint64_t epoch = cluster_->publish_epoch();
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, LoadMetadata(epoch));
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_ = std::move(meta);
+  }
   opened_ = true;
   return Status::OK();
 }
 
-const tgi::TimespanMeta* TGIQueryManager::SpanFor(Timestamp t) const {
+TGIQueryManager::MetaRef TGIQueryManager::CurrentMeta() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (meta_ != nullptr) return meta_;
+  static const MetaRef kEmpty = std::make_shared<MetaState>();
+  return kEmpty;
+}
+
+Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh() {
+  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  uint64_t epoch = cluster_->publish_epoch();
+  MetaRef current = CurrentMeta();
+  if (epoch == current->epoch) return current;
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  current = CurrentMeta();
+  if (epoch == current->epoch) return current;
+  // Metadata was re-published (AppendBatch): load a fresh snapshot and
+  // drop the read-side caches. In-flight queries keep their old snapshot
+  // alive through the shared_ptr, and their epoch-tagged cache inserts
+  // can't be served to queries running at the new epoch.
+  HGS_ASSIGN_OR_RETURN(MetaRef fresh, LoadMetadata(epoch));
+  {
+    std::lock_guard<std::mutex> mlock(micropart_mu_);
+    micropart_cache_.clear();
+  }
+  if (read_cache_ != nullptr) read_cache_->Clear();
+  {
+    std::lock_guard<std::mutex> mlock(meta_mu_);
+    meta_ = fresh;
+  }
+  return fresh;
+}
+
+Timestamp TGIQueryManager::HistoryStart() const {
+  return CurrentMeta()->graph.start;
+}
+
+Timestamp TGIQueryManager::HistoryEnd() const {
+  return CurrentMeta()->graph.end;
+}
+
+uint64_t TGIQueryManager::EventCount() const {
+  return CurrentMeta()->graph.event_count;
+}
+
+const tgi::TimespanMeta* TGIQueryManager::SpanFor(const MetaState& meta,
+                                                  Timestamp t) {
   const tgi::TimespanMeta* best = nullptr;
-  for (const auto& span : spans_) {
+  for (const auto& span : meta.spans) {
     if (span.start <= t) {
       best = &span;
     } else {
@@ -94,29 +197,111 @@ const tgi::TimespanMeta* TGIQueryManager::SpanFor(Timestamp t) const {
   return best;
 }
 
-Result<std::optional<std::string>> TGIQueryManager::FetchValue(
-    std::string_view table, uint64_t partition, std::string_view key,
-    FetchStats* stats) {
-  auto res = cluster_->Get(table, partition, key);
-  if (stats != nullptr) ++stats->kv_requests;
-  if (!res.ok()) {
-    if (res.status().IsNotFound()) return std::optional<std::string>();
-    return res.status();
+Result<std::vector<std::optional<std::string>>> TGIQueryManager::FetchValues(
+    const MetaState& meta, std::string_view table,
+    const std::vector<MultiGetKey>& keys, FetchStats* stats) {
+  std::vector<std::optional<std::string>> out(keys.size());
+  if (stats != nullptr) stats->kv_requests += keys.size();
+  if (keys.empty()) return out;
+
+  if (read_cache_ == nullptr) {
+    size_t batches = 0;
+    auto fetched = cluster_->MultiGet(table, keys, &batches);
+    if (!fetched.ok()) return fetched.status();
+    if (stats != nullptr) stats->kv_batches += batches;
+    return std::move(*fetched);
   }
-  if (stats != nullptr) {
-    ++stats->micro_deltas;
-    stats->bytes += res->size();
+
+  // Serve what we can from the partition-delta cache (including cached
+  // "absent" results), then batch the misses into one MultiGet.
+  std::vector<size_t> miss_index;
+  std::vector<MultiGetKey> misses;
+  std::vector<std::string> miss_ckeys;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::string ckey = ReadCacheKey('G', meta.epoch, table,
+                                    keys[i].partition, keys[i].key);
+    auto entry = read_cache_->Get(ckey);
+    if (entry.has_value()) {
+      if (stats != nullptr) ++stats->cache_hits;
+      if ((*entry)->found) out[i] = (*entry)->value;
+      continue;
+    }
+    if (stats != nullptr) ++stats->cache_misses;
+    miss_index.push_back(i);
+    misses.push_back(keys[i]);
+    miss_ckeys.push_back(std::move(ckey));
   }
-  return std::optional<std::string>(std::move(*res));
+  if (misses.empty()) return out;
+
+  size_t batches = 0;
+  auto fetched = cluster_->MultiGet(table, misses, &batches);
+  if (!fetched.ok()) return fetched.status();
+  if (stats != nullptr) stats->kv_batches += batches;
+  for (size_t j = 0; j < misses.size(); ++j) {
+    std::optional<std::string>& value = (*fetched)[j];
+    std::string& ckey = miss_ckeys[j];
+    auto entry = std::make_shared<ReadCacheEntry>();
+    entry->found = value.has_value();
+    if (value.has_value()) entry->value = *value;
+    size_t charge = CacheCharge(ckey, entry->value);
+    read_cache_->Put(std::move(ckey), std::move(entry), charge);
+    out[miss_index[j]] = std::move(value);
+  }
+  return out;
 }
 
-Result<MicroPartitionId> TGIQueryManager::PidOf(NodeId id,
+Result<std::optional<std::string>> TGIQueryManager::FetchValue(
+    const MetaState& meta, std::string_view table, uint64_t partition,
+    std::string_view key, FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<std::string>> values,
+                       FetchValues(meta, table,
+                                   {MultiGetKey{partition, std::string(key)}},
+                                   stats));
+  if (stats != nullptr && values[0].has_value()) {
+    ++stats->micro_deltas;
+    stats->bytes += values[0]->size();
+  }
+  return std::move(values[0]);
+}
+
+Result<std::shared_ptr<const TGIQueryManager::ReadCacheEntry>>
+TGIQueryManager::CachedScan(const MetaState& meta, std::string_view table,
+                            uint64_t partition, std::string_view prefix,
+                            FetchStats* stats) {
+  if (stats != nullptr) ++stats->kv_requests;
+  std::string ckey;
+  if (read_cache_ != nullptr) {
+    ckey = ReadCacheKey('S', meta.epoch, table, partition, prefix);
+    auto entry = read_cache_->Get(ckey);
+    if (entry.has_value()) {
+      if (stats != nullptr) ++stats->cache_hits;
+      return std::move(*entry);
+    }
+    if (stats != nullptr) ++stats->cache_misses;
+  }
+  auto res = cluster_->Scan(table, partition, prefix);
+  if (!res.ok()) return res.status();
+  if (stats != nullptr) ++stats->kv_batches;
+  auto entry = std::make_shared<ReadCacheEntry>();
+  entry->pairs = std::move(*res);
+  if (read_cache_ != nullptr) {
+    size_t charge = ckey.size() + 64;
+    for (const KVPair& kv : entry->pairs) {
+      charge += kv.key.size() + kv.value.size() + 32;
+    }
+    read_cache_->Put(std::move(ckey), entry, charge);
+  }
+  return std::shared_ptr<const ReadCacheEntry>(std::move(entry));
+}
+
+Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
+                                                NodeId id,
                                                 const tgi::TimespanMeta& span,
                                                 FetchStats* stats) {
   if (span.strategy == static_cast<uint8_t>(PartitionStrategy::kRandom)) {
     return Partitioning::Random(span.num_micro_partitions).Of(id);
   }
-  size_t buckets = std::max<uint32_t>(1, graph_meta_.micropartition_buckets);
+  size_t buckets = std::max<uint32_t>(1, meta.graph.micropartition_buckets);
   uint64_t bucket = tgi::NodePlacement(id) % buckets;
   uint64_t cache_key = static_cast<uint64_t>(span.tsid) * buckets + bucket;
   {
@@ -132,7 +317,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(NodeId id,
   AppendOrdered32(&key, static_cast<uint32_t>(bucket));
   HGS_ASSIGN_OR_RETURN(
       std::optional<std::string> raw,
-      FetchValue(tgi::kMicropartsTable, cache_key, key, stats));
+      FetchValue(meta, tgi::kMicropartsTable, cache_key, key, stats));
   std::unordered_map<NodeId, MicroPartitionId> map;
   if (raw.has_value()) {
     HGS_ASSIGN_OR_RETURN(auto entries, tgi::DeserializeMicropartBucket(*raw));
@@ -156,8 +341,14 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(NodeId id,
 Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
                                                 FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
-  const tgi::TimespanMeta* span = SpanFor(t);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  return GetSnapshotDeltaWith(*meta, t, stats);
+}
+
+Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
+                                                    Timestamp t,
+                                                    FetchStats* stats) {
+  const tgi::TimespanMeta* span = SpanFor(meta, t);
   if (span == nullptr) return Delta();  // before all history
 
   int32_t cpi = span->CheckpointBefore(t);
@@ -175,9 +366,9 @@ Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
     PartitionId sid;          // delta-major scan target
     MicroPartitionId pid;     // partition-major get target
   };
-  const size_t ns = graph_meta_.num_horizontal_partitions;
+  const size_t ns = meta.graph.num_horizontal_partitions;
   const auto order =
-      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+      static_cast<ClusteringOrder>(meta.graph.clustering_order);
   std::vector<DeltaId> dids;
   std::vector<bool> is_evl;
   for (DeltaId did : path) {
@@ -208,9 +399,11 @@ Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
     }
   }
 
-  // Parallel fetch into per-order slots. Deserialization happens inside the
-  // fetch tasks — the paper's query processors "process the raw deltas" in
-  // parallel; only the ordered merge below is sequential.
+  // Fetch, then deserialize in parallel into per-order slots — the paper's
+  // query processors "process the raw deltas" in parallel; only the ordered
+  // merge below is sequential. Point reads (partition-major order) are
+  // batched into a single MultiGet; scans (delta-major) run as parallel
+  // cached requests.
   std::vector<std::vector<Delta>> slot_deltas(dids.size());
   std::vector<std::vector<EventList>> slot_evls(dids.size());
   std::vector<std::mutex> slot_mu(dids.size());
@@ -222,32 +415,42 @@ Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
     std::lock_guard<std::mutex> lock(error_mu);
     if (!failed.exchange(true)) first_error = s;
   };
+
+  std::vector<std::optional<std::string>> unit_values;
+  if (order == ClusteringOrder::kPartitionMajor) {
+    std::vector<MultiGetKey> keys;
+    keys.reserve(units.size());
+    for (const Unit& u : units) {
+      PartitionId sid = tgi::SidOf(u.pid, ns);
+      keys.push_back(
+          MultiGetKey{tgi::DeltaPlacement(span->tsid, sid, ns),
+                      tgi::DeltaRowKey(order, u.did, u.pid, false)});
+    }
+    FetchStats fetch_stats;
+    auto values = FetchValues(meta, tgi::kDeltasTable, keys, &fetch_stats);
+    astats.Add(fetch_stats);
+    if (!values.ok()) return values.status();
+    unit_values = std::move(*values);
+  }
+
   ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     const Unit& u = units[i];
     std::vector<std::string> raws;
     if (order == ClusteringOrder::kDeltaMajor) {
-      auto res = cluster_->Scan(tgi::kDeltasTable,
-                                tgi::DeltaPlacement(span->tsid, u.sid, ns),
-                                tgi::DeltaScanPrefix(u.did));
-      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      FetchStats local;
+      auto res = CachedScan(meta, tgi::kDeltasTable,
+                            tgi::DeltaPlacement(span->tsid, u.sid, ns),
+                            tgi::DeltaScanPrefix(u.did), &local);
+      astats.Add(local);
       if (!res.ok()) {
         fail_with(res.status());
         return;
       }
-      for (KVPair& kv : *res) raws.push_back(std::move(kv.value));
+      for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
     } else {
-      PartitionId sid = tgi::SidOf(u.pid, ns);
-      auto res = cluster_->Get(tgi::kDeltasTable,
-                               tgi::DeltaPlacement(span->tsid, sid, ns),
-                               tgi::DeltaRowKey(order, u.did, u.pid, false));
-      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
-      if (!res.ok()) {
-        if (res.status().IsNotFound()) return;  // empty micro-partition
-        fail_with(res.status());
-        return;
-      }
-      raws.push_back(std::move(*res));
+      if (!unit_values[i].has_value()) return;  // empty micro-partition
+      raws.push_back(std::move(*unit_values[i]));
     }
     std::vector<Delta> deltas;
     std::vector<EventList> evls;
@@ -297,7 +500,8 @@ Result<Graph> TGIQueryManager::GetSnapshot(Timestamp t, FetchStats* stats) {
 Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
     const std::vector<Timestamp>& times, FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  const MetaState& meta = *meta_ref;
   std::vector<Timestamp> sorted = times;
   std::sort(sorted.begin(), sorted.end());
 
@@ -309,14 +513,13 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
   int32_t state_cpi = -1;
 
   for (Timestamp t : sorted) {
-    const tgi::TimespanMeta* span = SpanFor(t);
+    const tgi::TimespanMeta* span = SpanFor(meta, t);
     bool can_roll_forward = span != nullptr && span == state_span &&
                             t >= state_time &&
                             span->CheckpointBefore(t) == state_cpi;
     if (!can_roll_forward) {
       FetchStats inner;
-      auto delta = GetSnapshotDelta(t, &inner);
-      inner.wall_seconds = 0;
+      auto delta = GetSnapshotDeltaWith(meta, t, &inner);
       if (stats != nullptr) stats->Merge(inner);
       if (!delta.ok()) return delta.status();
       state = std::move(*delta);
@@ -328,29 +531,54 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
       int32_t evl_from = span->EventlistCovering(state_time);
       if (evl_from < 0) evl_from = 0;
       int32_t evl_to = span->EventlistCovering(t);
-      const size_t ns = graph_meta_.num_horizontal_partitions;
-      for (int32_t j = evl_from; j <= evl_to; ++j) {
-        for (size_t sid = 0; sid < ns; ++sid) {
-          auto res = cluster_->Scan(
-              tgi::kDeltasTable,
-              tgi::DeltaPlacement(span->tsid, static_cast<PartitionId>(sid),
-                                  ns),
-              tgi::DeltaScanPrefix(
-                  tgi::EventlistDid(static_cast<size_t>(j))));
-          if (stats != nullptr) ++stats->kv_requests;
-          if (!res.ok()) return res.status();
-          for (const KVPair& kv : *res) {
-            if (stats != nullptr) {
-              ++stats->micro_deltas;
-              stats->bytes += kv.value.size();
-            }
-            HGS_ASSIGN_OR_RETURN(EventList evl,
-                                 EventList::Deserialize(kv.value));
-            // Skip events already applied, stop at t.
-            for (const Event& e : evl.events()) {
-              if (e.time > state_time && e.time <= t) state.ApplyEvent(e);
-            }
+      const size_t ns = meta.graph.num_horizontal_partitions;
+      const auto order =
+          static_cast<ClusteringOrder>(meta.graph.clustering_order);
+      // Raw eventlist values of (evl_from .. evl_to], in eventlist order.
+      std::vector<std::string> raws;
+      if (order == ClusteringOrder::kDeltaMajor) {
+        for (int32_t j = evl_from; j <= evl_to; ++j) {
+          for (size_t sid = 0; sid < ns; ++sid) {
+            auto res = CachedScan(
+                meta, tgi::kDeltasTable,
+                tgi::DeltaPlacement(span->tsid, static_cast<PartitionId>(sid),
+                                    ns),
+                tgi::DeltaScanPrefix(tgi::EventlistDid(static_cast<size_t>(j))),
+                stats);
+            if (!res.ok()) return res.status();
+            for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
           }
+        }
+      } else {
+        // Partition-major rows are keyed pid-first: batch the per-pid
+        // eventlist rows of the range into one MultiGet.
+        std::vector<MultiGetKey> keys;
+        for (int32_t j = evl_from; j <= evl_to; ++j) {
+          for (MicroPartitionId pid = 0; pid < span->num_micro_partitions;
+               ++pid) {
+            PartitionId sid = tgi::SidOf(pid, ns);
+            keys.push_back(MultiGetKey{
+                tgi::DeltaPlacement(span->tsid, sid, ns),
+                tgi::DeltaRowKey(order,
+                                 tgi::EventlistDid(static_cast<size_t>(j)),
+                                 pid, false)});
+          }
+        }
+        HGS_ASSIGN_OR_RETURN(
+            auto values, FetchValues(meta, tgi::kDeltasTable, keys, stats));
+        for (auto& value : values) {
+          if (value.has_value()) raws.push_back(std::move(*value));
+        }
+      }
+      for (const std::string& raw : raws) {
+        if (stats != nullptr) {
+          ++stats->micro_deltas;
+          stats->bytes += raw.size();
+        }
+        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(raw));
+        // Skip events already applied, stop at t.
+        for (const Event& e : evl.events()) {
+          if (e.time > state_time && e.time <= t) state.ApplyEvent(e);
         }
       }
     }
@@ -367,10 +595,13 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
   return out;
 }
 
-Result<Delta> TGIQueryManager::FetchMicroStateAt(const tgi::TimespanMeta& span,
-                                                 MicroPartitionId pid,
-                                                 Timestamp t, bool include_aux,
-                                                 FetchStats* stats) {
+Result<std::vector<Delta>> TGIQueryManager::FetchMicroStatesAt(
+    const MetaState& meta, const tgi::TimespanMeta& span,
+    const std::vector<MicroPartitionId>& pids, Timestamp t, bool include_aux,
+    FetchStats* stats) {
+  std::vector<Delta> out(pids.size());
+  if (pids.empty()) return out;
+
   int32_t cpi = span.CheckpointBefore(t);
   if (cpi < 0) cpi = 0;
   std::vector<DeltaId> path = span.PathToCheckpoint(cpi);
@@ -378,12 +609,11 @@ Result<Delta> TGIQueryManager::FetchMicroStateAt(const tgi::TimespanMeta& span,
                     span.eventlist_size;
   int32_t evl_to = span.EventlistCovering(t);
 
-  const size_t ns = graph_meta_.num_horizontal_partitions;
+  const size_t ns = meta.graph.num_horizontal_partitions;
   const auto order =
-      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
-  const PartitionId sid = tgi::SidOf(pid, ns);
-  const uint64_t placement = tgi::DeltaPlacement(span.tsid, sid, ns);
+      static_cast<ClusteringOrder>(meta.graph.clustering_order);
 
+  // The did sequence is shared by every requested micro-partition.
   std::vector<DeltaId> dids;
   std::vector<bool> is_evl;
   for (DeltaId did : path) {
@@ -396,106 +626,172 @@ Result<Delta> TGIQueryManager::FetchMicroStateAt(const tgi::TimespanMeta& span,
       is_evl.push_back(true);
     }
   }
+  const size_t nd = dids.size();
 
-  // Values per did (regular row + optional aux row).
-  std::vector<std::optional<std::string>> regular(dids.size());
-  std::vector<std::optional<std::string>> aux(dids.size());
+  // Values per (pid, did): regular row + optional aux replication row,
+  // flattened as p * nd + i.
+  std::vector<std::optional<std::string>> regular(pids.size() * nd);
+  std::vector<std::optional<std::string>> aux(pids.size() * nd);
 
   if (order == ClusteringOrder::kPartitionMajor) {
-    // One contiguous scan yields every did of this micro-partition; filter
-    // to the ones we need (Section 4.4's entity-centric clustering payoff).
-    auto res = cluster_->Scan(tgi::kDeltasTable, placement,
-                              tgi::PartitionScanPrefix(pid));
-    if (stats != nullptr) ++stats->kv_requests;
-    if (!res.ok()) return res.status();
+    // One contiguous scan per micro-partition yields every did it has;
+    // filter to the ones we need (Section 4.4's entity-centric clustering
+    // payoff). The scans run as parallel cached requests.
     std::unordered_map<DeltaId, size_t> want;
-    for (size_t i = 0; i < dids.size(); ++i) want[dids[i]] = i;
-    for (KVPair& kv : *res) {
-      DeltaId did;
-      MicroPartitionId parsed_pid;
-      bool is_aux;
-      if (!tgi::ParseDeltaRowKey(order, kv.key, &did, &parsed_pid, &is_aux)) {
-        continue;
-      }
-      auto it = want.find(did);
-      if (it == want.end()) continue;
-      if (stats != nullptr) {
-        ++stats->micro_deltas;
-        stats->bytes += kv.value.size();
-      }
-      regular[it->second] = std::move(kv.value);
-    }
-    if (include_aux) {
-      for (size_t i = 0; i < dids.size(); ++i) {
-        HGS_ASSIGN_OR_RETURN(
-            aux[i],
-            FetchValue(tgi::kDeltasTable, placement,
-                       tgi::DeltaRowKey(order, dids[i], pid, true), stats));
-      }
-    }
-  } else {
+    for (size_t i = 0; i < nd; ++i) want[dids[i]] = i;
     AtomicStats astats;
     std::atomic<bool> failed{false};
     Status first_error;
     std::mutex error_mu;
-    size_t total_units = dids.size() * (include_aux ? 2 : 1);
-    ParallelFor(total_units, fetch_parallelism_, [&](size_t i) {
+    ParallelFor(pids.size(), fetch_parallelism_, [&](size_t p) {
       if (failed.load(std::memory_order_relaxed)) return;
-      size_t idx = i % dids.size();
-      bool want_aux = i >= dids.size();
-      auto res = cluster_->Get(
-          tgi::kDeltasTable, placement,
-          tgi::DeltaRowKey(order, dids[idx], pid, want_aux));
-      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      const MicroPartitionId pid = pids[p];
+      const uint64_t placement =
+          tgi::DeltaPlacement(span.tsid, tgi::SidOf(pid, ns), ns);
+      FetchStats local;
+      auto res = CachedScan(meta, tgi::kDeltasTable, placement,
+                            tgi::PartitionScanPrefix(pid), &local);
+      astats.Add(local);
       if (!res.ok()) {
-        if (res.status().IsNotFound()) return;
         std::lock_guard<std::mutex> lock(error_mu);
         if (!failed.exchange(true)) first_error = res.status();
         return;
       }
-      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
-      astats.bytes.fetch_add(res->size(), std::memory_order_relaxed);
-      (want_aux ? aux : regular)[idx] = std::move(*res);
+      for (const KVPair& kv : (*res)->pairs) {
+        DeltaId did;
+        MicroPartitionId parsed_pid;
+        bool is_aux;
+        if (!tgi::ParseDeltaRowKey(order, kv.key, &did, &parsed_pid,
+                                   &is_aux)) {
+          continue;
+        }
+        if (is_aux) continue;  // aux rows are fetched separately below
+        auto it = want.find(did);
+        if (it == want.end()) continue;
+        astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
+        astats.bytes.fetch_add(kv.value.size(), std::memory_order_relaxed);
+        regular[p * nd + it->second] = kv.value;
+      }
     });
     astats.FlushInto(stats);
     if (failed.load()) return first_error;
-  }
-
-  Delta acc;
-  for (size_t i = 0; i < dids.size(); ++i) {
-    if (!is_evl[i]) {
-      if (regular[i].has_value()) {
-        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*regular[i]));
-        acc.Add(d);
+    if (include_aux) {
+      std::vector<MultiGetKey> keys;
+      keys.reserve(pids.size() * nd);
+      for (size_t p = 0; p < pids.size(); ++p) {
+        const uint64_t placement =
+            tgi::DeltaPlacement(span.tsid, tgi::SidOf(pids[p], ns), ns);
+        for (size_t i = 0; i < nd; ++i) {
+          keys.push_back(MultiGetKey{
+              placement, tgi::DeltaRowKey(order, dids[i], pids[p], true)});
+        }
       }
-      if (aux[i].has_value()) {
-        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*aux[i]));
-        acc.Add(d);
+      HGS_ASSIGN_OR_RETURN(
+          aux, FetchValues(meta, tgi::kDeltasTable, keys, stats));
+      if (stats != nullptr) {
+        for (const auto& value : aux) {
+          if (!value.has_value()) continue;
+          ++stats->micro_deltas;
+          stats->bytes += value->size();
+        }
       }
-    } else {
-      if (regular[i].has_value()) {
-        HGS_ASSIGN_OR_RETURN(EventList evl,
-                             EventList::Deserialize(*regular[i]));
-        evl.ApplyUpTo(t, &acc);
+    }
+  } else {
+    // Delta-major order: every (pid, did) pair is an independent point
+    // read — exactly the shape MultiGet batches best. One request covers
+    // the regular and aux rows of all requested micro-partitions.
+    std::vector<MultiGetKey> keys;
+    keys.reserve(pids.size() * nd * (include_aux ? 2 : 1));
+    // Regular rows for every (pid, did), then — when replication is on —
+    // the aux rows in the same order, so the flattened offsets line up.
+    for (bool aux_pass : {false, true}) {
+      if (aux_pass && !include_aux) break;
+      for (size_t p = 0; p < pids.size(); ++p) {
+        const uint64_t placement =
+            tgi::DeltaPlacement(span.tsid, tgi::SidOf(pids[p], ns), ns);
+        for (size_t i = 0; i < nd; ++i) {
+          keys.push_back(MultiGetKey{
+              placement, tgi::DeltaRowKey(order, dids[i], pids[p], aux_pass)});
+        }
       }
-      if (aux[i].has_value()) {
-        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*aux[i]));
-        evl.ApplyUpTo(t, &acc);
+    }
+    HGS_ASSIGN_OR_RETURN(auto values,
+                         FetchValues(meta, tgi::kDeltasTable, keys, stats));
+    if (stats != nullptr) {
+      for (const auto& value : values) {
+        if (!value.has_value()) continue;
+        ++stats->micro_deltas;
+        stats->bytes += value->size();
+      }
+    }
+    for (size_t k = 0; k < pids.size() * nd; ++k) {
+      regular[k] = std::move(values[k]);
+    }
+    if (include_aux) {
+      for (size_t k = 0; k < pids.size() * nd; ++k) {
+        aux[k] = std::move(values[pids.size() * nd + k]);
       }
     }
   }
-  return acc;
+
+  // Merge per pid: tree deltas root-to-leaf, then eventlist replay to t.
+  Status merge_error = Status::OK();
+  std::mutex merge_error_mu;
+  ParallelFor(pids.size(), fetch_parallelism_, [&](size_t p) {
+    Delta acc;
+    auto merge_one = [&](const std::optional<std::string>& raw,
+                         bool eventlist) -> Status {
+      if (!raw.has_value()) return Status::OK();
+      if (!eventlist) {
+        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*raw));
+        acc.Add(d);
+      } else {
+        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*raw));
+        evl.ApplyUpTo(t, &acc);
+      }
+      return Status::OK();
+    };
+    for (size_t i = 0; i < nd; ++i) {
+      Status s = merge_one(regular[p * nd + i], is_evl[i]);
+      if (s.ok()) s = merge_one(aux[p * nd + i], is_evl[i]);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(merge_error_mu);
+        if (merge_error.ok()) merge_error = s;
+        return;
+      }
+    }
+    out[p] = std::move(acc);
+  });
+  if (!merge_error.ok()) return merge_error;
+  return out;
+}
+
+Result<Delta> TGIQueryManager::FetchMicroStateAt(const MetaState& meta,
+                                                 const tgi::TimespanMeta& span,
+                                                 MicroPartitionId pid,
+                                                 Timestamp t, bool include_aux,
+                                                 FetchStats* stats) {
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<Delta> states,
+      FetchMicroStatesAt(meta, span, {pid}, t, include_aux, stats));
+  return std::move(states[0]);
 }
 
 Result<Delta> TGIQueryManager::GetNodeStateDelta(NodeId id, Timestamp t,
                                                  FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
-  const tgi::TimespanMeta* span = SpanFor(t);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  return GetNodeStateDeltaWith(*meta, id, t, stats);
+}
+
+Result<Delta> TGIQueryManager::GetNodeStateDeltaWith(const MetaState& meta,
+                                                     NodeId id, Timestamp t,
+                                                     FetchStats* stats) {
+  const tgi::TimespanMeta* span = SpanFor(meta, t);
   if (span == nullptr) return Delta();
-  HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(id, *span, stats));
+  HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(meta, id, *span, stats));
   HGS_ASSIGN_OR_RETURN(Delta micro,
-                       FetchMicroStateAt(*span, pid, t, false, stats));
+                       FetchMicroStateAt(meta, *span, pid, t, false, stats));
   return micro.FilterById(id);
 }
 
@@ -503,7 +799,15 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
                                                     Timestamp to,
                                                     FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  return GetNodeHistoryWith(*meta, id, from, to, stats);
+}
+
+Result<NodeHistory> TGIQueryManager::GetNodeHistoryWith(const MetaState& meta,
+                                                        NodeId id,
+                                                        Timestamp from,
+                                                        Timestamp to,
+                                                        FetchStats* stats) {
   NodeHistory out;
   out.node = id;
   out.from = from;
@@ -511,19 +815,15 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
   out.events.SetScope(from, to);
 
   {
-    FetchStats inner;
-    auto initial = GetNodeStateDelta(id, from, &inner);
-    inner.wall_seconds = 0;  // absorbed into this call's timer
-    if (stats != nullptr) stats->Merge(inner);
+    auto initial = GetNodeStateDeltaWith(meta, id, from, stats);
     if (!initial.ok()) return initial.status();
     out.initial = std::move(*initial);
   }
 
   // Version chain: every (timespan, eventlist) that touched the node.
   auto segments_raw =
-      cluster_->Scan(tgi::kVersionsTable, tgi::NodePlacement(id),
-                     tgi::VersionScanPrefix(id));
-  if (stats != nullptr) ++stats->kv_requests;
+      CachedScan(meta, tgi::kVersionsTable, tgi::NodePlacement(id),
+                 tgi::VersionScanPrefix(id), stats);
   if (!segments_raw.ok()) return segments_raw.status();
 
   struct Ref {
@@ -532,7 +832,7 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
     MicroPartitionId pid;
   };
   std::vector<Ref> refs;
-  for (const KVPair& kv : *segments_raw) {
+  for (const KVPair& kv : (*segments_raw)->pairs) {
     if (stats != nullptr) {
       ++stats->micro_deltas;
       stats->bytes += kv.value.size();
@@ -545,38 +845,28 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
     }
   }
 
-  const size_t ns = graph_meta_.num_horizontal_partitions;
+  // The referenced eventlists are independent point reads: one MultiGet.
+  const size_t ns = meta.graph.num_horizontal_partitions;
   const auto order =
-      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
-  std::vector<std::optional<std::string>> values(refs.size());
-  AtomicStats astats;
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mu;
-  ParallelFor(refs.size(), fetch_parallelism_, [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const Ref& ref = refs[i];
+      static_cast<ClusteringOrder>(meta.graph.clustering_order);
+  std::vector<MultiGetKey> keys;
+  keys.reserve(refs.size());
+  for (const Ref& ref : refs) {
     PartitionId sid = tgi::SidOf(ref.pid, ns);
-    auto res = cluster_->Get(
-        tgi::kDeltasTable, tgi::DeltaPlacement(ref.tsid, sid, ns),
+    keys.push_back(MultiGetKey{
+        tgi::DeltaPlacement(ref.tsid, sid, ns),
         tgi::DeltaRowKey(order, tgi::EventlistDid(ref.eventlist_index),
-                         ref.pid, false));
-    astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
-    if (!res.ok()) {
-      if (res.status().IsNotFound()) return;
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!failed.exchange(true)) first_error = res.status();
-      return;
-    }
-    astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
-    astats.bytes.fetch_add(res->size(), std::memory_order_relaxed);
-    values[i] = std::move(*res);
-  });
-  astats.FlushInto(stats);
-  if (failed.load()) return first_error;
+                         ref.pid, false)});
+  }
+  HGS_ASSIGN_OR_RETURN(auto values,
+                       FetchValues(meta, tgi::kDeltasTable, keys, stats));
 
   for (const auto& raw : values) {
     if (!raw.has_value()) continue;
+    if (stats != nullptr) {
+      ++stats->micro_deltas;
+      stats->bytes += raw->size();
+    }
     HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*raw));
     for (const Event& e : evl.events()) {
       if (e.Touches(id) && e.time > from && e.time <= to) {
@@ -599,14 +889,17 @@ TGIQueryManager::GetNodeVersions(NodeId id, Timestamp from, Timestamp to,
 Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
                                                    int k, FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
-  const tgi::TimespanMeta* span = SpanFor(t);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  const MetaState& meta = *meta_ref;
+  const tgi::TimespanMeta* span = SpanFor(meta, t);
   if (span == nullptr) return Graph();
-  const bool replicated = graph_meta_.replicate_one_hop;
+  const bool replicated = meta.graph.replicate_one_hop;
 
-  HGS_ASSIGN_OR_RETURN(MicroPartitionId center_pid, PidOf(id, *span, stats));
+  HGS_ASSIGN_OR_RETURN(MicroPartitionId center_pid,
+                       PidOf(meta, id, *span, stats));
   HGS_ASSIGN_OR_RETURN(
-      Delta acc, FetchMicroStateAt(*span, center_pid, t, replicated, stats));
+      Delta acc,
+      FetchMicroStateAt(meta, *span, center_pid, t, replicated, stats));
 
   std::unordered_set<MicroPartitionId> fetched_pids{center_pid};
   std::unordered_set<NodeId> visited{id};
@@ -639,31 +932,15 @@ Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
       const auto* rec = acc.FindNode(n);
       bool have_record = rec != nullptr && rec->has_value();
       if (last_hop && have_record) continue;
-      HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(n, *span, stats));
+      HGS_ASSIGN_OR_RETURN(MicroPartitionId pid, PidOf(meta, n, *span, stats));
       if (!fetched_pids.contains(pid)) missing.push_back(pid);
     }
     std::sort(missing.begin(), missing.end());
     missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
-    std::vector<Delta> fetched(missing.size());
-    std::atomic<bool> failed{false};
-    Status first_error;
-    std::mutex merge_mu;
-    ParallelFor(missing.size(), fetch_parallelism_, [&](size_t i) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      FetchStats local;
-      auto res = FetchMicroStateAt(*span, missing[i], t, replicated, &local);
-      std::lock_guard<std::mutex> lock(merge_mu);
-      if (stats != nullptr) {
-        local.wall_seconds = 0;
-        stats->Merge(local);
-      }
-      if (!res.ok()) {
-        if (!failed.exchange(true)) first_error = res.status();
-        return;
-      }
-      fetched[i] = std::move(*res);
-    });
-    if (failed.load()) return first_error;
+    // The whole expansion ring is fetched as one batched request.
+    HGS_ASSIGN_OR_RETURN(
+        std::vector<Delta> fetched,
+        FetchMicroStatesAt(meta, *span, missing, t, replicated, stats));
     for (size_t i = 0; i < missing.size(); ++i) {
       acc.Add(fetched[i]);
       fetched_pids.insert(missing[i]);
@@ -692,8 +969,9 @@ Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
 Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
     Timestamp from, Timestamp to, FetchStats* stats) {
   WallTimer timer(stats);
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
-  const size_t ns = graph_meta_.num_horizontal_partitions;
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  const MetaState& meta = *meta_ref;
+  const size_t ns = meta.graph.num_horizontal_partitions;
 
   // Collect the (tsid, eventlist, sid) scan units overlapping the range.
   struct Unit {
@@ -702,7 +980,7 @@ Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
     PartitionId sid;
   };
   std::vector<Unit> units;
-  for (const auto& span : spans_) {
+  for (const auto& span : meta.spans) {
     if (span.end <= from || span.start > to) continue;
     for (size_t j = 0; j < span.eventlist_bounds.size(); ++j) {
       const auto& [first, last] = span.eventlist_bounds[j];
@@ -714,45 +992,61 @@ Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
   }
 
   const auto order =
-      static_cast<ClusteringOrder>(graph_meta_.clustering_order);
+      static_cast<ClusteringOrder>(meta.graph.clustering_order);
   std::vector<std::vector<Event>> per_unit(units.size());
   AtomicStats astats;
   std::atomic<bool> failed{false};
   Status first_error;
   std::mutex error_mu;
+
+  // In delta-major order each unit is one contiguous scan; in
+  // partition-major order every (unit, pid) row is an independent point
+  // read, so the whole range goes out as one batched MultiGet.
+  std::vector<std::optional<std::string>> unit_values;
+  std::vector<std::pair<size_t, size_t>> unit_ranges;  // [begin, end) per unit
+  if (order == ClusteringOrder::kPartitionMajor) {
+    std::vector<MultiGetKey> keys;
+    unit_ranges.reserve(units.size());
+    for (const Unit& u : units) {
+      size_t begin = keys.size();
+      const auto& span = meta.spans[u.tsid];
+      for (MicroPartitionId pid = u.sid; pid < span.num_micro_partitions;
+           pid += ns) {
+        keys.push_back(MultiGetKey{
+            tgi::DeltaPlacement(u.tsid, u.sid, ns),
+            tgi::DeltaRowKey(order, tgi::EventlistDid(u.eventlist_index), pid,
+                             false)});
+      }
+      unit_ranges.emplace_back(begin, keys.size());
+    }
+    FetchStats fetch_stats;
+    auto values = FetchValues(meta, tgi::kDeltasTable, keys, &fetch_stats);
+    astats.Add(fetch_stats);
+    if (!values.ok()) return values.status();
+    unit_values = std::move(*values);
+  }
+
   ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     const Unit& u = units[i];
-    // In delta-major order the eventlist's micro-partitions are contiguous
-    // under a scan prefix; in partition-major order issue per-pid gets.
     std::vector<std::string> raws;
     if (order == ClusteringOrder::kDeltaMajor) {
-      auto res = cluster_->Scan(
-          tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
-          tgi::DeltaScanPrefix(tgi::EventlistDid(u.eventlist_index)));
-      astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
+      FetchStats local;
+      auto res = CachedScan(
+          meta, tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
+          tgi::DeltaScanPrefix(tgi::EventlistDid(u.eventlist_index)), &local);
+      astats.Add(local);
       if (!res.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!failed.exchange(true)) first_error = res.status();
         return;
       }
-      for (KVPair& kv : *res) raws.push_back(std::move(kv.value));
+      for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
     } else {
-      const auto& span = spans_[u.tsid];
-      for (MicroPartitionId pid = u.sid; pid < span.num_micro_partitions;
-           pid += ns) {
-        auto res = cluster_->Get(
-            tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
-            tgi::DeltaRowKey(order, tgi::EventlistDid(u.eventlist_index), pid,
-                             false));
-        astats.kv_requests.fetch_add(1, std::memory_order_relaxed);
-        if (!res.ok()) {
-          if (res.status().IsNotFound()) continue;
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!failed.exchange(true)) first_error = res.status();
-          return;
-        }
-        raws.push_back(std::move(*res));
+      const auto& [begin, end] = unit_ranges[i];
+      for (size_t k = begin; k < end; ++k) {
+        if (!unit_values[k].has_value()) continue;
+        raws.push_back(std::move(*unit_values[k]));
       }
     }
     std::vector<Event>& out = per_unit[i];
@@ -790,12 +1084,11 @@ Result<OneHopHistory> TGIQueryManager::GetOneHopHistory(NodeId id,
                                                         Timestamp to,
                                                         FetchStats* stats) {
   WallTimer timer(stats);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  const MetaState& meta = *meta_ref;
   OneHopHistory out;
   {
-    FetchStats inner;
-    auto center = GetNodeHistory(id, from, to, &inner);
-    inner.wall_seconds = 0;
-    if (stats != nullptr) stats->Merge(inner);
+    auto center = GetNodeHistoryWith(meta, id, from, to, stats);
     if (!center.ok()) return center.status();
     out.center = std::move(*center);
   }
@@ -835,13 +1128,10 @@ Result<OneHopHistory> TGIQueryManager::GetOneHopHistory(NodeId id,
   ParallelFor(nbrs.size(), fetch_parallelism_, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     FetchStats local;
-    auto res = GetNodeHistory(nbrs[i].first, nbrs[i].second.first,
-                              nbrs[i].second.second, &local);
+    auto res = GetNodeHistoryWith(meta, nbrs[i].first, nbrs[i].second.first,
+                                  nbrs[i].second.second, &local);
     std::lock_guard<std::mutex> lock(mu);
-    if (stats != nullptr) {
-      local.wall_seconds = 0;
-      stats->Merge(local);
-    }
+    if (stats != nullptr) stats->Merge(local);
     if (!res.ok()) {
       if (!failed.exchange(true)) first_error = res.status();
       return;

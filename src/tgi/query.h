@@ -6,17 +6,26 @@
 //   * GetKHopNeighborhood    — Algorithm 4 (expansion; replication-aware)
 //   * GetOneHopHistory       — Algorithm 5
 //
-// All fetches are decomposed into independent micro-delta reads executed by
-// `fetch_parallelism` concurrent clients (the paper's c).
+// All fetches are decomposed into independent micro-delta reads. Point
+// reads are batched per query through Cluster::MultiGet (one node round
+// trip per storage node instead of one per key); partition scans run on
+// `fetch_parallelism` concurrent clients (the paper's c). Both kinds of
+// read pass through a sharded LRU partition-delta cache, so overlapping
+// retrievals skip the simulated fetch round trips entirely. The cache is
+// invalidated when index metadata is re-published (AppendBatch).
 
 #ifndef HGS_TGI_QUERY_H_
 #define HGS_TGI_QUERY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "delta/eventlist.h"
 #include "graph/graph.h"
@@ -27,14 +36,29 @@
 namespace hgs {
 
 /// Read-cost accounting for one retrieval call (the currency of Table 1).
+/// Logical counters (kv_requests, micro_deltas, bytes) count every value
+/// the query consumed whether it came from the cluster or the read cache;
+/// kv_batches counts the physical node round trips actually issued, which
+/// is what batching and caching reduce.
 struct FetchStats {
-  uint64_t kv_requests = 0;    ///< point gets + scans issued
+  uint64_t kv_requests = 0;    ///< logical point gets + scans requested
+  uint64_t kv_batches = 0;     ///< physical node round trips issued
+  uint64_t cache_hits = 0;     ///< reads served by the partition-delta cache
+  uint64_t cache_misses = 0;   ///< reads that had to go to the cluster
   uint64_t micro_deltas = 0;   ///< values deserialized
   uint64_t bytes = 0;          ///< raw value bytes fetched
   double wall_seconds = 0.0;
 
+  double CacheHitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
   void Merge(const FetchStats& o) {
     kv_requests += o.kv_requests;
+    kv_batches += o.kv_batches;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     micro_deltas += o.micro_deltas;
     bytes += o.bytes;
     wall_seconds += o.wall_seconds;
@@ -67,9 +91,14 @@ struct OneHopHistory {
 
 class TGIQueryManager {
  public:
-  explicit TGIQueryManager(Cluster* cluster, size_t fetch_parallelism = 1);
+  /// `read_cache_bytes` is the partition-delta cache budget (0 disables
+  /// caching; TGI::OpenQueryManager passes TGIOptions::read_cache_bytes).
+  explicit TGIQueryManager(Cluster* cluster, size_t fetch_parallelism = 1,
+                           size_t read_cache_bytes = 0,
+                           size_t read_cache_shards = 16);
 
-  /// Loads graph + timespan metadata (cached for the manager's lifetime).
+  /// Loads graph + timespan metadata. Metadata and the read cache refresh
+  /// automatically when the cluster's publish epoch changes (AppendBatch).
   Status Open();
 
   // -- retrieval primitives (Section 4.6) ---------------------------------
@@ -112,41 +141,119 @@ class TGIQueryManager {
                                               FetchStats* stats = nullptr);
 
   // -- metadata ------------------------------------------------------------
-  Timestamp HistoryStart() const { return graph_meta_.start; }
-  Timestamp HistoryEnd() const { return graph_meta_.end; }
-  uint64_t EventCount() const { return graph_meta_.event_count; }
+  Timestamp HistoryStart() const;
+  Timestamp HistoryEnd() const;
+  uint64_t EventCount() const;
   size_t fetch_parallelism() const { return fetch_parallelism_; }
   void set_fetch_parallelism(size_t c) {
     fetch_parallelism_ = c == 0 ? 1 : c;
   }
 
+  /// Lifetime counters of the partition-delta cache (zeros when disabled).
+  LruCacheCounters ReadCacheCounters() const {
+    return read_cache_ != nullptr ? read_cache_->Counters()
+                                  : LruCacheCounters{};
+  }
+
  private:
-  /// Timespan whose range covers t (last span with start <= t), or nullptr
-  /// when t precedes all history.
-  const tgi::TimespanMeta* SpanFor(Timestamp t) const;
+  /// One cached read: either a point-read value (possibly a cached
+  /// "absent") or the pairs of a partition scan.
+  struct ReadCacheEntry {
+    bool found = false;          ///< point reads: value present
+    std::string value;           ///< point-read payload
+    std::vector<KVPair> pairs;   ///< scan payload
+  };
+  using ReadCache =
+      ShardedLruCache<std::string, std::shared_ptr<const ReadCacheEntry>>;
+
+  /// An immutable snapshot of the index metadata at one publish epoch.
+  /// Every query grabs one shared_ptr at entry and runs entirely against
+  /// it, so a concurrent refresh (AppendBatch in another thread) can swap
+  /// in new metadata without invalidating in-flight queries. The epoch is
+  /// baked into every cache key the query writes, so late inserts from an
+  /// old-epoch query can never be served to a new-epoch one.
+  struct MetaState {
+    uint64_t epoch = 0;
+    tgi::GraphMeta graph;
+    std::vector<tgi::TimespanMeta> spans;
+  };
+  using MetaRef = std::shared_ptr<const MetaState>;
+
+  /// Timespan of `meta` whose range covers t (last span with start <= t),
+  /// or nullptr when t precedes all history.
+  static const tgi::TimespanMeta* SpanFor(const MetaState& meta, Timestamp t);
+
+  /// Loads graph + timespan metadata from the cluster at `epoch`.
+  Result<MetaRef> LoadMetadata(uint64_t epoch) const;
+
+  /// Fails before Open(); otherwise returns the metadata snapshot to run
+  /// the query against, refreshing it (and dropping the read caches) when
+  /// the cluster's publish epoch moved (AppendBatch).
+  Result<MetaRef> EnsureFresh();
+
+  /// The current metadata snapshot (for the metadata accessors).
+  MetaRef CurrentMeta() const;
 
   /// Micro-partition of `id` during a span (Micropartitions table lookup for
   /// locality spans, hash for random spans).
-  Result<MicroPartitionId> PidOf(NodeId id, const tgi::TimespanMeta& span,
+  Result<MicroPartitionId> PidOf(const MetaState& meta, NodeId id,
+                                 const tgi::TimespanMeta& span,
                                  FetchStats* stats);
 
-  /// Reconstructed state of one micro-partition at time t: tree path point
-  /// reads + eventlist replay, optionally including aux replication rows.
-  Result<Delta> FetchMicroStateAt(const tgi::TimespanMeta& span,
+  /// Reconstructed state of micro-partitions at time t (one Delta per input
+  /// pid): tree path point reads + eventlist replay, optionally including
+  /// aux replication rows. All pids' point reads go out as one MultiGet.
+  Result<std::vector<Delta>> FetchMicroStatesAt(
+      const MetaState& meta, const tgi::TimespanMeta& span,
+      const std::vector<MicroPartitionId>& pids, Timestamp t, bool include_aux,
+      FetchStats* stats);
+
+  /// Single-pid convenience over FetchMicroStatesAt.
+  Result<Delta> FetchMicroStateAt(const MetaState& meta,
+                                  const tgi::TimespanMeta& span,
                                   MicroPartitionId pid, Timestamp t,
                                   bool include_aux, FetchStats* stats);
 
+  /// Batched, cached point reads: cache lookups first, then one MultiGet
+  /// for the misses. One entry per input key; NotFound maps to nullopt.
+  Result<std::vector<std::optional<std::string>>> FetchValues(
+      const MetaState& meta, std::string_view table,
+      const std::vector<MultiGetKey>& keys, FetchStats* stats);
+
   /// Fetches one value; NotFound is mapped to "absent" (nullopt).
-  Result<std::optional<std::string>> FetchValue(std::string_view table,
+  Result<std::optional<std::string>> FetchValue(const MetaState& meta,
+                                                std::string_view table,
                                                 uint64_t partition,
                                                 std::string_view key,
                                                 FetchStats* stats);
 
+  /// Cached partition prefix scan. The returned entry is shared with the
+  /// cache; callers must not mutate it.
+  Result<std::shared_ptr<const ReadCacheEntry>> CachedScan(
+      const MetaState& meta, std::string_view table, uint64_t partition,
+      std::string_view prefix, FetchStats* stats);
+
+  // Internal (no-refresh) bodies of the public primitives, so composite
+  // queries run every leg against one metadata snapshot.
+  Result<Delta> GetSnapshotDeltaWith(const MetaState& meta, Timestamp t,
+                                     FetchStats* stats);
+  Result<Delta> GetNodeStateDeltaWith(const MetaState& meta, NodeId id,
+                                      Timestamp t, FetchStats* stats);
+  Result<NodeHistory> GetNodeHistoryWith(const MetaState& meta, NodeId id,
+                                         Timestamp from, Timestamp to,
+                                         FetchStats* stats);
+
   Cluster* cluster_;
   size_t fetch_parallelism_;
   bool opened_ = false;
-  tgi::GraphMeta graph_meta_;
-  std::vector<tgi::TimespanMeta> spans_;
+
+  mutable std::mutex meta_mu_;  ///< guards meta_ swaps/reads
+  MetaRef meta_;
+
+  /// Partition-delta cache over point reads and scans of the immutable
+  /// index tables, keyed by (kind, epoch, table, partition, row key).
+  std::unique_ptr<ReadCache> read_cache_;
+  std::mutex refresh_mu_;
 
   std::mutex micropart_mu_;
   // (tsid, bucket) -> node -> pid cache of the Micropartitions table.

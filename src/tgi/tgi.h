@@ -17,7 +17,7 @@ namespace hgs {
 class TGI {
  public:
   TGI(Cluster* cluster, TGIOptions options)
-      : cluster_(cluster), builder_(cluster, options) {}
+      : cluster_(cluster), options_(options), builder_(cluster, options) {}
 
   /// Ingests a complete chronological event history and publishes metadata.
   Status BuildFrom(const std::vector<Event>& events) {
@@ -32,20 +32,24 @@ class TGI {
     return builder_.Finish();
   }
 
-  /// Opens a query manager with `fetch_parallelism` parallel fetch clients.
+  /// Opens a query manager with `fetch_parallelism` parallel fetch clients
+  /// and the read-cache configuration of this index's options.
   Result<std::unique_ptr<TGIQueryManager>> OpenQueryManager(
       size_t fetch_parallelism = 1) {
-    auto qm =
-        std::make_unique<TGIQueryManager>(cluster_, fetch_parallelism);
+    auto qm = std::make_unique<TGIQueryManager>(
+        cluster_, fetch_parallelism, options_.read_cache_bytes,
+        options_.read_cache_shards);
     HGS_RETURN_NOT_OK(qm->Open());
     return qm;
   }
 
   TGIBuilder* builder() { return &builder_; }
   Cluster* cluster() { return cluster_; }
+  const TGIOptions& options() const { return options_; }
 
  private:
   Cluster* cluster_;
+  TGIOptions options_;
   TGIBuilder builder_;
 };
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/compression.h"
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/serde.h"
@@ -284,6 +285,92 @@ TEST(Fnv1aTest, StableKnownValue) {
   // FNV-1a of empty input is the offset basis.
   EXPECT_EQ(Fnv1a64("", 0), 0xCBF29CE484222325ull);
   EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
+}
+
+TEST(LruCacheTest, HitMissAndCounters) {
+  ShardedLruCache<std::string, int> cache(1024, 2);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", 1, 10);
+  cache.Put("b", 2, 10);
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  LruCacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+  EXPECT_EQ(counters.bytes_used, 20u);
+  EXPECT_DOUBLE_EQ(counters.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedWithinByteBudget) {
+  // One shard so eviction order is fully deterministic.
+  ShardedLruCache<std::string, int> cache(30, 1);
+  cache.Put("a", 1, 10);
+  cache.Put("b", 2, 10);
+  cache.Put("c", 3, 10);
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh "a": "b" is now LRU
+  cache.Put("d", 4, 10);
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+  EXPECT_EQ(cache.Counters().evictions, 1u);
+  EXPECT_LE(cache.Counters().bytes_used, 30u);
+}
+
+TEST(LruCacheTest, OversizedEntryIsNotAdmitted) {
+  ShardedLruCache<std::string, int> cache(30, 1);
+  cache.Put("big", 1, 100);
+  EXPECT_FALSE(cache.Get("big").has_value());
+  EXPECT_EQ(cache.Counters().entries, 0u);
+  // An oversized replacement must drop the old value, not serve it stale.
+  cache.Put("big", 2, 10);
+  cache.Put("big", 3, 100);
+  EXPECT_FALSE(cache.Get("big").has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  ShardedLruCache<std::string, int> cache(0);
+  cache.Put("a", 1, 1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.enabled());
+}
+
+TEST(LruCacheTest, PutReplacesAndClearKeepsCounters) {
+  ShardedLruCache<std::string, int> cache(100, 1);
+  cache.Put("a", 1, 10);
+  cache.Put("a", 2, 20);
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 2);
+  EXPECT_EQ(cache.Counters().bytes_used, 20u);
+  cache.Clear();
+  EXPECT_EQ(cache.Counters().entries, 0u);
+  EXPECT_EQ(cache.Counters().bytes_used, 0u);
+  EXPECT_EQ(cache.Counters().hits, 1u);  // retained across Clear
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(LruCacheTest, ConcurrentReadersAndWritersDoNotRace) {
+  ShardedLruCache<uint64_t, uint64_t> cache(1 << 16, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 2'000; ++i) {
+        uint64_t key = rng.Uniform(256);
+        if (rng.Uniform(2) == 0) {
+          cache.Put(key, key * 2, 16);
+        } else {
+          auto v = cache.Get(key);
+          if (v.has_value()) EXPECT_EQ(*v, key * 2);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.Counters().bytes_used, 1u << 16);
 }
 
 }  // namespace

@@ -145,6 +145,98 @@ TEST(ClusterTest, OverwriteUpdatesStoredBytes) {
   EXPECT_EQ(c.TotalKeys(), 1u);
 }
 
+TEST(MultiGetTest, MatchesLoopedGetOnMultiNodeCluster) {
+  Cluster c(FastOptions(3, 1));
+  std::vector<MultiGetKey> keys;
+  for (uint64_t p = 0; p < 8; ++p) {
+    for (int k = 0; k < 5; ++k) {
+      std::string key = "k" + std::to_string(p) + "-" + std::to_string(k);
+      ASSERT_TRUE(
+          c.Put("t", p, key, "v" + std::to_string(p * 10 + k)).ok());
+      keys.push_back(MultiGetKey{p, key});
+    }
+    // Interleave keys that were never written.
+    keys.push_back(MultiGetKey{p, "missing" + std::to_string(p)});
+  }
+  size_t batches = 0;
+  auto multi = c.MultiGet("t", keys, &batches);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi->size(), keys.size());
+  // Grouping by node: no more round trips than nodes, far fewer than keys.
+  EXPECT_LE(batches, c.num_nodes());
+  EXPECT_LT(batches, keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto single = c.Get("t", keys[i].partition, keys[i].key);
+    if (single.ok()) {
+      ASSERT_TRUE((*multi)[i].has_value()) << keys[i].key;
+      EXPECT_EQ(*(*multi)[i], *single);
+    } else {
+      EXPECT_TRUE(single.status().IsNotFound());
+      EXPECT_FALSE((*multi)[i].has_value()) << keys[i].key;
+    }
+  }
+}
+
+TEST(MultiGetTest, EmptyKeyListIsANoOp) {
+  Cluster c(FastOptions());
+  size_t batches = 99;
+  auto multi = c.MultiGet("t", {}, &batches);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_TRUE(multi->empty());
+  EXPECT_EQ(batches, 0u);
+  EXPECT_EQ(c.TotalReadRequests(), 0u);
+}
+
+TEST(MultiGetTest, SurvivesNodeFailureWithReplication) {
+  Cluster c(FastOptions(3, 2));
+  std::vector<MultiGetKey> keys;
+  for (uint64_t p = 0; p < 30; ++p) {
+    std::string key = "k" + std::to_string(p);
+    ASSERT_TRUE(c.Put("t", p, key, "v" + std::to_string(p)).ok());
+    keys.push_back(MultiGetKey{p, key});
+  }
+  c.SetNodeDown(0, true);
+  auto multi = c.MultiGet("t", keys);
+  ASSERT_TRUE(multi.ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE((*multi)[i].has_value()) << "partition " << i;
+    EXPECT_EQ(*(*multi)[i], "v" + std::to_string(i));
+  }
+}
+
+TEST(MultiGetTest, CompressionIsTransparent) {
+  ClusterOptions opts = FastOptions(1);
+  opts.compression = CompressionKind::kLz;
+  Cluster c(opts);
+  std::string value;
+  for (int i = 0; i < 200; ++i) value += "repetitive-payload-";
+  ASSERT_TRUE(c.Put("t", 1, "k", value).ok());
+  auto multi = c.MultiGet("t", {MultiGetKey{1, "k"}});
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE((*multi)[0].has_value());
+  EXPECT_EQ(*(*multi)[0], value);
+}
+
+TEST(MultiGetTest, OneBatchCountsAsOneRequestAndOneSeek) {
+  ClusterOptions opts;
+  opts.num_nodes = 1;
+  opts.latency.enabled = true;
+  opts.latency.seek_micros = 3'000;
+  opts.latency.per_key_micros = 0;
+  Cluster c(opts);
+  std::vector<MultiGetKey> keys;
+  for (int i = 0; i < 8; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(c.Put("t", 1, key, "v").ok());
+    keys.push_back(MultiGetKey{1, key});
+  }
+  c.ResetStats();
+  ASSERT_TRUE(c.MultiGet("t", keys).ok());
+  // 8 looped gets would register 8 requests (and pay 8 seeks); the batch
+  // registers one. The node-side stats are deterministic, unlike wall time.
+  EXPECT_EQ(c.TotalReadRequests(), 1u);
+}
+
 TEST(LatencyModelTest, CostScalesWithKeysAndBytes) {
   LatencyModel m;
   m.seek_micros = 100;

@@ -509,6 +509,133 @@ TEST(TGITest, QueryBeforeOpenFails) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(TGITest, CachedSnapshotIdenticalToColdAndHitsAccounted) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(53, 6'000);
+  size_t half = events.size() / 2;
+  std::vector<Event> first(events.begin(), events.begin() + half);
+  std::vector<Event> second(events.begin() + half, events.end());
+  ASSERT_TRUE(tgi.BuildFrom(first).ok());
+
+  // Cached manager (TGIOptions default budget) vs an uncached control.
+  auto qm = tgi.OpenQueryManager(2).value();
+  TGIQueryManager uncached(&cluster, 2, /*read_cache_bytes=*/0);
+  ASSERT_TRUE(uncached.Open().ok());
+
+  Timestamp t1 = first[first.size() / 2].time;
+  FetchStats cold;
+  auto snap_cold = qm->GetSnapshot(t1, &cold);
+  ASSERT_TRUE(snap_cold.ok());
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  FetchStats warm;
+  auto snap_warm = qm->GetSnapshot(t1, &warm);
+  ASSERT_TRUE(snap_warm.ok());
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.kv_batches, 0u);  // fully served from cache
+  EXPECT_TRUE(*snap_warm == *snap_cold);
+  // Logical counters are identical hot or cold.
+  EXPECT_EQ(warm.kv_requests, cold.kv_requests);
+  EXPECT_EQ(warm.bytes, cold.bytes);
+
+  auto snap_uncached = uncached.GetSnapshot(t1);
+  ASSERT_TRUE(snap_uncached.ok());
+  EXPECT_TRUE(*snap_uncached == *snap_warm);
+
+  // AppendBatch re-publishes metadata: the open manager must invalidate
+  // its cache and serve the post-append history correctly.
+  ASSERT_TRUE(tgi.AppendBatch(second).ok());
+  Timestamp t2 = workload::EndTime(events);
+  FetchStats post;
+  auto snap_post = qm->GetSnapshot(t2, &post);
+  ASSERT_TRUE(snap_post.ok());
+  EXPECT_EQ(post.cache_hits, 0u);  // cache was dropped on invalidation
+  EXPECT_GT(post.cache_misses, 0u);
+  EXPECT_TRUE(*snap_post == workload::ReplayToGraph(events, t2));
+  // The pre-append timepoint still answers correctly after the refresh.
+  auto snap_old = qm->GetSnapshot(t1);
+  ASSERT_TRUE(snap_old.ok());
+  EXPECT_TRUE(*snap_old == *snap_cold);
+}
+
+TEST(TGITest, NodeHistoryCacheInvalidatedByAppendBatch) {
+  // A node's version-chain scan is cached; AppendBatch adds new segments
+  // under the same scan prefix, so a stale cache would lose events.
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(59, 6'000);
+  size_t half = events.size() / 2;
+  ASSERT_TRUE(
+      tgi.BuildFrom({events.begin(), events.begin() + half}).ok());
+  auto qm = tgi.OpenQueryManager().value();
+
+  // A node touched in both halves, so stale cached scans would show.
+  std::unordered_map<NodeId, int> touches;
+  for (size_t i = 0; i < events.size(); ++i) {
+    int weight = i < half ? 1 : 1'000'000;
+    touches[events[i].u] += weight;
+    if (events[i].IsEdgeEvent()) touches[events[i].v] += weight;
+  }
+  NodeId busy = events.front().u;
+  int best = 0;
+  for (auto [id, cnt] : touches) {
+    if (cnt > best && cnt > 1'000'000) {
+      best = cnt;
+      busy = id;
+    }
+  }
+  Timestamp end_first = events[half - 1].time;
+  ASSERT_TRUE(qm->GetNodeHistory(busy, 0, end_first).ok());
+
+  ASSERT_TRUE(tgi.AppendBatch({events.begin() + half, events.end()}).ok());
+  Timestamp end = workload::EndTime(events);
+  auto hist = qm->GetNodeHistory(busy, 0, end);
+  ASSERT_TRUE(hist.ok());
+  std::vector<Event> expected;
+  for (const Event& e : events) {
+    if (e.time > 0 && e.time <= end && e.Touches(busy)) expected.push_back(e);
+  }
+  ASSERT_EQ(hist->events.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(hist->events.events()[i], expected[i]);
+  }
+}
+
+TEST(TGITest, MultiGetBatchingReducesRoundTripsUnderLatency) {
+  // Partition-major clustering issues point reads for every (delta, pid)
+  // unit: the batched path must collapse them into per-node round trips.
+  ClusterOptions copts = FastCluster(2);
+  copts.latency.enabled = true;
+  copts.latency.seek_micros = 200;
+  copts.latency.per_key_micros = 1;
+  Cluster cluster(copts);
+  TGIOptions opts = SmallOptions();
+  opts.clustering_order = ClusteringOrder::kPartitionMajor;
+  TGI tgi(&cluster, opts);
+  auto events = SmallHistory(61, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  Timestamp t = workload::EndTime(events);
+  FetchStats cold;
+  auto snap = qm->GetSnapshot(t, &cold);
+  ASSERT_TRUE(snap.ok());
+  // Many logical point reads, a handful of physical round trips.
+  EXPECT_GT(cold.kv_requests, 2u * cluster.num_nodes());
+  EXPECT_LT(cold.kv_batches, cold.kv_requests / 2);
+  EXPECT_TRUE(*snap == workload::ReplayToGraph(events, t));
+
+  // Repeating the snapshot is served from the cache: no round trips.
+  FetchStats warm;
+  auto again = qm->GetSnapshot(t, &warm);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(warm.kv_batches, 0u);
+  EXPECT_GT(warm.CacheHitRate(), 0.0);
+  EXPECT_TRUE(*again == *snap);
+}
+
 TEST(TGITest, ReplicationReducesOneHopFetches) {
   auto events = workload::GenerateFriendster(
       {.num_nodes = 1'500, .num_edges = 6'000, .community_size = 100});
