@@ -236,6 +236,17 @@ inline void PrintFetchEfficiency(const char* label, const FetchStats& s) {
       s.CacheHitRate());
 }
 
+/// One-line bulk node-history summary: logical work requested (node
+/// histories, eventlist references) vs physical work issued after grouping
+/// and dedup (version scans, unique eventlist rows, node round trips).
+inline void PrintBulkEfficiency(const char* label, const FetchStats& s) {
+  std::printf("%s: node_requests=%" PRIu64 " version_scans=%" PRIu64
+              " eventlist_refs=%" PRIu64 " eventlist_fetches=%" PRIu64
+              " round_trips=%" PRIu64 "\n",
+              label, s.node_requests, s.version_scans, s.eventlist_refs,
+              s.eventlist_fetches, FetchRoundTrips(s));
+}
+
 inline void PrintPreamble(const char* experiment, const char* paper_shape) {
   std::printf("# %s\n", experiment);
   std::printf("# paper shape to reproduce: %s\n", paper_shape);

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace hgs {
 
@@ -46,6 +48,55 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+ThreadPool& SharedWorkPool() {
+  // Leaked on purpose: pool workers must outlive every static that might
+  // still run a ParallelFor during its destructor, and joining threads in
+  // a static destructor races with library teardown.
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 8;
+    // Floor of 8: loop bodies in this codebase block on the simulated
+    // storage latency, so more workers than cores still buy concurrency.
+    return new ThreadPool(std::max<size_t>(hw, 8));
+  }();
+  return *pool;
+}
+
+namespace {
+
+// State of one ParallelFor, shared with helper tasks via shared_ptr so a
+// helper that is dequeued after the loop finished (it will find
+// next >= n) can still touch it safely.
+struct LoopState {
+  explicit LoopState(size_t total, const std::function<void(size_t)>& f)
+      : n(total), fn(&f) {}
+
+  const size_t n;
+  /// Valid while the issuing caller blocks in ParallelFor. Helpers only
+  /// dereference it after claiming an item, and a claimed item keeps the
+  /// caller blocked until `done` reaches n — so no helper can reach `fn`
+  /// after the caller returned.
+  const std::function<void(size_t)>* fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void RunShare() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ParallelFor(size_t n, size_t parallelism,
                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -53,20 +104,17 @@ void ParallelFor(size_t n, size_t parallelism,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  size_t workers = std::min(parallelism, n);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
+  ThreadPool& pool = SharedWorkPool();
+  // Degree cap: the caller plus at most the pool's worker count; no call
+  // can oversubscribe the machine however deeply fetch loops nest.
+  size_t degree = std::min({parallelism, n, pool.num_threads() + 1});
+  auto state = std::make_shared<LoopState>(n, fn);
+  for (size_t w = 1; w < degree; ++w) {
+    pool.Submit([state] { state->RunShare(); });
   }
-  for (auto& t : threads) t.join();
+  state->RunShare();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
 }  // namespace hgs

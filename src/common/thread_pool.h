@@ -57,8 +57,27 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) across `parallelism` threads and waits.
-/// A convenience for data-parallel loops in benches and the TAF engine.
+/// The process-wide pool backing ParallelFor. Lazily constructed on first
+/// use and sized to the host (hardware_concurrency, with a floor so the
+/// latency-simulated fetch benches keep their concurrency on small hosts).
+/// Sharing one pool means nested parallel sections — a TAF worker loop
+/// whose body runs a parallel TGI fetch — compose without multiplying
+/// threads: inner loops reuse idle pool workers or degrade to running on
+/// the calling thread when the pool is saturated.
+ThreadPool& SharedWorkPool();
+
+/// Runs fn(i) for i in [0, n) with up to `parallelism` concurrent workers
+/// and waits for completion. Work is claimed from a shared atomic counter
+/// by the calling thread plus at most `parallelism - 1` helpers borrowed
+/// from SharedWorkPool() — no threads are spawned per call. The caller
+/// always participates and can finish the whole loop alone, so nested
+/// ParallelFor calls (even from inside a pool worker) never deadlock; they
+/// just run with less parallelism when the pool is busy. `parallelism <= 1`
+/// (or n <= 1) runs serially on the calling thread.
+///
+/// `fn` must not throw: an escaping exception from a helper would be
+/// swallowed by the pool's packaged task and the loop would never finish.
+/// (Callers in this codebase report failure through Status captures.)
 void ParallelFor(size_t n, size_t parallelism,
                  const std::function<void(size_t)>& fn);
 

@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <string_view>
+#include <tuple>
 #include <unordered_set>
+#include <utility>
 
 namespace hgs::taf {
+
+namespace {
+
+/// Total order over events used before deduplication. Sorting by time alone
+/// leaves same-timestamp events in arbitrary relative order, so duplicates
+/// (internal edge events arrive once per endpoint history) may end up
+/// non-adjacent and survive std::unique. Ordering on every field that
+/// participates in Event equality — including the initial attributes of
+/// add events (sorted flat vectors, so lexicographically comparable) —
+/// guarantees equal events are adjacent after the sort.
+bool EventTotalOrder(const Event& a, const Event& b) {
+  auto key = [](const Event& e) {
+    return std::tuple(e.time, static_cast<uint8_t>(e.type), e.u, e.v,
+                      e.directed, std::string_view(e.key),
+                      std::string_view(e.value),
+                      std::string_view(e.prev_value));
+  };
+  auto ka = key(a);
+  auto kb = key(b);
+  if (ka != kb) return ka < kb;
+  return a.attrs.entries() < b.attrs.entries();
+}
+
+/// [begin, end) of share `w` out of `shares` over n items (Fig 10: each
+/// worker pulls its contiguous share of the candidate set in one bulk
+/// retrieval).
+std::pair<size_t, size_t> ShareBounds(size_t n, size_t shares, size_t w) {
+  return {n * w / shares, n * (w + 1) / shares};
+}
+
+}  // namespace
 
 NodeSetSpec& NodeSetSpec::TimeRange(Timestamp from, Timestamp to) {
   from_ = from;
@@ -77,24 +111,41 @@ Result<SoN> NodeSetSpec::Fetch(FetchStats* stats) const {
       return !(v.has_value() && *v == attr_filter_->second);
     });
   }
+  // Explicit id lists may repeat ids (WithIds({5, 5})); a temporal node
+  // must appear once per distinct id, and each history fetched once.
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
 
-  // -- 3. Parallel fetch: each worker pulls its share (Fig 10). ------------
+  // -- 3. Parallel fetch: each worker pulls its share in one bulk
+  // GetNodeHistories call (Fig 10), so the physical fetch cost is bounded
+  // by partitions touched per share, not by candidate count.
   std::vector<NodeT> nodes(candidates.size());
   std::atomic<bool> failed{false};
   Status first_error;
   std::mutex mu;
   FetchStats agg;
-  engine_->ParallelOver(candidates.size(), [&](size_t i) {
+  size_t shares = std::min(engine_->num_workers(),
+                           std::max<size_t>(candidates.size(), 1));
+  engine_->ParallelOver(shares, [&](size_t w) {
     if (failed.load(std::memory_order_relaxed)) return;
+    auto [begin, end] = ShareBounds(candidates.size(), shares, w);
+    if (begin == end) return;
+    std::vector<NodeId> share(candidates.begin() + begin,
+                              candidates.begin() + end);
     FetchStats local;
-    auto hist = qm->GetNodeHistory(candidates[i], from, to, &local);
-    std::lock_guard<std::mutex> lock(mu);
-    agg.Merge(local);
-    if (!hist.ok()) {
-      if (!failed.exchange(true)) first_error = hist.status();
-      return;
+    auto hists = qm->GetNodeHistories(share, from, to, &local);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      agg.Merge(local);
+      if (!hists.ok()) {
+        if (!failed.exchange(true)) first_error = hists.status();
+        return;
+      }
     }
-    nodes[i] = NodeT(std::move(*hist));
+    // Shares write disjoint ranges: no lock while materializing nodes.
+    for (size_t i = begin; i < end; ++i) {
+      nodes[i] = NodeT(std::move((*hists)[i - begin]));
+    }
   });
   if (stats != nullptr) {
     agg.wall_seconds = 0;  // absorbed in the caller's timing
@@ -159,20 +210,25 @@ Result<SoTS> SubgraphSetSpec::Fetch(FetchStats* stats) const {
     members.insert(seeds_[i]);
     Delta initial = Delta::FromGraph(*hood);
 
-    // Member histories give the subgraph's events; edge events internal to
-    // the member set arrive twice and are deduplicated by timestamp.
+    // Member histories give the subgraph's events, fetched set-at-a-time:
+    // one bulk retrieval per subgraph, so eventlists shared by members are
+    // fetched once. Edge events internal to the member set still arrive
+    // twice (once per endpoint history); sorting by the full total order —
+    // not just time — makes the duplicates adjacent even when distinct
+    // events share a timestamp, so std::unique reliably removes them.
+    std::vector<NodeId> member_ids(members.begin(), members.end());
+    std::sort(member_ids.begin(), member_ids.end());
+    auto hists = qm->GetNodeHistories(member_ids, from, to, &local);
+    if (!hists.ok()) {
+      fail(hists.status());
+      return;
+    }
     EventList events(from, to);
     std::vector<Event> buffer;
-    for (NodeId m : members) {
-      auto hist = qm->GetNodeHistory(m, from, to, &local);
-      if (!hist.ok()) {
-        fail(hist.status());
-        return;
-      }
-      for (const Event& e : hist->events.events()) buffer.push_back(e);
+    for (const NodeHistory& hist : *hists) {
+      for (const Event& e : hist.events.events()) buffer.push_back(e);
     }
-    std::sort(buffer.begin(), buffer.end(),
-              [](const Event& a, const Event& b) { return a.time < b.time; });
+    std::sort(buffer.begin(), buffer.end(), EventTotalOrder);
     buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
     for (Event& e : buffer) events.Append(std::move(e));
 

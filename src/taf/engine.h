@@ -21,7 +21,10 @@ class TAFEngine {
   TGIQueryManager* query_manager() const { return qm_; }
   size_t num_workers() const { return num_workers_; }
 
-  /// Data-parallel loop over n items across the worker cluster.
+  /// Data-parallel loop over n items across the worker cluster. Runs on
+  /// the process-wide SharedWorkPool with degree `num_workers`, so every
+  /// query reuses the same threads and nested parallel sections (a worker
+  /// body issuing a parallel TGI fetch) compose without thread explosion.
   void ParallelOver(size_t n, const std::function<void(size_t)>& fn) const {
     ParallelFor(n, num_workers_, fn);
   }

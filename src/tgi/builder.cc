@@ -65,9 +65,13 @@ TGIBuilder::TGIBuilder(Cluster* cluster, TGIOptions options)
 
 Status TGIBuilder::Ingest(const std::vector<Event>& events) {
   for (const Event& e : events) {
-    if (e.time <= last_time_) {
+    // Equal timestamps are allowed (simultaneous events are routine in real
+    // traces); only going backwards in time is rejected. All read-side
+    // routing (checkpoint selection, eventlist bounds, ApplyUpTo) treats
+    // same-time events consistently via <=/> comparisons.
+    if (e.time < last_time_) {
       return Status::InvalidArgument(
-          "event timestamps must be strictly increasing");
+          "event timestamps must be non-decreasing");
     }
     last_time_ = e.time;
     if (first_time_ == kMaxTimestamp) first_time_ = e.time;

@@ -36,6 +36,10 @@ struct AtomicStats {
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> micro_deltas{0};
   std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> node_requests{0};
+  std::atomic<uint64_t> version_scans{0};
+  std::atomic<uint64_t> eventlist_refs{0};
+  std::atomic<uint64_t> eventlist_fetches{0};
 
   /// Accumulates a task-local FetchStats (wall_seconds is ignored; the
   /// caller's WallTimer covers the whole query).
@@ -46,6 +50,11 @@ struct AtomicStats {
     cache_misses.fetch_add(s.cache_misses, std::memory_order_relaxed);
     micro_deltas.fetch_add(s.micro_deltas, std::memory_order_relaxed);
     bytes.fetch_add(s.bytes, std::memory_order_relaxed);
+    node_requests.fetch_add(s.node_requests, std::memory_order_relaxed);
+    version_scans.fetch_add(s.version_scans, std::memory_order_relaxed);
+    eventlist_refs.fetch_add(s.eventlist_refs, std::memory_order_relaxed);
+    eventlist_fetches.fetch_add(s.eventlist_fetches,
+                                std::memory_order_relaxed);
   }
 
   void FlushInto(FetchStats* stats) const {
@@ -56,8 +65,39 @@ struct AtomicStats {
     stats->cache_misses += cache_misses.load();
     stats->micro_deltas += micro_deltas.load();
     stats->bytes += bytes.load();
+    stats->node_requests += node_requests.load();
+    stats->version_scans += version_scans.load();
+    stats->eventlist_refs += eventlist_refs.load();
+    stats->eventlist_fetches += eventlist_fetches.load();
   }
 };
+
+// Runs fn(i, &local_stats) for i in [0, n) on the shared pool, accumulates
+// every task's local FetchStats into `stats`, and returns the first non-OK
+// status (remaining iterations are skipped once a task fails). Factors out
+// the AtomicStats / first-error plumbing shared by the parallel fetch
+// stages.
+Status ParallelStatusFor(
+    size_t n, size_t parallelism, FetchStats* stats,
+    const std::function<Status(size_t, FetchStats*)>& fn) {
+  AtomicStats astats;
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  ParallelFor(n, parallelism, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    FetchStats local;
+    Status s = fn(i, &local);
+    astats.Add(local);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!failed.exchange(true)) first_error = s;
+    }
+  });
+  astats.FlushInto(stats);
+  if (failed.load()) return first_error;
+  return Status::OK();
+}
 
 // Cache key of one read: kind byte ('G' point read / 'S' scan), the publish
 // epoch the reading query ran at, table, partition token, then the row key
@@ -808,73 +848,192 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistoryWith(const MetaState& meta,
                                                         Timestamp from,
                                                         Timestamp to,
                                                         FetchStats* stats) {
-  NodeHistory out;
-  out.node = id;
-  out.from = from;
-  out.to = to;
-  out.events.SetScope(from, to);
+  // Single retrieval = bulk retrieval of one id, so the two stay
+  // result-identical by construction.
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<NodeHistory> hists,
+      GetNodeHistoriesWith(meta, {id}, from, to, stats));
+  return std::move(hists[0]);
+}
 
-  {
-    auto initial = GetNodeStateDeltaWith(meta, id, from, stats);
-    if (!initial.ok()) return initial.status();
-    out.initial = std::move(*initial);
+Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistories(
+    const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
+    FetchStats* stats) {
+  WallTimer timer(stats);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  return GetNodeHistoriesWith(*meta, ids, from, to, stats);
+}
+
+Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
+    const MetaState& meta, const std::vector<NodeId>& ids, Timestamp from,
+    Timestamp to, FetchStats* stats) {
+  std::vector<NodeHistory> out(ids.size());
+  if (stats != nullptr) stats->node_requests += ids.size();
+  if (ids.empty()) return out;
+
+  // Work on the deduplicated id set; duplicates share one retrieval.
+  std::vector<NodeId> uniq;
+  std::unordered_map<NodeId, size_t> uniq_index;
+  uniq.reserve(ids.size());
+  for (NodeId id : ids) {
+    if (uniq_index.emplace(id, uniq.size()).second) uniq.push_back(id);
   }
 
-  // Version chain: every (timespan, eventlist) that touched the node.
-  auto segments_raw =
-      CachedScan(meta, tgi::kVersionsTable, tgi::NodePlacement(id),
-                 tgi::VersionScanPrefix(id), stats);
-  if (!segments_raw.ok()) return segments_raw.status();
+  // ---- Initial states (node + incident edges at `from`), batched: all
+  // requested ids resolve to micro-partitions first, then every touched
+  // micro-partition is reconstructed exactly once.
+  std::vector<Delta> initials(uniq.size());
+  const tgi::TimespanMeta* span0 = SpanFor(meta, from);
+  if (span0 != nullptr) {
+    // Placement lookups overlap across the fetch clients: a cold
+    // Micropartitions bucket costs a round trip, and distinct ids can hit
+    // distinct buckets (repeats are served by the micropart cache).
+    std::vector<MicroPartitionId> pid_of_uniq(uniq.size());
+    HGS_RETURN_NOT_OK(ParallelStatusFor(
+        uniq.size(), fetch_parallelism_, stats,
+        [&](size_t u, FetchStats* local) -> Status {
+          HGS_ASSIGN_OR_RETURN(pid_of_uniq[u],
+                               PidOf(meta, uniq[u], *span0, local));
+          return Status::OK();
+        }));
+    std::vector<MicroPartitionId> pids = pid_of_uniq;
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    HGS_ASSIGN_OR_RETURN(
+        std::vector<Delta> states,
+        FetchMicroStatesAt(meta, *span0, pids, from, false, stats));
+    std::unordered_map<MicroPartitionId, size_t> state_of;
+    state_of.reserve(pids.size());
+    for (size_t p = 0; p < pids.size(); ++p) state_of[pids[p]] = p;
+    for (size_t u = 0; u < uniq.size(); ++u) {
+      initials[u] = states[state_of[pid_of_uniq[u]]].FilterById(uniq[u]);
+    }
+  }
 
-  struct Ref {
-    TimespanId tsid;
-    uint32_t eventlist_index;
-    MicroPartitionId pid;
+  // ---- Version chains: group ids by versions-table placement and issue
+  // one partition scan per touched partition (not one per node). Scans run
+  // as parallel cached requests across the fetch clients.
+  struct ScanGroup {
+    uint64_t partition;
+    std::vector<size_t> members;  ///< uniq indices placed here
   };
-  std::vector<Ref> refs;
-  for (const KVPair& kv : (*segments_raw)->pairs) {
-    if (stats != nullptr) {
-      ++stats->micro_deltas;
-      stats->bytes += kv.value.size();
-    }
-    HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment seg,
-                         tgi::VersionChainSegment::Deserialize(kv.value));
-    for (const tgi::VersionEntry& e : seg.entries) {
-      if (e.last_time <= from || e.first_time > to) continue;
-      refs.push_back(Ref{e.tsid, e.eventlist_index, e.pid});
+  std::vector<ScanGroup> groups;
+  {
+    std::unordered_map<uint64_t, size_t> group_of;
+    for (size_t u = 0; u < uniq.size(); ++u) {
+      uint64_t partition = tgi::NodePlacement(uniq[u]);
+      auto [it, inserted] = group_of.emplace(partition, groups.size());
+      if (inserted) groups.push_back(ScanGroup{partition, {}});
+      groups[it->second].members.push_back(u);
     }
   }
+  std::vector<std::shared_ptr<const ReadCacheEntry>> scans(groups.size());
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      groups.size(), fetch_parallelism_, stats,
+      [&](size_t g, FetchStats* local) -> Status {
+        HGS_ASSIGN_OR_RETURN(
+            scans[g], CachedScan(meta, tgi::kVersionsTable,
+                                 groups[g].partition, /*prefix=*/"", local));
+        return Status::OK();
+      }));
+  if (stats != nullptr) stats->version_scans += groups.size();
 
-  // The referenced eventlists are independent point reads: one MultiGet.
+  // ---- Union all version-chain references into one deduplicated eventlist
+  // batch. refs_of[u] holds indices into `keys` in chain order, so the
+  // per-node replay below applies eventlists exactly as the per-node path
+  // would.
   const size_t ns = meta.graph.num_horizontal_partitions;
-  const auto order =
-      static_cast<ClusteringOrder>(meta.graph.clustering_order);
+  const auto order = static_cast<ClusteringOrder>(meta.graph.clustering_order);
   std::vector<MultiGetKey> keys;
-  keys.reserve(refs.size());
-  for (const Ref& ref : refs) {
-    PartitionId sid = tgi::SidOf(ref.pid, ns);
-    keys.push_back(MultiGetKey{
-        tgi::DeltaPlacement(ref.tsid, sid, ns),
-        tgi::DeltaRowKey(order, tgi::EventlistDid(ref.eventlist_index),
-                         ref.pid, false)});
-  }
-  HGS_ASSIGN_OR_RETURN(auto values,
-                       FetchValues(meta, tgi::kDeltasTable, keys, stats));
-
-  for (const auto& raw : values) {
-    if (!raw.has_value()) continue;
-    if (stats != nullptr) {
-      ++stats->micro_deltas;
-      stats->bytes += raw->size();
-    }
-    HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*raw));
-    for (const Event& e : evl.events()) {
-      if (e.Touches(id) && e.time > from && e.time <= to) {
-        out.events.Append(e);
+  std::unordered_map<std::string, size_t> key_index;  // placement \0 row key
+  std::vector<std::vector<size_t>> refs_of(uniq.size());
+  uint64_t total_refs = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t u : groups[g].members) {
+      const NodeId id = uniq[u];
+      const std::string prefix = tgi::VersionScanPrefix(id);
+      for (const KVPair& kv : scans[g]->pairs) {
+        // A partition scan returns every node hashed to this placement
+        // (virtually always just `id`); keep only this node's segments.
+        if (kv.key.compare(0, prefix.size(), prefix) != 0) continue;
+        if (stats != nullptr) {
+          ++stats->micro_deltas;
+          stats->bytes += kv.value.size();
+        }
+        HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment seg,
+                             tgi::VersionChainSegment::Deserialize(kv.value));
+        for (const tgi::VersionEntry& e : seg.entries) {
+          if (e.last_time <= from || e.first_time > to) continue;
+          ++total_refs;
+          PartitionId sid = tgi::SidOf(e.pid, ns);
+          MultiGetKey key{
+              tgi::DeltaPlacement(e.tsid, sid, ns),
+              tgi::DeltaRowKey(order, tgi::EventlistDid(e.eventlist_index),
+                               e.pid, false)};
+          std::string dedup;
+          dedup.reserve(8 + 1 + key.key.size());
+          AppendOrdered64(&dedup, key.partition);
+          dedup.push_back('\0');
+          dedup.append(key.key);
+          auto [it, inserted] = key_index.emplace(std::move(dedup),
+                                                  keys.size());
+          if (inserted) keys.push_back(std::move(key));
+          refs_of[u].push_back(it->second);
+        }
       }
     }
   }
-  out.events.Sort();
+  if (stats != nullptr) {
+    stats->eventlist_refs += total_refs;
+    stats->eventlist_fetches += keys.size();
+  }
+
+  // One batched fetch for every referenced eventlist; each row is
+  // deserialized exactly once however many nodes share it.
+  HGS_ASSIGN_OR_RETURN(auto values,
+                       FetchValues(meta, tgi::kDeltasTable, keys, stats));
+  std::vector<std::optional<EventList>> evls(keys.size());
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      keys.size(), fetch_parallelism_, stats,
+      [&](size_t k, FetchStats* local) -> Status {
+        if (!values[k].has_value()) return Status::OK();
+        ++local->micro_deltas;
+        local->bytes += values[k]->size();
+        HGS_ASSIGN_OR_RETURN(EventList evl,
+                             EventList::Deserialize(*values[k]));
+        evls[k] = std::move(evl);
+        return Status::OK();
+      }));
+
+  // ---- Demultiplex: each node takes its events from its referenced
+  // eventlists in chain order, then sorts chronologically (stable, so
+  // same-timestamp events keep their eventlist order).
+  std::vector<NodeHistory> hist_of(uniq.size());
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    const NodeId id = uniq[u];
+    NodeHistory& history = hist_of[u];
+    history.node = id;
+    history.from = from;
+    history.to = to;
+    history.initial = std::move(initials[u]);
+    history.events.SetScope(from, to);
+    for (size_t k : refs_of[u]) {
+      if (!evls[k].has_value()) continue;
+      for (const Event& e : evls[k]->events()) {
+        if (e.Touches(id) && e.time > from && e.time <= to) {
+          history.events.Append(e);
+        }
+      }
+    }
+    history.events.Sort();
+  }
+  if (uniq.size() == ids.size()) {
+    out = std::move(hist_of);  // no duplicates: uniq order == input order
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] = hist_of[uniq_index.at(ids[i])];
+    }
+  }
   return out;
 }
 

@@ -3,8 +3,18 @@
 //   * GetSnapshot            — Algorithm 1 (graph as of time t)
 //   * GetNodeStateDelta      — static vertex (node + incident edges at t)
 //   * GetNodeHistory         — Algorithm 2 (version chains + eventlists)
+//   * GetNodeHistories       — set-at-a-time Algorithm 2 (bulk retrieval)
 //   * GetKHopNeighborhood    — Algorithm 4 (expansion; replication-aware)
 //   * GetOneHopHistory       — Algorithm 5
+//
+// GetNodeHistories is the set-at-a-time primitive behind TAF's parallel
+// fetch protocol (Fig 10): instead of one version-chain scan and one
+// eventlist fetch per node, it groups the requested ids by placement, runs
+// one scan per touched versions partition, unions every version-chain
+// reference into a single deduplicated eventlist batch (an eventlist shared
+// by many members is fetched and deserialized once, then demultiplexed per
+// node), and batches the initial-state fetches per micro-partition. Its
+// cost is therefore bounded by partitions touched, not nodes requested.
 //
 // All fetches are decomposed into independent micro-delta reads. Point
 // reads are batched per query through Cluster::MultiGet (one node round
@@ -47,6 +57,14 @@ struct FetchStats {
   uint64_t cache_misses = 0;   ///< reads that had to go to the cluster
   uint64_t micro_deltas = 0;   ///< values deserialized
   uint64_t bytes = 0;          ///< raw value bytes fetched
+  // Node-history retrieval accounting (GetNodeHistory / GetNodeHistories).
+  // The logical/physical split shows the set-at-a-time win: node_requests
+  // and eventlist_refs count what the query asked for, version_scans and
+  // eventlist_fetches what actually hit the index after grouping + dedup.
+  uint64_t node_requests = 0;      ///< logical node histories requested
+  uint64_t version_scans = 0;      ///< versions-table partition scans issued
+  uint64_t eventlist_refs = 0;     ///< version-chain eventlist references
+  uint64_t eventlist_fetches = 0;  ///< deduplicated eventlist rows fetched
   double wall_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -61,6 +79,10 @@ struct FetchStats {
     cache_misses += o.cache_misses;
     micro_deltas += o.micro_deltas;
     bytes += o.bytes;
+    node_requests += o.node_requests;
+    version_scans += o.version_scans;
+    eventlist_refs += o.eventlist_refs;
+    eventlist_fetches += o.eventlist_fetches;
     wall_seconds += o.wall_seconds;
   }
 };
@@ -118,6 +140,20 @@ class TGIQueryManager {
 
   Result<NodeHistory> GetNodeHistory(NodeId id, Timestamp from, Timestamp to,
                                      FetchStats* stats = nullptr);
+
+  /// Set-at-a-time node-history retrieval (the TAF parallel fetch
+  /// primitive). Returns one NodeHistory per input id, in input order;
+  /// ids absent from the history yield an empty history (no initial state,
+  /// no events), and duplicated ids yield duplicated results. Results are
+  /// identical to per-id GetNodeHistory calls, but the physical work is
+  /// bounded by partitions touched: one versions-table scan per touched
+  /// placement partition, one deduplicated eventlist batch shared by all
+  /// requested nodes, and batched initial-state fetches. FetchStats
+  /// reports the grouping win as node_requests / eventlist_refs (logical)
+  /// vs. version_scans / eventlist_fetches (physical).
+  Result<std::vector<NodeHistory>> GetNodeHistories(
+      const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
+      FetchStats* stats = nullptr);
 
   /// Materialized node versions in (from, to]: GetNodeHistory + replay.
   Result<std::vector<std::pair<Timestamp, Delta>>> GetNodeVersions(
@@ -242,6 +278,11 @@ class TGIQueryManager {
   Result<NodeHistory> GetNodeHistoryWith(const MetaState& meta, NodeId id,
                                          Timestamp from, Timestamp to,
                                          FetchStats* stats);
+  /// Bulk body shared by GetNodeHistories and (with one id) GetNodeHistory,
+  /// so single and set retrievals are the same code path by construction.
+  Result<std::vector<NodeHistory>> GetNodeHistoriesWith(
+      const MetaState& meta, const std::vector<NodeId>& ids, Timestamp from,
+      Timestamp to, FetchStats* stats);
 
   Cluster* cluster_;
   size_t fetch_parallelism_;

@@ -362,6 +362,93 @@ TEST_F(TafFixture, CompareSeriesCommunities) {
   for (const auto& [t, v] : result.b) EXPECT_LE(v, odd.size());
 }
 
+TEST_F(TafFixture, WithIdsDeduplicatesExplicitIds) {
+  // WithIds({x, x, y}) must produce one temporal node per distinct id.
+  TAFContext ctx(qm_, 2);
+  Timestamp to = workload::EndTime(*events_);
+  NodeId a = kInvalidNodeId;
+  NodeId b = kInvalidNodeId;
+  for (const Event& e : *events_) {
+    if (e.type != EventType::kAddNode) continue;
+    if (a == kInvalidNodeId) {
+      a = e.u;
+    } else if (e.u != a) {
+      b = e.u;
+      break;
+    }
+  }
+  ASSERT_NE(b, kInvalidNodeId);
+  auto son = ctx.Nodes().TimeRange(0, to).WithIds({a, a, b, a}).Fetch();
+  ASSERT_TRUE(son.ok());
+  ASSERT_EQ(son->size(), 2u);
+  std::unordered_set<NodeId> got;
+  for (const NodeT& n : son->nodes()) got.insert(n.id());
+  EXPECT_TRUE(got.contains(a));
+  EXPECT_TRUE(got.contains(b));
+}
+
+TEST_F(TafFixture, FetchReportsBulkRetrievalStats) {
+  TAFContext ctx(qm_, 4);
+  Timestamp to = workload::EndTime(*events_);
+  FetchStats stats;
+  auto son = ctx.Nodes().TimeRange(0, to).Fetch(&stats);
+  ASSERT_TRUE(son.ok());
+  // Every temporal node was a logical history request served through the
+  // bulk primitive: refs are deduplicated, scans bounded by requests.
+  EXPECT_EQ(stats.node_requests, son->size());
+  EXPECT_GT(stats.version_scans, 0u);
+  EXPECT_LE(stats.version_scans, stats.node_requests);
+  EXPECT_LE(stats.eventlist_fetches, stats.eventlist_refs);
+}
+
+TEST(TafDedupTest, SameTimestampInternalEventsAppliedOnce) {
+  // Regression: SubgraphSetSpec::Fetch used to sort member events by time
+  // only before std::unique. Internal edge events arrive once per endpoint
+  // history; with several distinct events sharing one timestamp the two
+  // copies can be non-adjacent after the sort, survive dedup, and be
+  // double-applied during replay. The triangle below interleaves the
+  // copies for every member iteration order.
+  Cluster cluster(FastCluster());
+  TGIOptions opts = SmallTGI();
+  TGI tgi(&cluster, opts);
+  std::vector<Event> events = {
+      Event::AddNode(1, 1),
+      Event::AddNode(1, 2),
+      Event::AddNode(1, 3),
+      Event::AddEdge(2, 1, 2),
+      Event::AddEdge(2, 1, 3),
+      Event::AddEdge(2, 2, 3),
+      // Three distinct events at one timestamp: two internal edge events
+      // plus a node-attr event.
+      Event::SetEdgeAttr(10, 1, 2, "w", "a"),
+      Event::SetNodeAttr(10, 3, "c", "d"),
+      Event::SetEdgeAttr(10, 1, 3, "w", "b"),
+  };
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager().value();
+
+  TAFContext ctx(qm.get(), 2);
+  auto sots = ctx.Subgraphs(1).TimeRange(5, 20).WithSeeds({1}).Fetch();
+  ASSERT_TRUE(sots.ok());
+  ASSERT_EQ(sots->size(), 1u);
+  const SubgraphT& sg = sots->subgraphs()[0];
+  ASSERT_EQ(sg.members().size(), 3u);
+  // Exactly the three distinct t=10 events — no surviving duplicates.
+  EXPECT_EQ(sg.VersionCount(), 3u);
+  for (Timestamp t : sg.ChangePoints()) EXPECT_EQ(t, 10);
+  // Replay applies each once: final attribute values are correct.
+  Graph final_state = sg.GetVersionAt(20);
+  const EdgeRecord* e12 = final_state.GetEdge(1, 2);
+  ASSERT_NE(e12, nullptr);
+  EXPECT_EQ(e12->attrs.Get("w").value_or(""), "a");
+  const EdgeRecord* e13 = final_state.GetEdge(1, 3);
+  ASSERT_NE(e13, nullptr);
+  EXPECT_EQ(e13->attrs.Get("w").value_or(""), "b");
+  const NodeRecord* n3 = final_state.GetNode(3);
+  ASSERT_NE(n3, nullptr);
+  EXPECT_EQ(n3->attrs.Get("c").value_or(""), "d");
+}
+
 TEST(TempAggregationTest, MaxMinMean) {
   Series s = {{0, 1.0}, {10, 5.0}, {20, 3.0}};
   EXPECT_DOUBLE_EQ(agg::Max(s)->second, 5.0);

@@ -147,11 +147,32 @@ TEST(MetadataTest, GraphMetaRoundTrip) {
 // Builder validation.
 // ---------------------------------------------------------------------------
 
-TEST(BuilderTest, RejectsNonIncreasingTimestamps) {
+TEST(BuilderTest, RejectsDecreasingTimestamps) {
   Cluster cluster(FastCluster());
   TGIBuilder builder(&cluster, SmallOptions());
-  std::vector<Event> bad = {Event::AddNode(5, 1), Event::AddNode(5, 2)};
+  std::vector<Event> bad = {Event::AddNode(5, 1), Event::AddNode(4, 2)};
   EXPECT_EQ(builder.Ingest(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, AcceptsAndServesSameTimestampEvents) {
+  // Simultaneous events are legal; snapshots at and around the shared
+  // timestamp must match a direct replay.
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  std::vector<Event> events = {
+      Event::AddNode(1, 1), Event::AddNode(1, 2),  Event::AddNode(2, 3),
+      Event::AddEdge(3, 1, 2), Event::AddEdge(3, 2, 3),
+      Event::SetNodeAttr(3, 1, "k", "v"), Event::RemoveEdge(4, 1, 2)};
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager().value();
+  for (Timestamp t : {1, 2, 3, 4}) {
+    auto snap = qm->GetSnapshot(t);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_TRUE(*snap == workload::ReplayToGraph(events, t)) << "t=" << t;
+  }
+  auto hist = qm->GetNodeHistory(1, 0, 4);
+  ASSERT_TRUE(hist.ok());
+  ASSERT_EQ(hist->events.size(), 4u);  // add, edge, attr, remove-edge
 }
 
 TEST(BuilderTest, EmptyHistoryFinishes) {
@@ -343,6 +364,128 @@ TEST_P(TGIConfigTest, TwoHopCoversBfsSet) {
       EXPECT_TRUE(hood->HasNode(n));
     }
   }
+}
+
+// GetNodeHistories must agree byte-for-byte with per-node GetNodeHistory
+// across every index configuration, including missing and duplicated ids
+// and id sets spanning many partitions.
+TEST_P(TGIConfigTest, BulkNodeHistoriesMatchPerNode) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, OptionsFromParam());
+  auto events = SmallHistory(67, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm_or = tgi.OpenQueryManager(/*fetch_parallelism=*/3);
+  ASSERT_TRUE(qm_or.ok());
+  auto& qm = *qm_or;
+
+  Timestamp from = events[events.size() / 4].time;
+  Timestamp to = events[events.size() * 3 / 4].time;
+  Graph at_from = workload::ReplayToGraph(events, from);
+  auto pool = at_from.NodeIds();
+  ASSERT_GE(pool.size(), 12u);
+  std::vector<NodeId> ids(pool.begin(), pool.begin() + 12);
+  ids.push_back(ids[0]);             // duplicate
+  ids.push_back(1'000'000'000);      // never existed
+  ids.push_back(987'654'321);        // never existed
+
+  auto bulk = qm->GetNodeHistories(ids, from, to);
+  ASSERT_TRUE(bulk.ok());
+  ASSERT_EQ(bulk->size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto single = qm->GetNodeHistory(ids[i], from, to);
+    ASSERT_TRUE(single.ok());
+    const NodeHistory& b = (*bulk)[i];
+    EXPECT_EQ(b.node, single->node) << "i=" << i;
+    EXPECT_EQ(b.from, single->from);
+    EXPECT_EQ(b.to, single->to);
+    EXPECT_TRUE(b.initial == single->initial) << "node " << ids[i];
+    EXPECT_TRUE(b.events == single->events) << "node " << ids[i];
+  }
+  // Missing ids produce empty histories.
+  EXPECT_TRUE(bulk->back().events.empty());
+  EXPECT_TRUE(bulk->back().initial == Delta());
+}
+
+TEST(TGITest, BulkHistoriesDeduplicateSharedEventlists) {
+  // One giant micro-partition co-locates every node, so busy nodes share
+  // micro-eventlists: the bulk fetch must retrieve each shared eventlist
+  // once and issue strictly fewer round trips than per-node retrievals.
+  Cluster cluster(FastCluster());
+  TGIOptions opts = SmallOptions();
+  opts.micro_delta_size = 1'000'000;  // k_parts == 1: all nodes co-partitioned
+  TGI tgi(&cluster, opts);
+  auto events = SmallHistory(71, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+
+  // Uncached managers: kv_batches then counts physical fetches only.
+  TGIQueryManager bulk_qm(&cluster, 2, /*read_cache_bytes=*/0);
+  ASSERT_TRUE(bulk_qm.Open().ok());
+  TGIQueryManager single_qm(&cluster, 2, /*read_cache_bytes=*/0);
+  ASSERT_TRUE(single_qm.Open().ok());
+
+  // The busiest nodes: guaranteed to share eventlists with each other.
+  std::unordered_map<NodeId, int> touches;
+  for (const Event& e : events) {
+    ++touches[e.u];
+    if (e.IsEdgeEvent()) ++touches[e.v];
+  }
+  std::vector<std::pair<int, NodeId>> ranked;
+  for (auto [id, cnt] : touches) ranked.emplace_back(cnt, id);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<NodeId> ids;
+  for (size_t i = 0; i < 8 && i < ranked.size(); ++i) {
+    ids.push_back(ranked[i].second);
+  }
+  Timestamp to = workload::EndTime(events);
+
+  FetchStats bulk_stats;
+  auto bulk = bulk_qm.GetNodeHistories(ids, 0, to, &bulk_stats);
+  ASSERT_TRUE(bulk.ok());
+
+  FetchStats single_stats;
+  std::vector<NodeHistory> singles;
+  for (NodeId id : ids) {
+    auto h = single_qm.GetNodeHistory(id, 0, to, &single_stats);
+    ASSERT_TRUE(h.ok());
+    singles.push_back(std::move(*h));
+  }
+
+  // Identical results...
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE((*bulk)[i].initial == singles[i].initial) << "node " << ids[i];
+    EXPECT_TRUE((*bulk)[i].events == singles[i].events) << "node " << ids[i];
+  }
+  // ...at a fraction of the physical cost. Logical accounting first:
+  EXPECT_EQ(bulk_stats.node_requests, ids.size());
+  EXPECT_EQ(single_stats.node_requests, ids.size());
+  EXPECT_EQ(bulk_stats.version_scans, ids.size());  // one per touched part.
+  EXPECT_EQ(bulk_stats.eventlist_refs, single_stats.eventlist_refs);
+  // Shared eventlists are fetched once in the bulk path.
+  EXPECT_LT(bulk_stats.eventlist_fetches, bulk_stats.eventlist_refs);
+  EXPECT_LT(bulk_stats.eventlist_fetches, single_stats.eventlist_fetches);
+  // Strictly fewer physical round trips than N per-node retrievals.
+  EXPECT_LT(bulk_stats.kv_batches, single_stats.kv_batches);
+}
+
+TEST(TGITest, BulkHistoriesDuplicateIdsFetchOnce) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(73, 3'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  TGIQueryManager qm(&cluster, 1, /*read_cache_bytes=*/0);
+  ASSERT_TRUE(qm.Open().ok());
+  Timestamp to = workload::EndTime(events);
+  NodeId busy = events.front().u;
+
+  FetchStats stats;
+  auto hists = qm.GetNodeHistories({busy, busy, busy}, 0, to, &stats);
+  ASSERT_TRUE(hists.ok());
+  ASSERT_EQ(hists->size(), 3u);
+  EXPECT_TRUE((*hists)[0].events == (*hists)[1].events);
+  EXPECT_TRUE((*hists)[1].events == (*hists)[2].events);
+  // Three logical requests, one physical retrieval.
+  EXPECT_EQ(stats.node_requests, 3u);
+  EXPECT_EQ(stats.version_scans, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
