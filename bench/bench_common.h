@@ -12,6 +12,8 @@
 #ifndef HGS_BENCH_BENCH_COMMON_H_
 #define HGS_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -123,10 +125,11 @@ inline std::vector<Event> DatasetDblp() {
 }
 
 /// Default TGI tuning for benches (the paper's ps=500, l=250-scaled).
-/// The read cache is disabled: benchmark loops repeat identical queries,
-/// and a warm cache would measure hits instead of the fetch costs these
-/// figure reproductions sweep. Caching is benchmarked explicitly (warm
-/// rows in table1_access_costs).
+/// Both read-side caches are disabled: benchmark loops repeat identical
+/// queries, and a warm byte cache would hide fetch costs while a warm
+/// decoded cache would hide deserialization costs — the very sweeps these
+/// figure reproductions make. Caching is benchmarked explicitly (warm rows
+/// in table1_access_costs, cold/warm splits in bench_decode_cache).
 inline TGIOptions DefaultTGIOptions() {
   TGIOptions opts;
   opts.events_per_timespan = 20'000;
@@ -134,6 +137,7 @@ inline TGIOptions DefaultTGIOptions() {
   opts.micro_delta_size = 500;
   opts.num_horizontal_partitions = 4;
   opts.read_cache_bytes = 0;
+  opts.decoded_cache_bytes = 0;
   return opts;
 }
 
@@ -221,19 +225,23 @@ inline std::vector<std::pair<NodeId, size_t>> NodesByVersionCount(
 
 /// Physical fetch round trips behind a FetchStats. Indexes that never go
 /// through the batched/cached fetch helpers leave kv_batches at 0; for
-/// them every logical request was its own round trip.
+/// them every logical request was its own round trip. Any batching, byte-
+/// cache or decoded-cache evidence means kv_batches is authoritative.
 inline uint64_t FetchRoundTrips(const FetchStats& s) {
-  return s.kv_batches > 0 || s.cache_hits > 0 ? s.kv_batches : s.kv_requests;
+  return s.kv_batches > 0 || s.cache_hits > 0 || s.decode_hits > 0
+             ? s.kv_batches
+             : s.kv_requests;
 }
 
-/// One-line fetch-efficiency summary (requests vs round trips vs cache),
-/// greppable into BENCH_*.json post-processing.
+/// One-line fetch-efficiency summary (requests vs round trips vs the two
+/// cache tiers), greppable into BENCH_*.json post-processing.
 inline void PrintFetchEfficiency(const char* label, const FetchStats& s) {
   std::printf(
       "%s: requests=%" PRIu64 " round_trips=%" PRIu64 " cache_hits=%" PRIu64
-      " cache_misses=%" PRIu64 " hit_rate=%.3f\n",
+      " cache_misses=%" PRIu64 " hit_rate=%.3f decodes=%" PRIu64
+      " decode_hits=%" PRIu64 " decoded_bytes=%" PRIu64 "\n",
       label, s.kv_requests, FetchRoundTrips(s), s.cache_hits, s.cache_misses,
-      s.CacheHitRate());
+      s.CacheHitRate(), s.decodes, s.decode_hits, s.decoded_bytes);
 }
 
 /// One-line bulk node-history summary: logical work requested (node
@@ -247,10 +255,26 @@ inline void PrintBulkEfficiency(const char* label, const FetchStats& s) {
               s.eventlist_fetches, FetchRoundTrips(s));
 }
 
+/// Peak resident set size of this process so far, in bytes (Linux
+/// semantics: ru_maxrss is KiB).
+inline uint64_t PeakRssBytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+inline void PrintPeakRssAtExit() {
+  std::printf("# peak_rss_mib=%.1f\n",
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+}
+
 inline void PrintPreamble(const char* experiment, const char* paper_shape) {
   std::printf("# %s\n", experiment);
   std::printf("# paper shape to reproduce: %s\n", paper_shape);
   std::printf("# HGS_SCALE=%.2f\n", ScaleFromEnv());
+  // Every figure bench reports its memory high-water mark alongside wall
+  // time, so the byte-cache vs decoded-cache memory tradeoff is visible.
+  std::atexit(PrintPeakRssAtExit);
 }
 
 }  // namespace hgs::bench

@@ -91,16 +91,16 @@ struct Row {
 
 void PrintStats(const char* primitive, const std::vector<Row>& rows,
                 FetchStats Row::*member) {
-  std::printf("\n%-18s %14s %14s %10s %10s %7s %10s\n", primitive,
+  std::printf("\n%-18s %14s %14s %10s %10s %7s %8s %8s %10s\n", primitive,
               "deltas(SumD1)", "bytes(Sum|D|)", "fetches", "rtrips", "hit%",
-              "time(ms)");
+              "decodes", "dec_hits", "time(ms)");
   for (const Row& r : rows) {
     const FetchStats& s = r.*member;
     std::printf("%-18s %14" PRIu64 " %14" PRIu64 " %10" PRIu64 " %10" PRIu64
-                " %6.1f%% %10.2f\n",
+                " %6.1f%% %8" PRIu64 " %8" PRIu64 " %10.2f\n",
                 r.name.c_str(), s.micro_deltas, s.bytes, s.kv_requests,
                 hgs::bench::FetchRoundTrips(s), 100.0 * s.CacheHitRate(),
-                s.wall_seconds * 1e3);
+                s.decodes, s.decode_hits, s.wall_seconds * 1e3);
   }
 }
 

@@ -91,6 +91,42 @@ Result<uint64_t> BinaryReader::GetVarint64() {
   return Status::Corruption("truncated varint");
 }
 
+uint64_t BinaryReader::ReadVarint64() {
+  if (failed_) return 0;
+  // Same per-byte decode as GetVarint64; the saving is in the calling
+  // convention (no Result<> construction per field), not the loop body.
+  const size_t n = data_.size();
+  uint64_t v = 0;
+  int shift = 0;
+  size_t p = pos_;
+  while (p < n) {
+    uint8_t byte = static_cast<unsigned char>(data_[p++]);
+    if (shift >= 63 && byte > 1) {
+      failed_ = true;
+      return 0;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) {
+      pos_ = p;
+      return v;
+    }
+    shift += 7;
+  }
+  failed_ = true;  // ran off the buffer mid-varint
+  return 0;
+}
+
+std::string_view BinaryReader::ReadBytesView() {
+  uint64_t len = ReadVarint64();
+  if (failed_ || remaining() < len) {
+    failed_ = true;
+    return {};
+  }
+  std::string_view out = data_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
 Result<uint32_t> BinaryReader::GetVarint32() {
   HGS_ASSIGN_OR_RETURN(uint64_t v, GetVarint64());
   if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");

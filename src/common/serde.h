@@ -55,6 +55,16 @@ class BinaryWriter {
 
 /// Sequential reader over a serialized buffer. All getters return an error
 /// Status on truncation rather than reading out of bounds.
+///
+/// Two decode interfaces share the cursor:
+///  * scalar getters (Get*) return Result<> per field — convenient for
+///    record decoders that bail out field by field;
+///  * bulk readers (Read*) are the hot-loop fast path: pointer-bumping
+///    decodes that return the value directly and latch a sticky failed()
+///    flag on truncation/corruption, so tight loops pay no per-field
+///    Result<> construction and check for errors once per record (or once
+///    per buffer). After failed() flips, every further Read* returns a
+///    zero value and the cursor stops advancing.
 class BinaryReader {
  public:
   explicit BinaryReader(std::string_view data) : data_(data) {}
@@ -72,12 +82,41 @@ class BinaryReader {
   Result<std::string> GetString();
   Result<bool> GetBool();
 
+  // -- bulk fast path ------------------------------------------------------
+  uint64_t ReadVarint64();
+  int64_t ReadSigned64() {
+    uint64_t z = ReadVarint64();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  uint8_t ReadFixed8() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  bool ReadBool() { return ReadFixed8() != 0; }
+  /// Length-prefixed bytes as a view into the underlying buffer (no copy);
+  /// valid as long as the buffer passed to the constructor is.
+  std::string_view ReadBytesView();
+
+  bool failed() const { return failed_; }
+  /// Latches the sticky error from a caller-side validity check (e.g. an
+  /// out-of-range enum byte) so bulk decoding aborts uniformly.
+  void MarkFailed() { failed_ = true; }
+  /// Sticky-error check as a Status, for returning out of bulk decoders.
+  Status BulkStatus() const {
+    return failed_ ? Status::Corruption("truncated or corrupt buffer")
+                   : Status::OK();
+  }
+
   bool AtEnd() const { return pos_ >= data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
   std::string_view data_;
   size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace hgs

@@ -57,6 +57,23 @@ void Delta::ApplyEvent(const Event& e) {
   }
 }
 
+void Delta::ApplyEvent(Event&& e) {
+  switch (e.type) {
+    case EventType::kAddNode:
+      nodes_[e.u] = NodeRecord{.attrs = std::move(e.attrs)};
+      break;
+    case EventType::kAddEdge:
+      edges_[EdgeKey(e.u, e.v)] =
+          EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                     .attrs = std::move(e.attrs)};
+      break;
+    default:
+      // The remaining event kinds carry no bulk payload worth moving.
+      ApplyEvent(static_cast<const Event&>(e));
+      break;
+  }
+}
+
 const std::optional<NodeRecord>* Delta::FindNode(NodeId id) const {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : &it->second;
@@ -94,6 +111,20 @@ void Delta::Add(const Delta& other) {
   edges_.reserve(edges_.size() + other.edges_.size());
   for (const auto& [id, rec] : other.nodes_) nodes_[id] = rec;
   for (const auto& [key, rec] : other.edges_) edges_[key] = rec;
+}
+
+void Delta::Add(Delta&& other) {
+  if (Empty()) {
+    nodes_ = std::move(other.nodes_);
+    edges_ = std::move(other.edges_);
+  } else {
+    nodes_.reserve(nodes_.size() + other.nodes_.size());
+    edges_.reserve(edges_.size() + other.edges_.size());
+    for (auto& [id, rec] : other.nodes_) nodes_[id] = std::move(rec);
+    for (auto& [key, rec] : other.edges_) edges_[key] = std::move(rec);
+  }
+  other.nodes_.clear();
+  other.edges_.clear();
 }
 
 Delta Delta::Sum(const Delta& a, const Delta& b) {
@@ -278,10 +309,45 @@ std::string Delta::Serialize() const {
   return w.FinishWithChecksum();
 }
 
+// The whole-value decode is the read path's hot loop, so it runs on the
+// bulk reader: pointer-bumping field decodes with one sticky-error check
+// per record instead of a Result<> per field. DeserializeFrom stays as the
+// scalar reference decoder; the two are equivalence-tested in delta_test.
 Result<Delta> Delta::Deserialize(std::string_view data) {
   BinaryReader r(data);
   HGS_RETURN_NOT_OK(r.VerifyChecksum());
-  return DeserializeFrom(&r);
+  Delta d;
+  uint64_t n_nodes = r.ReadVarint64();
+  if (r.failed()) return r.BulkStatus();
+  d.nodes_.reserve(std::min<uint64_t>(n_nodes, r.remaining()));
+  for (uint64_t i = 0; i < n_nodes; ++i) {
+    uint64_t id = r.ReadVarint64();
+    if (r.ReadBool()) {
+      d.nodes_[id] = NodeRecord{.attrs = DeserializeAttributesBulk(&r)};
+    } else {
+      d.nodes_[id] = std::nullopt;
+    }
+    if (r.failed()) return r.BulkStatus();
+  }
+  uint64_t n_edges = r.ReadVarint64();
+  if (r.failed()) return r.BulkStatus();
+  d.edges_.reserve(std::min<uint64_t>(n_edges, r.remaining()));
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    if (r.ReadBool()) {
+      uint64_t src = r.ReadVarint64();
+      uint64_t dst = r.ReadVarint64();
+      bool directed = r.ReadBool();
+      d.edges_[EdgeKey(src, dst)] =
+          EdgeRecord{.src = src, .dst = dst, .directed = directed,
+                     .attrs = DeserializeAttributesBulk(&r)};
+    } else {
+      uint64_t u = r.ReadVarint64();
+      uint64_t v = r.ReadVarint64();
+      d.edges_[EdgeKey(u, v)] = std::nullopt;
+    }
+    if (r.failed()) return r.BulkStatus();
+  }
+  return d;
 }
 
 bool Delta::operator==(const Delta& o) const {

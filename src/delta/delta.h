@@ -49,6 +49,11 @@ class Delta {
   /// partial (per-partition) accumulation well defined.
   void ApplyEvent(const Event& e);
 
+  /// Consuming variant: add events donate their attribute payload instead
+  /// of copying it (the hot case when replaying a decoded eventlist that is
+  /// exclusively owned by the caller).
+  void ApplyEvent(Event&& e);
+
   // -- lookup --------------------------------------------------------------
   /// nullptr: no entry; pointer to nullopt: tombstone; else the state.
   const std::optional<NodeRecord>* FindNode(NodeId id) const;
@@ -67,6 +72,12 @@ class Delta {
   // -- algebra -------------------------------------------------------------
   /// In-place sum: this ← this + other (other wins on collisions).
   void Add(const Delta& other);
+
+  /// Consuming sum: entries are moved out of `other` (left empty). Adding
+  /// into an empty delta degenerates to a map swap, so the ordered merge of
+  /// snapshot reconstruction pays no per-entry cost for its first (largest)
+  /// operand.
+  void Add(Delta&& other);
 
   static Delta Sum(const Delta& a, const Delta& b);
   static Delta Difference(const Delta& a, const Delta& b);

@@ -224,6 +224,65 @@ Result<Event> Event::DeserializeFrom(BinaryReader* r) {
   return e;
 }
 
+Attributes DeserializeAttributesBulk(BinaryReader* r) {
+  uint64_t n = r->ReadVarint64();
+  Attributes attrs;
+  for (uint64_t i = 0; i < n && !r->failed(); ++i) {
+    std::string_view k = r->ReadBytesView();
+    std::string_view v = r->ReadBytesView();
+    // Serialized attribute streams are written in sorted key order, so the
+    // append path avoids the per-entry binary search of Set().
+    attrs.AppendSorted(std::string(k), std::string(v));
+  }
+  return attrs;
+}
+
+void Event::DeserializeFromBulk(BinaryReader* r, Event* e) {
+  e->time = r->ReadSigned64();
+  uint8_t type_byte = r->ReadFixed8();
+  if (type_byte > static_cast<uint8_t>(EventType::kDelEdgeAttr)) {
+    r->MarkFailed();
+    return;
+  }
+  e->type = static_cast<EventType>(type_byte);
+  e->u = r->ReadVarint64();
+  switch (e->type) {
+    case EventType::kAddNode:
+      e->attrs = DeserializeAttributesBulk(r);
+      break;
+    case EventType::kRemoveNode:
+      break;
+    case EventType::kAddEdge:
+      e->v = r->ReadVarint64();
+      e->directed = r->ReadBool();
+      e->attrs = DeserializeAttributesBulk(r);
+      break;
+    case EventType::kRemoveEdge:
+      e->v = r->ReadVarint64();
+      break;
+    case EventType::kSetNodeAttr:
+      e->key = r->ReadBytesView();
+      e->value = r->ReadBytesView();
+      e->prev_value = r->ReadBytesView();
+      break;
+    case EventType::kDelNodeAttr:
+      e->key = r->ReadBytesView();
+      e->prev_value = r->ReadBytesView();
+      break;
+    case EventType::kSetEdgeAttr:
+      e->v = r->ReadVarint64();
+      e->key = r->ReadBytesView();
+      e->value = r->ReadBytesView();
+      e->prev_value = r->ReadBytesView();
+      break;
+    case EventType::kDelEdgeAttr:
+      e->v = r->ReadVarint64();
+      e->key = r->ReadBytesView();
+      e->prev_value = r->ReadBytesView();
+      break;
+  }
+}
+
 void ApplyEventToGraph(const Event& e, Graph* g) {
   switch (e.type) {
     case EventType::kAddNode:

@@ -71,6 +71,12 @@ struct Event {
   void SerializeTo(BinaryWriter* w) const;
   static Result<Event> DeserializeFrom(BinaryReader* r);
 
+  /// Bulk fast-path decode (see BinaryReader's Read* interface): decodes
+  /// into `e` with no per-field Result<> construction; on corruption the
+  /// reader's failed() flag latches and `e` is meaningless. Produces
+  /// results identical to DeserializeFrom on well-formed input.
+  static void DeserializeFromBulk(BinaryReader* r, Event* e);
+
   bool operator==(const Event& o) const = default;
 };
 
@@ -81,6 +87,8 @@ void ApplyEventToGraph(const Event& e, Graph* g);
 
 void SerializeAttributes(const Attributes& attrs, BinaryWriter* w);
 Result<Attributes> DeserializeAttributes(BinaryReader* r);
+/// Bulk fast-path attribute decode; mirrors DeserializeAttributes.
+Attributes DeserializeAttributesBulk(BinaryReader* r);
 
 }  // namespace hgs
 

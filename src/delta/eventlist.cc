@@ -18,11 +18,22 @@ EventList EventList::FilterByTime(Timestamp after, Timestamp upto) const {
   return out;
 }
 
-EventList EventList::FilterByNode(NodeId id) const {
+EventList EventList::FilterByNode(NodeId id) const& {
   EventList out(after_, upto_);
+  out.events_.reserve(events_.size());
   for (const Event& e : events_) {
-    if (e.Touches(id)) out.Append(e);
+    if (e.Touches(id)) out.events_.push_back(e);
   }
+  return out;
+}
+
+EventList EventList::FilterByNode(NodeId id) && {
+  EventList out(after_, upto_);
+  out.events_.reserve(events_.size());
+  for (Event& e : events_) {
+    if (e.Touches(id)) out.events_.push_back(std::move(e));
+  }
+  events_.clear();
   return out;
 }
 
@@ -41,11 +52,19 @@ void EventList::ApplyUpTo(Timestamp t, Graph* g) const {
   }
 }
 
-void EventList::ApplyUpTo(Timestamp t, Delta* d) const {
+void EventList::ApplyUpTo(Timestamp t, Delta* d) const& {
   for (const Event& e : events_) {
     if (e.time > t) break;
     d->ApplyEvent(e);
   }
+}
+
+void EventList::ApplyUpTo(Timestamp t, Delta* d) && {
+  for (Event& e : events_) {
+    if (e.time > t) break;
+    d->ApplyEvent(std::move(e));
+  }
+  events_.clear();
 }
 
 size_t EventList::SerializedSizeBytes() const {
@@ -83,10 +102,23 @@ std::string EventList::Serialize() const {
   return w.FinishWithChecksum();
 }
 
+// Bulk fast-path whole-value decode; see Delta::Deserialize for rationale.
+// DeserializeFrom stays as the scalar reference decoder.
 Result<EventList> EventList::Deserialize(std::string_view data) {
   BinaryReader r(data);
   HGS_RETURN_NOT_OK(r.VerifyChecksum());
-  return DeserializeFrom(&r);
+  EventList out;
+  out.after_ = r.ReadSigned64();
+  out.upto_ = r.ReadSigned64();
+  uint64_t n = r.ReadVarint64();
+  if (r.failed()) return r.BulkStatus();
+  out.events_.reserve(std::min<uint64_t>(n, r.remaining()));
+  for (uint64_t i = 0; i < n; ++i) {
+    Event& e = out.events_.emplace_back();
+    Event::DeserializeFromBulk(&r, &e);
+    if (r.failed()) return r.BulkStatus();
+  }
+  return out;
 }
 
 }  // namespace hgs

@@ -44,16 +44,22 @@ class EventList {
   /// Events with after < time <= upto, as a new list.
   EventList FilterByTime(Timestamp after, Timestamp upto) const;
 
-  /// Events touching node `id` (edge events touch both endpoints).
-  EventList FilterByNode(NodeId id) const;
+  /// Events touching node `id` (edge events touch both endpoints). The
+  /// rvalue overload moves matching events out instead of copying them
+  /// (and leaves this list empty).
+  EventList FilterByNode(NodeId id) const&;
+  EventList FilterByNode(NodeId id) &&;
 
   /// Applies all events in order to a snapshot / an accumulating delta.
   void ApplyTo(Graph* g) const;
   void ApplyTo(Delta* d) const;
 
-  /// Applies only events with time <= t.
+  /// Applies only events with time <= t. The rvalue overload consumes the
+  /// list: each applied event donates its payload to the delta instead of
+  /// being copied (the zero-copy merge path of snapshot reconstruction).
   void ApplyUpTo(Timestamp t, Graph* g) const;
-  void ApplyUpTo(Timestamp t, Delta* d) const;
+  void ApplyUpTo(Timestamp t, Delta* d) const&;
+  void ApplyUpTo(Timestamp t, Delta* d) &&;
 
   size_t SerializedSizeBytes() const;
 

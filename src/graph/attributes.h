@@ -29,6 +29,12 @@ class Attributes {
   /// Inserts or overwrites `key`.
   void Set(std::string_view key, std::string_view value);
 
+  /// Appends an entry expected to sort after every existing key — the shape
+  /// of a serialized attribute stream, which is written in sorted order.
+  /// Falls back to Set() when the precondition does not hold, so the sorted
+  /// invariant survives malformed input.
+  void AppendSorted(std::string key, std::string value);
+
   /// Removes `key`; returns true if it existed.
   bool Erase(std::string_view key);
 

@@ -73,6 +73,16 @@ struct TGIOptions {
   /// bounds lock contention between parallel fetch clients.
   size_t read_cache_shards = 16;
 
+  /// Byte budget of the decoded-object cache (second read-side tier). Where
+  /// the partition-delta cache saves round trips, this tier saves CPU: it
+  /// holds immutable decoded Delta / EventList / version-chain objects
+  /// keyed by the same epoch-scoped row coordinates, so a repeated read
+  /// costs neither a fetch nor a Deserialize — the dominant term once
+  /// fetches are batched and cached. Budgeted by decoded footprint
+  /// (SerializedSizeBytes), invalidated with the byte cache on republish,
+  /// sharded like read_cache_shards. 0 disables the tier.
+  size_t decoded_cache_bytes = 32ull << 20;
+
   /// Effective checkpoint interval after defaulting rules.
   size_t EffectiveCheckpointInterval() const {
     size_t cp = checkpoint_interval;

@@ -40,6 +40,9 @@ struct AtomicStats {
   std::atomic<uint64_t> version_scans{0};
   std::atomic<uint64_t> eventlist_refs{0};
   std::atomic<uint64_t> eventlist_fetches{0};
+  std::atomic<uint64_t> decode_hits{0};
+  std::atomic<uint64_t> decodes{0};
+  std::atomic<uint64_t> decoded_bytes{0};
 
   /// Accumulates a task-local FetchStats (wall_seconds is ignored; the
   /// caller's WallTimer covers the whole query).
@@ -55,6 +58,9 @@ struct AtomicStats {
     eventlist_refs.fetch_add(s.eventlist_refs, std::memory_order_relaxed);
     eventlist_fetches.fetch_add(s.eventlist_fetches,
                                 std::memory_order_relaxed);
+    decode_hits.fetch_add(s.decode_hits, std::memory_order_relaxed);
+    decodes.fetch_add(s.decodes, std::memory_order_relaxed);
+    decoded_bytes.fetch_add(s.decoded_bytes, std::memory_order_relaxed);
   }
 
   void FlushInto(FetchStats* stats) const {
@@ -69,6 +75,9 @@ struct AtomicStats {
     stats->version_scans += version_scans.load();
     stats->eventlist_refs += eventlist_refs.load();
     stats->eventlist_fetches += eventlist_fetches.load();
+    stats->decode_hits += decode_hits.load();
+    stats->decodes += decodes.load();
+    stats->decoded_bytes += decoded_bytes.load();
   }
 };
 
@@ -121,6 +130,92 @@ size_t CacheCharge(const std::string& key, const std::string& value) {
   return key.size() + value.size() + 64;
 }
 
+// -- decoded tier ----------------------------------------------------------
+
+// Kind byte of each decoded type (the first byte of its cache key), so two
+// types can never alias under one key and a cached object is always cast
+// back to the type that produced it.
+template <typename T>
+struct DecodedKindOf;
+template <>
+struct DecodedKindOf<Delta> {
+  static constexpr char kKind = 'd';
+};
+template <>
+struct DecodedKindOf<EventList> {
+  static constexpr char kKind = 'e';
+};
+template <>
+struct DecodedKindOf<tgi::VersionChainSegment> {
+  static constexpr char kKind = 'v';
+};
+
+// Decoded heap footprint estimates for byte-budget eviction. Delta and
+// EventList charge their wire size (the paper's Σ|Δ| currency, and a close
+// proxy for the decoded maps' payload).
+size_t DecodedCharge(const Delta& d) { return d.SerializedSizeBytes(); }
+size_t DecodedCharge(const EventList& e) { return e.SerializedSizeBytes(); }
+size_t DecodedCharge(const tgi::VersionChainSegment& s) {
+  return 48 + s.entries.size() * sizeof(tgi::VersionEntry);
+}
+
+// Decodes one raw value according to its kind byte. Returns the shared
+// immutable object plus its eviction charge.
+Result<std::pair<std::shared_ptr<const void>, size_t>> DecodeByKind(
+    char kind, std::string_view raw) {
+  switch (kind) {
+    case DecodedKindOf<Delta>::kKind: {
+      HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(raw));
+      size_t charge = DecodedCharge(d);
+      return std::pair<std::shared_ptr<const void>, size_t>(
+          std::make_shared<Delta>(std::move(d)), charge);
+    }
+    case DecodedKindOf<EventList>::kKind: {
+      HGS_ASSIGN_OR_RETURN(EventList e, EventList::Deserialize(raw));
+      size_t charge = DecodedCharge(e);
+      return std::pair<std::shared_ptr<const void>, size_t>(
+          std::make_shared<EventList>(std::move(e)), charge);
+    }
+    case DecodedKindOf<tgi::VersionChainSegment>::kKind: {
+      HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment s,
+                           tgi::VersionChainSegment::Deserialize(raw));
+      size_t charge = DecodedCharge(s);
+      return std::pair<std::shared_ptr<const void>, size_t>(
+          std::make_shared<tgi::VersionChainSegment>(std::move(s)),
+          charge);
+    }
+    default:
+      return Status::InvalidArgument("unknown decoded kind");
+  }
+}
+
+// The ordered merge consumes a decoded object when this reference is its
+// only owner (decoded cache disabled, or the entry was evicted); a shared
+// object is applied by const reference. make_shared allocates the pointee
+// as a mutable object, so the const_cast on an exclusively owned value is
+// well-defined. use_count() is stable here: the merge runs after the fetch
+// fan-out joined, so no other thread can be acquiring references.
+void MergeDelta(Delta* acc, std::shared_ptr<const Delta>&& d) {
+  if (d == nullptr) return;
+  if (d.use_count() == 1) {
+    acc->Add(std::move(const_cast<Delta&>(*d)));
+  } else {
+    acc->Add(*d);
+  }
+  d.reset();
+}
+
+void MergeEventListUpTo(Delta* acc, std::shared_ptr<const EventList>&& e,
+                        Timestamp t) {
+  if (e == nullptr) return;
+  if (e.use_count() == 1) {
+    std::move(const_cast<EventList&>(*e)).ApplyUpTo(t, acc);
+  } else {
+    e->ApplyUpTo(t, acc);
+  }
+  e.reset();
+}
+
 }  // namespace
 
 std::vector<std::pair<Timestamp, Delta>> NodeHistory::Materialize() const {
@@ -136,12 +231,17 @@ std::vector<std::pair<Timestamp, Delta>> NodeHistory::Materialize() const {
 
 TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism,
                                  size_t read_cache_bytes,
-                                 size_t read_cache_shards)
+                                 size_t read_cache_shards,
+                                 size_t decoded_cache_bytes)
     : cluster_(cluster),
       fetch_parallelism_(fetch_parallelism == 0 ? 1 : fetch_parallelism) {
   if (read_cache_bytes > 0) {
     read_cache_ =
         std::make_unique<ReadCache>(read_cache_bytes, read_cache_shards);
+  }
+  if (decoded_cache_bytes > 0) {
+    decoded_cache_ =
+        std::make_unique<DecodedCache>(decoded_cache_bytes, read_cache_shards);
   }
 }
 
@@ -205,6 +305,7 @@ Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh() {
     micropart_cache_.clear();
   }
   if (read_cache_ != nullptr) read_cache_->Clear();
+  if (decoded_cache_ != nullptr) decoded_cache_->Clear();
   {
     std::lock_guard<std::mutex> mlock(meta_mu_);
     meta_ = fresh;
@@ -334,6 +435,134 @@ TGIQueryManager::CachedScan(const MetaState& meta, std::string_view table,
   return std::shared_ptr<const ReadCacheEntry>(std::move(entry));
 }
 
+Result<std::vector<TGIQueryManager::DecodedEntry>>
+TGIQueryManager::FetchDecodedRows(const MetaState& meta,
+                                  std::string_view table,
+                                  const std::vector<MultiGetKey>& keys,
+                                  const std::vector<char>& kinds,
+                                  FetchStats* stats) {
+  std::vector<DecodedEntry> out(keys.size());
+  if (keys.empty()) return out;
+
+  // Probe the decoded tier first: a hit needs neither the raw bytes nor a
+  // decode, so it skips the byte-cache/MultiGet machinery entirely.
+  std::vector<size_t> miss_index;
+  std::vector<MultiGetKey> miss_keys;
+  std::vector<std::string> miss_ckeys;
+  if (decoded_cache_ != nullptr) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::string ckey = ReadCacheKey(kinds[i], meta.epoch, table,
+                                      keys[i].partition, keys[i].key);
+      auto hit = decoded_cache_->Get(ckey);
+      if (hit.has_value()) {
+        if (stats != nullptr) {
+          // A decoded hit still counts as one logical request and one
+          // consumed value, so Table 1's logical columns are identical
+          // between cold and warm runs.
+          ++stats->kv_requests;
+          ++stats->decode_hits;
+          if (hit->obj != nullptr) {
+            ++stats->micro_deltas;
+            stats->bytes += hit->raw_bytes;
+          }
+        }
+        out[i] = std::move(*hit);
+        continue;
+      }
+      miss_index.push_back(i);
+      miss_keys.push_back(keys[i]);
+      miss_ckeys.push_back(std::move(ckey));
+    }
+    if (miss_keys.empty()) return out;
+  } else {
+    miss_index.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) miss_index[i] = i;
+    miss_keys = keys;
+  }
+
+  // Byte tier + cluster for the misses (one batched MultiGet), then decode
+  // each present row exactly once, in parallel, and publish the decoded
+  // object for every later consumer.
+  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<std::string>> values,
+                       FetchValues(meta, table, miss_keys, stats));
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      miss_keys.size(), fetch_parallelism_, stats,
+      [&](size_t j, FetchStats* local) -> Status {
+        const size_t i = miss_index[j];
+        if (!values[j].has_value()) {
+          // Negative entry: the row's absence is knowledge too.
+          if (decoded_cache_ != nullptr) {
+            size_t charge = miss_ckeys[j].size() + 64;
+            decoded_cache_->Put(std::move(miss_ckeys[j]), DecodedEntry{},
+                                charge);
+          }
+          return Status::OK();
+        }
+        const std::string& raw = *values[j];
+        HGS_ASSIGN_OR_RETURN(auto decoded, DecodeByKind(kinds[i], raw));
+        ++local->decodes;
+        local->decoded_bytes += raw.size();
+        ++local->micro_deltas;
+        local->bytes += raw.size();
+        out[i] = DecodedEntry{std::move(decoded.first), raw.size()};
+        if (decoded_cache_ != nullptr) {
+          std::string& ckey = miss_ckeys[j];
+          size_t charge = ckey.size() + decoded.second + 64;
+          decoded_cache_->Put(std::move(ckey), out[i], charge);
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+template <typename T>
+Result<std::vector<std::shared_ptr<const T>>>
+TGIQueryManager::FetchDecodedValues(const MetaState& meta,
+                                    std::string_view table,
+                                    const std::vector<MultiGetKey>& keys,
+                                    FetchStats* stats) {
+  std::vector<char> kinds(keys.size(), DecodedKindOf<T>::kKind);
+  HGS_ASSIGN_OR_RETURN(std::vector<DecodedEntry> rows,
+                       FetchDecodedRows(meta, table, keys, kinds, stats));
+  std::vector<std::shared_ptr<const T>> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = std::static_pointer_cast<const T>(std::move(rows[i].obj));
+  }
+  return out;
+}
+
+template <typename T>
+Result<std::shared_ptr<const T>> TGIQueryManager::DecodeShared(
+    const MetaState& meta, std::string_view table, uint64_t partition,
+    std::string_view row, std::string_view raw, FetchStats* stats) {
+  if (stats != nullptr) {
+    ++stats->micro_deltas;
+    stats->bytes += raw.size();
+  }
+  std::string ckey;
+  if (decoded_cache_ != nullptr) {
+    ckey = ReadCacheKey(DecodedKindOf<T>::kKind, meta.epoch, table, partition,
+                        row);
+    auto hit = decoded_cache_->Get(ckey);
+    if (hit.has_value() && hit->obj != nullptr) {
+      if (stats != nullptr) ++stats->decode_hits;
+      return std::static_pointer_cast<const T>(std::move(hit->obj));
+    }
+  }
+  HGS_ASSIGN_OR_RETURN(auto decoded,
+                       DecodeByKind(DecodedKindOf<T>::kKind, raw));
+  if (stats != nullptr) {
+    ++stats->decodes;
+    stats->decoded_bytes += raw.size();
+  }
+  if (decoded_cache_ != nullptr) {
+    size_t charge = ckey.size() + decoded.second + 64;
+    decoded_cache_->Put(std::move(ckey),
+                        DecodedEntry{decoded.first, raw.size()}, charge);
+  }
+  return std::static_pointer_cast<const T>(std::move(decoded.first));
+}
+
 Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
                                                 NodeId id,
                                                 const tgi::TimespanMeta& span,
@@ -348,6 +577,9 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
     std::lock_guard<std::mutex> lock(micropart_mu_);
     auto it = micropart_cache_.find(cache_key);
     if (it != micropart_cache_.end()) {
+      // The bucket's decoded node→pid map is already in memory: a
+      // decoded-tier hit with zero fetch and zero deserialization.
+      if (stats != nullptr) ++stats->decode_hits;
       auto hit = it->second.find(id);
       if (hit != it->second.end()) return hit->second;
       return Partitioning::Random(span.num_micro_partitions).HashFallback(id);
@@ -361,6 +593,10 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
   std::unordered_map<NodeId, MicroPartitionId> map;
   if (raw.has_value()) {
     HGS_ASSIGN_OR_RETURN(auto entries, tgi::DeserializeMicropartBucket(*raw));
+    if (stats != nullptr) {
+      ++stats->decodes;
+      stats->decoded_bytes += raw->size();
+    }
     map.reserve(entries.size());
     for (const auto& [nid, pid] : entries) map[nid] = pid;
   }
@@ -398,14 +634,7 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
                     span->eventlist_size;
   int32_t evl_to = span->EventlistCovering(t);
 
-  // Assemble the fetch units: tree deltas along the path, then eventlists.
-  struct Unit {
-    DeltaId did;
-    size_t order;    // merge order
-    bool eventlist;  // value decode type
-    PartitionId sid;          // delta-major scan target
-    MicroPartitionId pid;     // partition-major get target
-  };
+  // The merge-slot sequence: tree deltas along the path, then eventlists.
   const size_t ns = meta.graph.num_horizontal_partitions;
   const auto order =
       static_cast<ClusteringOrder>(meta.graph.clustering_order);
@@ -421,112 +650,102 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
       is_evl.push_back(true);
     }
   }
+  const size_t nd = dids.size();
 
-  std::vector<Unit> units;
-  if (order == ClusteringOrder::kDeltaMajor) {
-    for (size_t i = 0; i < dids.size(); ++i) {
-      for (size_t sid = 0; sid < ns; ++sid) {
-        units.push_back(Unit{dids[i], i, is_evl[i],
-                             static_cast<PartitionId>(sid), 0});
+  // Decoded objects per merge slot, shared with the decoded cache. There is
+  // no raw-byte staging anywhere on this path: partition-major rows decode
+  // straight out of the MultiGet values, delta-major rows straight out of
+  // the shared scan result, and a decoded-cache hit skips bytes entirely.
+  std::vector<std::vector<std::shared_ptr<const Delta>>> slot_deltas(nd);
+  std::vector<std::vector<std::shared_ptr<const EventList>>> slot_evls(nd);
+
+  if (order == ClusteringOrder::kPartitionMajor) {
+    // Every (did, pid) row rides one decode-first batched fetch.
+    std::vector<MultiGetKey> keys;
+    std::vector<char> kinds;
+    keys.reserve(nd * span->num_micro_partitions);
+    kinds.reserve(nd * span->num_micro_partitions);
+    for (size_t i = 0; i < nd; ++i) {
+      for (MicroPartitionId pid = 0; pid < span->num_micro_partitions;
+           ++pid) {
+        PartitionId sid = tgi::SidOf(pid, ns);
+        keys.push_back(
+            MultiGetKey{tgi::DeltaPlacement(span->tsid, sid, ns),
+                        tgi::DeltaRowKey(order, dids[i], pid, false)});
+        kinds.push_back(is_evl[i] ? DecodedKindOf<EventList>::kKind
+                                  : DecodedKindOf<Delta>::kKind);
+      }
+    }
+    HGS_ASSIGN_OR_RETURN(
+        std::vector<DecodedEntry> rows,
+        FetchDecodedRows(meta, tgi::kDeltasTable, keys, kinds, stats));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k].obj == nullptr) continue;  // empty micro-partition
+      const size_t i = k / span->num_micro_partitions;
+      if (is_evl[i]) {
+        slot_evls[i].push_back(
+            std::static_pointer_cast<const EventList>(std::move(rows[k].obj)));
+      } else {
+        slot_deltas[i].push_back(
+            std::static_pointer_cast<const Delta>(std::move(rows[k].obj)));
       }
     }
   } else {
-    for (size_t i = 0; i < dids.size(); ++i) {
-      for (MicroPartitionId pid = 0; pid < span->num_micro_partitions;
-           ++pid) {
-        units.push_back(Unit{dids[i], i, is_evl[i], 0, pid});
+    // Delta-major: one cached scan per (did, sid), decoded in place and in
+    // parallel — the paper's query processors "process the raw deltas" in
+    // parallel; only the ordered merge below is sequential.
+    struct Unit {
+      size_t slot;
+      PartitionId sid;
+    };
+    std::vector<Unit> units;
+    units.reserve(nd * ns);
+    for (size_t i = 0; i < nd; ++i) {
+      for (size_t sid = 0; sid < ns; ++sid) {
+        units.push_back(Unit{i, static_cast<PartitionId>(sid)});
       }
     }
+    std::vector<std::mutex> slot_mu(nd);
+    HGS_RETURN_NOT_OK(ParallelStatusFor(
+        units.size(), fetch_parallelism_, stats,
+        [&](size_t uidx, FetchStats* local) -> Status {
+          const Unit& u = units[uidx];
+          const uint64_t placement =
+              tgi::DeltaPlacement(span->tsid, u.sid, ns);
+          HGS_ASSIGN_OR_RETURN(
+              std::shared_ptr<const ReadCacheEntry> res,
+              CachedScan(meta, tgi::kDeltasTable, placement,
+                         tgi::DeltaScanPrefix(dids[u.slot]), local));
+          for (const KVPair& kv : res->pairs) {
+            if (!is_evl[u.slot]) {
+              HGS_ASSIGN_OR_RETURN(
+                  std::shared_ptr<const Delta> d,
+                  DecodeShared<Delta>(meta, tgi::kDeltasTable, placement,
+                                      kv.key, kv.value, local));
+              std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
+              slot_deltas[u.slot].push_back(std::move(d));
+            } else {
+              HGS_ASSIGN_OR_RETURN(
+                  std::shared_ptr<const EventList> e,
+                  DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
+                                          kv.key, kv.value, local));
+              std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
+              slot_evls[u.slot].push_back(std::move(e));
+            }
+          }
+          return Status::OK();
+        }));
   }
-
-  // Fetch, then deserialize in parallel into per-order slots — the paper's
-  // query processors "process the raw deltas" in parallel; only the ordered
-  // merge below is sequential. Point reads (partition-major order) are
-  // batched into a single MultiGet; scans (delta-major) run as parallel
-  // cached requests.
-  std::vector<std::vector<Delta>> slot_deltas(dids.size());
-  std::vector<std::vector<EventList>> slot_evls(dids.size());
-  std::vector<std::mutex> slot_mu(dids.size());
-  AtomicStats astats;
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mu;
-  auto fail_with = [&](const Status& s) {
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (!failed.exchange(true)) first_error = s;
-  };
-
-  std::vector<std::optional<std::string>> unit_values;
-  if (order == ClusteringOrder::kPartitionMajor) {
-    std::vector<MultiGetKey> keys;
-    keys.reserve(units.size());
-    for (const Unit& u : units) {
-      PartitionId sid = tgi::SidOf(u.pid, ns);
-      keys.push_back(
-          MultiGetKey{tgi::DeltaPlacement(span->tsid, sid, ns),
-                      tgi::DeltaRowKey(order, u.did, u.pid, false)});
-    }
-    FetchStats fetch_stats;
-    auto values = FetchValues(meta, tgi::kDeltasTable, keys, &fetch_stats);
-    astats.Add(fetch_stats);
-    if (!values.ok()) return values.status();
-    unit_values = std::move(*values);
-  }
-
-  ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const Unit& u = units[i];
-    std::vector<std::string> raws;
-    if (order == ClusteringOrder::kDeltaMajor) {
-      FetchStats local;
-      auto res = CachedScan(meta, tgi::kDeltasTable,
-                            tgi::DeltaPlacement(span->tsid, u.sid, ns),
-                            tgi::DeltaScanPrefix(u.did), &local);
-      astats.Add(local);
-      if (!res.ok()) {
-        fail_with(res.status());
-        return;
-      }
-      for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
-    } else {
-      if (!unit_values[i].has_value()) return;  // empty micro-partition
-      raws.push_back(std::move(*unit_values[i]));
-    }
-    std::vector<Delta> deltas;
-    std::vector<EventList> evls;
-    for (const std::string& raw : raws) {
-      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
-      astats.bytes.fetch_add(raw.size(), std::memory_order_relaxed);
-      if (!u.eventlist) {
-        auto d = Delta::Deserialize(raw);
-        if (!d.ok()) {
-          fail_with(d.status());
-          return;
-        }
-        deltas.push_back(std::move(*d));
-      } else {
-        auto evl = EventList::Deserialize(raw);
-        if (!evl.ok()) {
-          fail_with(evl.status());
-          return;
-        }
-        evls.push_back(std::move(*evl));
-      }
-    }
-    std::lock_guard<std::mutex> lock(slot_mu[u.order]);
-    for (auto& d : deltas) slot_deltas[u.order].push_back(std::move(d));
-    for (auto& e : evls) slot_evls[u.order].push_back(std::move(e));
-  });
-  astats.FlushInto(stats);
-  if (failed.load()) return first_error;
 
   // Merge: tree deltas root-to-leaf, then eventlists in order, up to t.
+  // Exclusively owned decoded objects are consumed by the move-aware
+  // Add/ApplyUpTo overloads; cache-shared ones are applied by const ref.
   Delta acc;
-  for (size_t i = 0; i < dids.size(); ++i) {
+  for (size_t i = 0; i < nd; ++i) {
     if (!is_evl[i]) {
-      for (const Delta& d : slot_deltas[i]) acc.Add(d);
+      for (auto& d : slot_deltas[i]) MergeDelta(&acc, std::move(d));
     } else {
-      for (const EventList& evl : slot_evls[i]) evl.ApplyUpTo(t, &acc);
+      for (auto& e : slot_evls[i]) MergeEventListUpTo(&acc, std::move(e), t);
     }
   }
   return acc;
@@ -574,25 +793,35 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
       const size_t ns = meta.graph.num_horizontal_partitions;
       const auto order =
           static_cast<ClusteringOrder>(meta.graph.clustering_order);
-      // Raw eventlist values of (evl_from .. evl_to], in eventlist order.
-      std::vector<std::string> raws;
+      // Decoded eventlists of (evl_from .. evl_to], in eventlist order —
+      // no raw staging: rows decode straight from the shared scan results
+      // or batched values, and repeats come decoded from the cache.
+      std::vector<std::shared_ptr<const EventList>> evls;
       if (order == ClusteringOrder::kDeltaMajor) {
         for (int32_t j = evl_from; j <= evl_to; ++j) {
           for (size_t sid = 0; sid < ns; ++sid) {
+            const uint64_t placement = tgi::DeltaPlacement(
+                span->tsid, static_cast<PartitionId>(sid), ns);
             auto res = CachedScan(
-                meta, tgi::kDeltasTable,
-                tgi::DeltaPlacement(span->tsid, static_cast<PartitionId>(sid),
-                                    ns),
+                meta, tgi::kDeltasTable, placement,
                 tgi::DeltaScanPrefix(tgi::EventlistDid(static_cast<size_t>(j))),
                 stats);
             if (!res.ok()) return res.status();
-            for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
+            for (const KVPair& kv : (*res)->pairs) {
+              HGS_ASSIGN_OR_RETURN(
+                  std::shared_ptr<const EventList> evl,
+                  DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
+                                          kv.key, kv.value, stats));
+              evls.push_back(std::move(evl));
+            }
           }
         }
       } else {
         // Partition-major rows are keyed pid-first: batch the per-pid
-        // eventlist rows of the range into one MultiGet.
+        // eventlist rows of the range into one decode-first fetch.
         std::vector<MultiGetKey> keys;
+        keys.reserve(static_cast<size_t>(evl_to - evl_from + 1) *
+                     span->num_micro_partitions);
         for (int32_t j = evl_from; j <= evl_to; ++j) {
           for (MicroPartitionId pid = 0; pid < span->num_micro_partitions;
                ++pid) {
@@ -605,19 +834,17 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
           }
         }
         HGS_ASSIGN_OR_RETURN(
-            auto values, FetchValues(meta, tgi::kDeltasTable, keys, stats));
-        for (auto& value : values) {
-          if (value.has_value()) raws.push_back(std::move(*value));
+            std::vector<std::shared_ptr<const EventList>> fetched,
+            FetchDecodedValues<EventList>(meta, tgi::kDeltasTable, keys,
+                                          stats));
+        evls.reserve(fetched.size());
+        for (auto& evl : fetched) {
+          if (evl != nullptr) evls.push_back(std::move(evl));
         }
       }
-      for (const std::string& raw : raws) {
-        if (stats != nullptr) {
-          ++stats->micro_deltas;
-          stats->bytes += raw.size();
-        }
-        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(raw));
+      for (const auto& evl : evls) {
         // Skip events already applied, stop at t.
-        for (const Event& e : evl.events()) {
+        for (const Event& e : evl->events()) {
           if (e.time > state_time && e.time <= t) state.ApplyEvent(e);
         }
       }
@@ -667,81 +894,90 @@ Result<std::vector<Delta>> TGIQueryManager::FetchMicroStatesAt(
     }
   }
   const size_t nd = dids.size();
+  auto kind_of = [&](size_t i) {
+    return is_evl[i] ? DecodedKindOf<EventList>::kKind
+                     : DecodedKindOf<Delta>::kKind;
+  };
 
-  // Values per (pid, did): regular row + optional aux replication row,
-  // flattened as p * nd + i.
-  std::vector<std::optional<std::string>> regular(pids.size() * nd);
-  std::vector<std::optional<std::string>> aux(pids.size() * nd);
+  // Decoded values per (pid, did): regular row + optional aux replication
+  // row, flattened as p * nd + i. Shared with the decoded cache; the
+  // per-pid merge below never sees raw bytes.
+  std::vector<std::shared_ptr<const void>> regular(pids.size() * nd);
+  std::vector<std::shared_ptr<const void>> aux(pids.size() * nd);
 
   if (order == ClusteringOrder::kPartitionMajor) {
     // One contiguous scan per micro-partition yields every did it has;
     // filter to the ones we need (Section 4.4's entity-centric clustering
-    // payoff). The scans run as parallel cached requests.
+    // payoff). The scans run as parallel cached requests, and each row
+    // decodes in place from the shared scan result.
     std::unordered_map<DeltaId, size_t> want;
     for (size_t i = 0; i < nd; ++i) want[dids[i]] = i;
-    AtomicStats astats;
-    std::atomic<bool> failed{false};
-    Status first_error;
-    std::mutex error_mu;
-    ParallelFor(pids.size(), fetch_parallelism_, [&](size_t p) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const MicroPartitionId pid = pids[p];
-      const uint64_t placement =
-          tgi::DeltaPlacement(span.tsid, tgi::SidOf(pid, ns), ns);
-      FetchStats local;
-      auto res = CachedScan(meta, tgi::kDeltasTable, placement,
-                            tgi::PartitionScanPrefix(pid), &local);
-      astats.Add(local);
-      if (!res.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = res.status();
-        return;
-      }
-      for (const KVPair& kv : (*res)->pairs) {
-        DeltaId did;
-        MicroPartitionId parsed_pid;
-        bool is_aux;
-        if (!tgi::ParseDeltaRowKey(order, kv.key, &did, &parsed_pid,
-                                   &is_aux)) {
-          continue;
-        }
-        if (is_aux) continue;  // aux rows are fetched separately below
-        auto it = want.find(did);
-        if (it == want.end()) continue;
-        astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
-        astats.bytes.fetch_add(kv.value.size(), std::memory_order_relaxed);
-        regular[p * nd + it->second] = kv.value;
-      }
-    });
-    astats.FlushInto(stats);
-    if (failed.load()) return first_error;
+    HGS_RETURN_NOT_OK(ParallelStatusFor(
+        pids.size(), fetch_parallelism_, stats,
+        [&](size_t p, FetchStats* local) -> Status {
+          const MicroPartitionId pid = pids[p];
+          const uint64_t placement =
+              tgi::DeltaPlacement(span.tsid, tgi::SidOf(pid, ns), ns);
+          HGS_ASSIGN_OR_RETURN(
+              std::shared_ptr<const ReadCacheEntry> res,
+              CachedScan(meta, tgi::kDeltasTable, placement,
+                         tgi::PartitionScanPrefix(pid), local));
+          for (const KVPair& kv : res->pairs) {
+            DeltaId did;
+            MicroPartitionId parsed_pid;
+            bool is_aux;
+            if (!tgi::ParseDeltaRowKey(order, kv.key, &did, &parsed_pid,
+                                       &is_aux)) {
+              continue;
+            }
+            if (is_aux) continue;  // aux rows are fetched separately below
+            auto it = want.find(did);
+            if (it == want.end()) continue;
+            const size_t i = it->second;
+            if (!is_evl[i]) {
+              HGS_ASSIGN_OR_RETURN(
+                  std::shared_ptr<const Delta> d,
+                  DecodeShared<Delta>(meta, tgi::kDeltasTable, placement,
+                                      kv.key, kv.value, local));
+              regular[p * nd + i] = std::move(d);
+            } else {
+              HGS_ASSIGN_OR_RETURN(
+                  std::shared_ptr<const EventList> e,
+                  DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
+                                          kv.key, kv.value, local));
+              regular[p * nd + i] = std::move(e);
+            }
+          }
+          return Status::OK();
+        }));
     if (include_aux) {
       std::vector<MultiGetKey> keys;
+      std::vector<char> kinds;
       keys.reserve(pids.size() * nd);
+      kinds.reserve(pids.size() * nd);
       for (size_t p = 0; p < pids.size(); ++p) {
         const uint64_t placement =
             tgi::DeltaPlacement(span.tsid, tgi::SidOf(pids[p], ns), ns);
         for (size_t i = 0; i < nd; ++i) {
           keys.push_back(MultiGetKey{
               placement, tgi::DeltaRowKey(order, dids[i], pids[p], true)});
+          kinds.push_back(kind_of(i));
         }
       }
       HGS_ASSIGN_OR_RETURN(
-          aux, FetchValues(meta, tgi::kDeltasTable, keys, stats));
-      if (stats != nullptr) {
-        for (const auto& value : aux) {
-          if (!value.has_value()) continue;
-          ++stats->micro_deltas;
-          stats->bytes += value->size();
-        }
-      }
+          std::vector<DecodedEntry> rows,
+          FetchDecodedRows(meta, tgi::kDeltasTable, keys, kinds, stats));
+      for (size_t k = 0; k < rows.size(); ++k) aux[k] = std::move(rows[k].obj);
     }
   } else {
     // Delta-major order: every (pid, did) pair is an independent point
-    // read — exactly the shape MultiGet batches best. One request covers
-    // the regular and aux rows of all requested micro-partitions.
+    // read — exactly the shape the decode-first batch serves best. One
+    // request covers the regular and aux rows of all requested
+    // micro-partitions; decoded hits never touch the byte tier.
     std::vector<MultiGetKey> keys;
+    std::vector<char> kinds;
     keys.reserve(pids.size() * nd * (include_aux ? 2 : 1));
+    kinds.reserve(keys.capacity());
     // Regular rows for every (pid, did), then — when replication is on —
     // the aux rows in the same order, so the flattened offsets line up.
     for (bool aux_pass : {false, true}) {
@@ -752,57 +988,44 @@ Result<std::vector<Delta>> TGIQueryManager::FetchMicroStatesAt(
         for (size_t i = 0; i < nd; ++i) {
           keys.push_back(MultiGetKey{
               placement, tgi::DeltaRowKey(order, dids[i], pids[p], aux_pass)});
+          kinds.push_back(kind_of(i));
         }
       }
     }
-    HGS_ASSIGN_OR_RETURN(auto values,
-                         FetchValues(meta, tgi::kDeltasTable, keys, stats));
-    if (stats != nullptr) {
-      for (const auto& value : values) {
-        if (!value.has_value()) continue;
-        ++stats->micro_deltas;
-        stats->bytes += value->size();
-      }
-    }
+    HGS_ASSIGN_OR_RETURN(
+        std::vector<DecodedEntry> rows,
+        FetchDecodedRows(meta, tgi::kDeltasTable, keys, kinds, stats));
     for (size_t k = 0; k < pids.size() * nd; ++k) {
-      regular[k] = std::move(values[k]);
+      regular[k] = std::move(rows[k].obj);
     }
     if (include_aux) {
       for (size_t k = 0; k < pids.size() * nd; ++k) {
-        aux[k] = std::move(values[pids.size() * nd + k]);
+        aux[k] = std::move(rows[pids.size() * nd + k].obj);
       }
     }
   }
 
   // Merge per pid: tree deltas root-to-leaf, then eventlist replay to t.
-  Status merge_error = Status::OK();
-  std::mutex merge_error_mu;
+  // All values are already decoded; exclusively owned ones are consumed.
   ParallelFor(pids.size(), fetch_parallelism_, [&](size_t p) {
     Delta acc;
-    auto merge_one = [&](const std::optional<std::string>& raw,
-                         bool eventlist) -> Status {
-      if (!raw.has_value()) return Status::OK();
+    auto merge_one = [&](std::shared_ptr<const void>&& obj, bool eventlist) {
+      if (obj == nullptr) return;
       if (!eventlist) {
-        HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(*raw));
-        acc.Add(d);
+        MergeDelta(&acc,
+                   std::static_pointer_cast<const Delta>(std::move(obj)));
       } else {
-        HGS_ASSIGN_OR_RETURN(EventList evl, EventList::Deserialize(*raw));
-        evl.ApplyUpTo(t, &acc);
+        MergeEventListUpTo(
+            &acc, std::static_pointer_cast<const EventList>(std::move(obj)),
+            t);
       }
-      return Status::OK();
     };
     for (size_t i = 0; i < nd; ++i) {
-      Status s = merge_one(regular[p * nd + i], is_evl[i]);
-      if (s.ok()) s = merge_one(aux[p * nd + i], is_evl[i]);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(merge_error_mu);
-        if (merge_error.ok()) merge_error = s;
-        return;
-      }
+      merge_one(std::move(regular[p * nd + i]), is_evl[i]);
+      merge_one(std::move(aux[p * nd + i]), is_evl[i]);
     }
     out[p] = std::move(acc);
   });
-  if (!merge_error.ok()) return merge_error;
   return out;
 }
 
@@ -956,13 +1179,12 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
         // A partition scan returns every node hashed to this placement
         // (virtually always just `id`); keep only this node's segments.
         if (kv.key.compare(0, prefix.size(), prefix) != 0) continue;
-        if (stats != nullptr) {
-          ++stats->micro_deltas;
-          stats->bytes += kv.value.size();
-        }
-        HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment seg,
-                             tgi::VersionChainSegment::Deserialize(kv.value));
-        for (const tgi::VersionEntry& e : seg.entries) {
+        HGS_ASSIGN_OR_RETURN(
+            std::shared_ptr<const tgi::VersionChainSegment> seg,
+            DecodeShared<tgi::VersionChainSegment>(
+                meta, tgi::kVersionsTable, groups[g].partition, kv.key,
+                kv.value, stats));
+        for (const tgi::VersionEntry& e : seg->entries) {
           if (e.last_time <= from || e.first_time > to) continue;
           ++total_refs;
           PartitionId sid = tgi::SidOf(e.pid, ns);
@@ -988,42 +1210,55 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
     stats->eventlist_fetches += keys.size();
   }
 
-  // One batched fetch for every referenced eventlist; each row is
-  // deserialized exactly once however many nodes share it.
-  HGS_ASSIGN_OR_RETURN(auto values,
-                       FetchValues(meta, tgi::kDeltasTable, keys, stats));
-  std::vector<std::optional<EventList>> evls(keys.size());
+  // One decode-first batched fetch for every referenced eventlist: rows
+  // already decoded (this query or a previous one) come straight from the
+  // decoded cache; the rest ride one MultiGet and decode exactly once
+  // however many nodes share them.
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<const EventList>> evls,
+      FetchDecodedValues<EventList>(meta, tgi::kDeltasTable, keys, stats));
+
+  // ---- Demultiplex. Each decoded eventlist is scanned once — not once per
+  // referencing node — bucketing its in-range events by requested member
+  // (members_of[k]); each node then drains its buckets in chain order, so
+  // per-node event order matches the per-node path exactly.
+  std::vector<std::unordered_map<NodeId, size_t>> members_of(keys.size());
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    for (size_t k : refs_of[u]) members_of[k].emplace(uniq[u], u);
+  }
+  // buckets[k]: per referencing member, pointers to its events in order.
+  std::vector<std::unordered_map<size_t, std::vector<const Event*>>> buckets(
+      keys.size());
   HGS_RETURN_NOT_OK(ParallelStatusFor(
-      keys.size(), fetch_parallelism_, stats,
-      [&](size_t k, FetchStats* local) -> Status {
-        if (!values[k].has_value()) return Status::OK();
-        ++local->micro_deltas;
-        local->bytes += values[k]->size();
-        HGS_ASSIGN_OR_RETURN(EventList evl,
-                             EventList::Deserialize(*values[k]));
-        evls[k] = std::move(evl);
+      keys.size(), fetch_parallelism_, /*stats=*/nullptr,
+      [&](size_t k, FetchStats*) -> Status {
+        if (evls[k] == nullptr) return Status::OK();
+        auto& bucket = buckets[k];
+        const auto& members = members_of[k];
+        for (const Event& e : evls[k]->events()) {
+          if (e.time <= from || e.time > to) continue;
+          auto it = members.find(e.u);
+          if (it != members.end()) bucket[it->second].push_back(&e);
+          if (e.IsEdgeEvent() && e.v != e.u) {
+            it = members.find(e.v);
+            if (it != members.end()) bucket[it->second].push_back(&e);
+          }
+        }
         return Status::OK();
       }));
 
-  // ---- Demultiplex: each node takes its events from its referenced
-  // eventlists in chain order, then sorts chronologically (stable, so
-  // same-timestamp events keep their eventlist order).
   std::vector<NodeHistory> hist_of(uniq.size());
   for (size_t u = 0; u < uniq.size(); ++u) {
-    const NodeId id = uniq[u];
     NodeHistory& history = hist_of[u];
-    history.node = id;
+    history.node = uniq[u];
     history.from = from;
     history.to = to;
     history.initial = std::move(initials[u]);
     history.events.SetScope(from, to);
     for (size_t k : refs_of[u]) {
-      if (!evls[k].has_value()) continue;
-      for (const Event& e : evls[k]->events()) {
-        if (e.Touches(id) && e.time > from && e.time <= to) {
-          history.events.Append(e);
-        }
-      }
+      auto it = buckets[k].find(u);
+      if (it == buckets[k].end()) continue;
+      for (const Event* e : it->second) history.events.Append(*e);
     }
     history.events.Sort();
   }
@@ -1153,15 +1388,11 @@ Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
   const auto order =
       static_cast<ClusteringOrder>(meta.graph.clustering_order);
   std::vector<std::vector<Event>> per_unit(units.size());
-  AtomicStats astats;
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mu;
 
   // In delta-major order each unit is one contiguous scan; in
   // partition-major order every (unit, pid) row is an independent point
-  // read, so the whole range goes out as one batched MultiGet.
-  std::vector<std::optional<std::string>> unit_values;
+  // read, so the whole range goes out as one decode-first batched fetch.
+  std::vector<std::shared_ptr<const EventList>> unit_evls;
   std::vector<std::pair<size_t, size_t>> unit_ranges;  // [begin, end) per unit
   if (order == ClusteringOrder::kPartitionMajor) {
     std::vector<MultiGetKey> keys;
@@ -1178,53 +1409,44 @@ Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
       }
       unit_ranges.emplace_back(begin, keys.size());
     }
-    FetchStats fetch_stats;
-    auto values = FetchValues(meta, tgi::kDeltasTable, keys, &fetch_stats);
-    astats.Add(fetch_stats);
-    if (!values.ok()) return values.status();
-    unit_values = std::move(*values);
+    HGS_ASSIGN_OR_RETURN(
+        unit_evls,
+        FetchDecodedValues<EventList>(meta, tgi::kDeltasTable, keys, stats));
   }
 
-  ParallelFor(units.size(), fetch_parallelism_, [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const Unit& u = units[i];
-    std::vector<std::string> raws;
-    if (order == ClusteringOrder::kDeltaMajor) {
-      FetchStats local;
-      auto res = CachedScan(
-          meta, tgi::kDeltasTable, tgi::DeltaPlacement(u.tsid, u.sid, ns),
-          tgi::DeltaScanPrefix(tgi::EventlistDid(u.eventlist_index)), &local);
-      astats.Add(local);
-      if (!res.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = res.status();
-        return;
-      }
-      for (const KVPair& kv : (*res)->pairs) raws.push_back(kv.value);
-    } else {
-      const auto& [begin, end] = unit_ranges[i];
-      for (size_t k = begin; k < end; ++k) {
-        if (!unit_values[k].has_value()) continue;
-        raws.push_back(std::move(*unit_values[k]));
-      }
-    }
-    std::vector<Event>& out = per_unit[i];
-    for (const std::string& raw : raws) {
-      astats.micro_deltas.fetch_add(1, std::memory_order_relaxed);
-      astats.bytes.fetch_add(raw.size(), std::memory_order_relaxed);
-      auto evl = EventList::Deserialize(raw);
-      if (!evl.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = evl.status();
-        return;
-      }
-      for (const Event& e : evl->events()) {
-        if (e.time > from && e.time <= to) out.push_back(e);
-      }
-    }
-  });
-  astats.FlushInto(stats);
-  if (failed.load()) return first_error;
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      units.size(), fetch_parallelism_, stats,
+      [&](size_t i, FetchStats* local) -> Status {
+        const Unit& u = units[i];
+        std::vector<Event>& out = per_unit[i];
+        auto collect = [&](const EventList& evl) {
+          for (const Event& e : evl.events()) {
+            if (e.time > from && e.time <= to) out.push_back(e);
+          }
+        };
+        if (order == ClusteringOrder::kDeltaMajor) {
+          const uint64_t placement = tgi::DeltaPlacement(u.tsid, u.sid, ns);
+          HGS_ASSIGN_OR_RETURN(
+              std::shared_ptr<const ReadCacheEntry> res,
+              CachedScan(meta, tgi::kDeltasTable, placement,
+                         tgi::DeltaScanPrefix(tgi::EventlistDid(
+                             u.eventlist_index)),
+                         local));
+          for (const KVPair& kv : res->pairs) {
+            HGS_ASSIGN_OR_RETURN(
+                std::shared_ptr<const EventList> evl,
+                DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
+                                        kv.key, kv.value, local));
+            collect(*evl);
+          }
+        } else {
+          const auto& [begin, end] = unit_ranges[i];
+          for (size_t k = begin; k < end; ++k) {
+            if (unit_evls[k] != nullptr) collect(*unit_evls[k]);
+          }
+        }
+        return Status::OK();
+      }));
 
   std::vector<Event> merged;
   for (auto& part : per_unit) {

@@ -65,6 +65,14 @@ struct FetchStats {
   uint64_t version_scans = 0;      ///< versions-table partition scans issued
   uint64_t eventlist_refs = 0;     ///< version-chain eventlist references
   uint64_t eventlist_fetches = 0;  ///< deduplicated eventlist rows fetched
+  // Decoded-tier accounting. Every value the query consumes is either
+  // decoded from raw bytes (decodes; decoded_bytes counts the input) or
+  // served as a ready-to-apply object from the decoded cache (decode_hits,
+  // zero deserialization). A fully warm decoded cache drives decodes to 0.
+  uint64_t decode_hits = 0;    ///< values served decoded (incl. micropart
+                               ///< buckets and cached "absent" rows)
+  uint64_t decodes = 0;        ///< Deserialize calls actually performed
+  uint64_t decoded_bytes = 0;  ///< raw bytes those decodes consumed
   double wall_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -83,6 +91,9 @@ struct FetchStats {
     version_scans += o.version_scans;
     eventlist_refs += o.eventlist_refs;
     eventlist_fetches += o.eventlist_fetches;
+    decode_hits += o.decode_hits;
+    decodes += o.decodes;
+    decoded_bytes += o.decoded_bytes;
     wall_seconds += o.wall_seconds;
   }
 };
@@ -113,11 +124,15 @@ struct OneHopHistory {
 
 class TGIQueryManager {
  public:
-  /// `read_cache_bytes` is the partition-delta cache budget (0 disables
-  /// caching; TGI::OpenQueryManager passes TGIOptions::read_cache_bytes).
+  /// `read_cache_bytes` is the partition-delta (raw byte) cache budget and
+  /// `decoded_cache_bytes` the decoded-object cache budget (0 disables
+  /// either tier; TGI::OpenQueryManager passes the TGIOptions knobs). The
+  /// two tiers are independent: bytes serve re-fetches without round trips,
+  /// decoded objects serve repeats without deserialization.
   explicit TGIQueryManager(Cluster* cluster, size_t fetch_parallelism = 1,
                            size_t read_cache_bytes = 0,
-                           size_t read_cache_shards = 16);
+                           size_t read_cache_shards = 16,
+                           size_t decoded_cache_bytes = 0);
 
   /// Loads graph + timespan metadata. Metadata and the read cache refresh
   /// automatically when the cluster's publish epoch changes (AppendBatch).
@@ -191,6 +206,12 @@ class TGIQueryManager {
                                   : LruCacheCounters{};
   }
 
+  /// Lifetime counters of the decoded-object cache (zeros when disabled).
+  LruCacheCounters DecodedCacheCounters() const {
+    return decoded_cache_ != nullptr ? decoded_cache_->Counters()
+                                     : LruCacheCounters{};
+  }
+
  private:
   /// One cached read: either a point-read value (possibly a cached
   /// "absent") or the pairs of a partition scan.
@@ -201,6 +222,18 @@ class TGIQueryManager {
   };
   using ReadCache =
       ShardedLruCache<std::string, std::shared_ptr<const ReadCacheEntry>>;
+
+  /// One decoded-tier entry: an immutable decoded object shared between the
+  /// cache and every in-flight query that fetched it (nullptr caches a
+  /// known-absent row), plus the raw byte size it was decoded from so the
+  /// logical byte accounting is identical between decode hits and misses.
+  /// The concrete type behind `obj` is fixed by the kind byte of the cache
+  /// key (one kind per decoded type), so a cast back can never mismatch.
+  struct DecodedEntry {
+    std::shared_ptr<const void> obj;
+    size_t raw_bytes = 0;
+  };
+  using DecodedCache = ShardedLruCache<std::string, DecodedEntry>;
 
   /// An immutable snapshot of the index metadata at one publish epoch.
   /// Every query grabs one shared_ptr at entry and runs entirely against
@@ -269,6 +302,42 @@ class TGIQueryManager {
       const MetaState& meta, std::string_view table, uint64_t partition,
       std::string_view prefix, FetchStats* stats);
 
+  // -- decoded tier --------------------------------------------------------
+  // All Delta / EventList / VersionChainSegment deserialization on the read
+  // path funnels through these two helpers, so a decoded object is produced
+  // at most once per epoch and shared (immutable, by shared_ptr) between
+  // the cache and every consumer. Micropart buckets keep their own decoded
+  // map in micropart_cache_ (always on — PidOf is called per node and must
+  // not re-decode a bucket even when the byte-budgeted tiers are disabled).
+
+  /// Decoded-tier batched point reads ("decode-first" pipeline): probe the
+  /// decoded cache per row — a hit skips the byte fetch and the decode
+  /// entirely — then fetch the missing rows' bytes in one batched
+  /// FetchValues and decode each miss exactly once, in parallel. kinds[i]
+  /// is the decoded-type tag of keys[i] (see DecodedKindOf in query.cc).
+  /// An absent row yields a null obj (and is negatively cached).
+  Result<std::vector<DecodedEntry>> FetchDecodedRows(
+      const MetaState& meta, std::string_view table,
+      const std::vector<MultiGetKey>& keys, const std::vector<char>& kinds,
+      FetchStats* stats);
+
+  /// Uniform-type wrapper over FetchDecodedRows.
+  template <typename T>
+  Result<std::vector<std::shared_ptr<const T>>> FetchDecodedValues(
+      const MetaState& meta, std::string_view table,
+      const std::vector<MultiGetKey>& keys, FetchStats* stats);
+
+  /// Decoded-tier lookup for one row whose raw bytes are already in hand
+  /// (a partition-scan result): returns the shared decoded object, decoding
+  /// `raw` only when the cache has no entry for (table, partition, row).
+  template <typename T>
+  Result<std::shared_ptr<const T>> DecodeShared(const MetaState& meta,
+                                                std::string_view table,
+                                                uint64_t partition,
+                                                std::string_view row,
+                                                std::string_view raw,
+                                                FetchStats* stats);
+
   // Internal (no-refresh) bodies of the public primitives, so composite
   // queries run every leg against one metadata snapshot.
   Result<Delta> GetSnapshotDeltaWith(const MetaState& meta, Timestamp t,
@@ -294,6 +363,10 @@ class TGIQueryManager {
   /// Partition-delta cache over point reads and scans of the immutable
   /// index tables, keyed by (kind, epoch, table, partition, row key).
   std::unique_ptr<ReadCache> read_cache_;
+  /// Decoded-object cache over the same coordinates (distinct kind bytes),
+  /// holding immutable shared Delta / EventList / VersionChainSegment
+  /// values charged by their decoded footprint.
+  std::unique_ptr<DecodedCache> decoded_cache_;
   std::mutex refresh_mu_;
 
   std::mutex micropart_mu_;

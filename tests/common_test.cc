@@ -141,6 +141,56 @@ TEST(SerdeTest, ChecksumTooShortBuffer) {
   EXPECT_TRUE(r.VerifyChecksum().IsCorruption());
 }
 
+TEST(SerdeTest, BulkReadersMatchScalarGetters) {
+  BinaryWriter w;
+  const uint64_t varints[] = {0,    1,        127,       128,
+                              300,  1u << 20, UINT64_MAX, 42};
+  const int64_t signeds[] = {0, -1, 1, INT64_MIN, INT64_MAX, -123456};
+  for (uint64_t v : varints) w.PutVarint64(v);
+  for (int64_t v : signeds) w.PutSigned64(v);
+  w.PutFixed8(0xAB);
+  w.PutBool(true);
+  w.PutString("bulk payload");
+  w.PutString("");
+  std::string buf = w.Finish();
+
+  BinaryReader bulk(buf);
+  for (uint64_t v : varints) EXPECT_EQ(bulk.ReadVarint64(), v);
+  for (int64_t v : signeds) EXPECT_EQ(bulk.ReadSigned64(), v);
+  EXPECT_EQ(bulk.ReadFixed8(), 0xAB);
+  EXPECT_TRUE(bulk.ReadBool());
+  EXPECT_EQ(bulk.ReadBytesView(), "bulk payload");
+  EXPECT_EQ(bulk.ReadBytesView(), "");
+  EXPECT_FALSE(bulk.failed());
+  EXPECT_TRUE(bulk.AtEnd());
+  EXPECT_TRUE(bulk.BulkStatus().ok());
+}
+
+TEST(SerdeTest, BulkReaderFailureIsStickyOnTruncation) {
+  BinaryWriter w;
+  w.PutVarint64(7);
+  w.PutString("payload");
+  std::string buf = w.Finish();
+  BinaryReader r(buf.substr(0, 3));  // cuts the string mid-length
+  EXPECT_EQ(r.ReadVarint64(), 7u);
+  EXPECT_FALSE(r.failed());
+  (void)r.ReadBytesView();  // truncated: latches the error
+  EXPECT_TRUE(r.failed());
+  // Every further read returns zero values and never advances.
+  EXPECT_EQ(r.ReadVarint64(), 0u);
+  EXPECT_EQ(r.ReadBytesView(), std::string_view());
+  EXPECT_TRUE(r.BulkStatus().IsCorruption());
+}
+
+TEST(SerdeTest, BulkVarintOverflowIsCorruption) {
+  // An 11-byte continuation run cannot encode a 64-bit value.
+  std::string bad(10, '\x80');
+  bad.push_back('\x02');
+  BinaryReader r(bad);
+  (void)r.ReadVarint64();
+  EXPECT_TRUE(r.failed());
+}
+
 TEST(CompressionTest, RoundTripCompressible) {
   std::string input;
   for (int i = 0; i < 500; ++i) input += "node:12345,attr=value;";

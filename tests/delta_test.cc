@@ -5,14 +5,47 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
+
 #include "common/rng.h"
 #include "delta/delta.h"
 #include "delta/event.h"
 #include "delta/eventlist.h"
 #include "workload/generators.h"
 
+// -- allocation counting ----------------------------------------------------
+// Replaces the global allocator for this test binary with a pass-through
+// that counts allocations made on the current thread while armed. Used to
+// assert that filter outputs reserve once instead of growing.
+static thread_local bool g_count_allocs = false;
+static thread_local size_t g_alloc_count = 0;
+
+void* operator new(std::size_t n) {
+  if (g_count_allocs) ++g_alloc_count;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace hgs {
 namespace {
+
+/// Arms the allocation counter for the enclosing scope (this thread only).
+class ScopedAllocCounter {
+ public:
+  ScopedAllocCounter() {
+    g_alloc_count = 0;
+    g_count_allocs = true;
+  }
+  ~ScopedAllocCounter() { g_count_allocs = false; }
+  size_t count() const { return g_alloc_count; }
+};
 
 Delta MakeDelta(std::initializer_list<NodeId> nodes,
                 std::initializer_list<std::pair<NodeId, NodeId>> edges = {}) {
@@ -347,6 +380,182 @@ TEST_P(DeltaPropertyTest, SerializedRoundTripOnGeneratedHistory) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Bulk vs scalar decode equivalence, move-aware overloads, and allocation
+// discipline of the filter paths.
+// ---------------------------------------------------------------------------
+
+std::string RandomString(Rng* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return s;
+}
+
+Attributes RandomAttrs(Rng* rng) {
+  Attributes attrs;
+  size_t n = rng->Uniform(4);
+  for (size_t i = 0; i < n; ++i) {
+    attrs.Set(RandomString(rng, 6), RandomString(rng, 12));
+  }
+  return attrs;
+}
+
+/// A random event covering every EventType, including empty and long
+/// strings, so the fuzz round trip exercises each decode branch.
+Event RandomEvent(Rng* rng, Timestamp t) {
+  NodeId u = rng->Uniform(50);
+  NodeId v = rng->Uniform(50);
+  switch (rng->Uniform(8)) {
+    case 0:
+      return Event::AddNode(t, u, RandomAttrs(rng));
+    case 1:
+      return Event::RemoveNode(t, u);
+    case 2:
+      return Event::AddEdge(t, u, v, rng->Uniform(2) == 0, RandomAttrs(rng));
+    case 3:
+      return Event::RemoveEdge(t, u, v);
+    case 4:
+      return Event::SetNodeAttr(t, u, RandomString(rng, 8),
+                                RandomString(rng, 20), RandomString(rng, 20));
+    case 5:
+      return Event::DelNodeAttr(t, u, RandomString(rng, 8),
+                                RandomString(rng, 20));
+    case 6:
+      return Event::SetEdgeAttr(t, u, v, RandomString(rng, 8),
+                                RandomString(rng, 20), RandomString(rng, 20));
+    default:
+      return Event::DelEdgeAttr(t, u, v, RandomString(rng, 8),
+                                RandomString(rng, 20));
+  }
+}
+
+TEST(BulkDecodeTest, EventListBulkMatchesScalarOnFuzzedInputs) {
+  Rng rng(20260731);
+  for (int round = 0; round < 50; ++round) {
+    EventList list(0, 10'000);
+    size_t n = rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      list.Append(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+    }
+    std::string wire = list.Serialize();
+    // Bulk path (the Deserialize hot path).
+    auto bulk = EventList::Deserialize(wire);
+    ASSERT_TRUE(bulk.ok());
+    // Scalar reference path.
+    BinaryReader r(wire);
+    ASSERT_TRUE(r.VerifyChecksum().ok());
+    auto scalar = EventList::DeserializeFrom(&r);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_TRUE(*bulk == *scalar);
+    EXPECT_TRUE(*bulk == list);
+  }
+}
+
+TEST(BulkDecodeTest, DeltaBulkMatchesScalarOnFuzzedInputs) {
+  Rng rng(20260801);
+  for (int round = 0; round < 50; ++round) {
+    Delta d;
+    size_t n = rng.Uniform(60);
+    for (size_t i = 0; i < n; ++i) {
+      d.ApplyEvent(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+    }
+    std::string wire = d.Serialize();
+    auto bulk = Delta::Deserialize(wire);
+    ASSERT_TRUE(bulk.ok());
+    BinaryReader r(wire);
+    ASSERT_TRUE(r.VerifyChecksum().ok());
+    auto scalar = Delta::DeserializeFrom(&r);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_TRUE(*bulk == *scalar);
+    EXPECT_TRUE(*bulk == d);
+  }
+}
+
+TEST(BulkDecodeTest, CorruptBuffersErrorWithoutCrashing) {
+  Rng rng(7);
+  EventList list(0, 100);
+  for (int i = 0; i < 10; ++i) {
+    list.Append(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+  }
+  std::string wire = list.Serialize();
+  // Truncations at every length: either a checksum error or (never, for
+  // this corpus) a clean decode — but no crash or hang.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto res = EventList::Deserialize(std::string_view(wire).substr(0, len));
+    EXPECT_FALSE(res.ok());
+  }
+  // Single-byte flips are caught by the checksum before bulk decode runs.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::string bad = wire;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5A);
+    (void)EventList::Deserialize(bad);
+  }
+}
+
+TEST(DeltaTest, RvalueAddMatchesCopyAddAndEmptiesSource) {
+  Rng rng(11);
+  Delta a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.ApplyEvent(RandomEvent(&rng, i + 1));
+    b.ApplyEvent(RandomEvent(&rng, i + 1));
+  }
+  Delta acc_copy = a;
+  acc_copy.Add(b);
+  Delta acc_move = a;
+  Delta b_doomed = b;
+  acc_move.Add(std::move(b_doomed));
+  EXPECT_TRUE(acc_copy == acc_move);
+  EXPECT_TRUE(b_doomed.Empty());
+  // Adding into an empty delta (the first merge slot) is also identical.
+  Delta onto_empty;
+  Delta b_doomed2 = b;
+  onto_empty.Add(std::move(b_doomed2));
+  EXPECT_TRUE(onto_empty == b);
+}
+
+TEST(EventListTest, RvalueApplyUpToMatchesConstApply) {
+  Rng rng(12);
+  EventList list(0, 1'000);
+  for (int i = 0; i < 40; ++i) {
+    list.Append(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+  }
+  Delta by_ref;
+  list.ApplyUpTo(25, &by_ref);
+  Delta by_move;
+  EventList doomed = list;
+  std::move(doomed).ApplyUpTo(25, &by_move);
+  EXPECT_TRUE(by_ref == by_move);
+}
+
+TEST(EventListTest, FilterByNodeReservesOutputAndDoesNotReallocate) {
+  EventList list(0, 10'000);
+  for (int i = 0; i < 200; ++i) {
+    // Attribute-free edge events: copying one allocates nothing (SSO
+    // strings, empty attribute vectors), so the only allocation in
+    // FilterByNode is the reserved output buffer.
+    list.Append(Event::AddEdge(i + 1, 1, static_cast<NodeId>(2 + i % 7)));
+  }
+  size_t allocs = 0;
+  EventList out;
+  {
+    ScopedAllocCounter counter;
+    out = list.FilterByNode(1);
+    allocs = counter.count();
+  }
+  EXPECT_EQ(out.size(), 200u);
+  EXPECT_LE(allocs, 2u);
+
+  // The consuming overload moves matching events out.
+  EventList doomed = list;
+  EventList moved = std::move(doomed).FilterByNode(1);
+  EXPECT_TRUE(moved == out);
+  EXPECT_TRUE(doomed.empty());
+}
 
 }  // namespace
 }  // namespace hgs

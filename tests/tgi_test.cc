@@ -703,6 +703,147 @@ TEST(TGITest, CachedSnapshotIdenticalToColdAndHitsAccounted) {
   EXPECT_TRUE(*snap_old == *snap_cold);
 }
 
+// ---------------------------------------------------------------------------
+// Decoded-object cache tests: warm retrievals must perform zero Deserialize
+// calls, invalidation must track AppendBatch, and the byte budget must
+// evict under pressure without affecting results.
+// ---------------------------------------------------------------------------
+
+TEST(TGITest, WarmDecodedCacheSkipsAllDeserialization) {
+  for (ClusteringOrder order :
+       {ClusteringOrder::kDeltaMajor, ClusteringOrder::kPartitionMajor}) {
+    Cluster cluster(FastCluster());
+    TGIOptions opts = SmallOptions();
+    opts.clustering_order = order;
+    TGI tgi(&cluster, opts);
+    auto events = SmallHistory(71, 6'000);
+    ASSERT_TRUE(tgi.BuildFrom(events).ok());
+    auto qm = tgi.OpenQueryManager(2).value();
+
+    Timestamp t = workload::EndTime(events);
+    FetchStats cold;
+    auto snap_cold = qm->GetSnapshot(t, &cold);
+    ASSERT_TRUE(snap_cold.ok());
+    EXPECT_GT(cold.decodes, 0u);
+    EXPECT_GT(cold.decoded_bytes, 0u);
+
+    FetchStats warm;
+    auto snap_warm = qm->GetSnapshot(t, &warm);
+    ASSERT_TRUE(snap_warm.ok());
+    EXPECT_EQ(warm.decodes, 0u);  // every value arrives ready-to-apply
+    EXPECT_EQ(warm.decoded_bytes, 0u);
+    EXPECT_GT(warm.decode_hits, 0u);
+    EXPECT_TRUE(*snap_warm == *snap_cold);
+    // Logical consumption counters are identical hot or cold.
+    EXPECT_EQ(warm.micro_deltas, cold.micro_deltas);
+    EXPECT_EQ(warm.bytes, cold.bytes);
+
+    // Bulk node histories: version segments, eventlists and initial-state
+    // micro-deltas are all decoded-cached too.
+    std::vector<NodeId> ids;
+    for (const Event& e : events) {
+      if (ids.size() >= 8) break;
+      if (e.type == EventType::kAddNode) ids.push_back(e.u);
+    }
+    FetchStats hist_cold;
+    auto hists_cold = qm->GetNodeHistories(ids, 0, t, &hist_cold);
+    ASSERT_TRUE(hists_cold.ok());
+    FetchStats hist_warm;
+    auto hists_warm = qm->GetNodeHistories(ids, 0, t, &hist_warm);
+    ASSERT_TRUE(hists_warm.ok());
+    EXPECT_EQ(hist_warm.decodes, 0u);
+    EXPECT_GT(hist_warm.decode_hits, 0u);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_TRUE((*hists_warm)[i].initial == (*hists_cold)[i].initial);
+      EXPECT_TRUE((*hists_warm)[i].events == (*hists_cold)[i].events);
+    }
+  }
+}
+
+TEST(TGITest, DecodedTierWorksWithoutByteCache) {
+  // The tiers are independent: with the partition-delta (byte) cache
+  // disabled, repeats of point-read-shaped fetches are still served
+  // decoded — and skip the cluster round trips entirely.
+  Cluster cluster(FastCluster());
+  TGIOptions opts = SmallOptions();
+  opts.clustering_order = ClusteringOrder::kPartitionMajor;
+  TGI tgi(&cluster, opts);
+  auto events = SmallHistory(72, 5'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  TGIQueryManager qm(&cluster, 2, /*read_cache_bytes=*/0,
+                     /*read_cache_shards=*/16,
+                     /*decoded_cache_bytes=*/16u << 20);
+  ASSERT_TRUE(qm.Open().ok());
+
+  Timestamp t = workload::EndTime(events);
+  FetchStats cold;
+  auto snap_cold = qm.GetSnapshot(t, &cold);
+  ASSERT_TRUE(snap_cold.ok());
+  EXPECT_GT(cold.kv_batches, 0u);
+  EXPECT_GT(cold.decodes, 0u);
+
+  FetchStats warm;
+  auto snap_warm = qm.GetSnapshot(t, &warm);
+  ASSERT_TRUE(snap_warm.ok());
+  EXPECT_EQ(warm.decodes, 0u);
+  EXPECT_EQ(warm.kv_batches, 0u);  // decoded hits never touch the cluster
+  EXPECT_TRUE(*snap_warm == *snap_cold);
+}
+
+TEST(TGITest, DecodedCacheInvalidatedByAppendBatch) {
+  // Stale decoded objects must not survive a re-publish: the epoch both
+  // tags every key and drops the tier wholesale on refresh.
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(73, 6'000);
+  size_t half = events.size() / 2;
+  std::vector<Event> first(events.begin(), events.begin() + half);
+  std::vector<Event> second(events.begin() + half, events.end());
+  ASSERT_TRUE(tgi.BuildFrom(first).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  Timestamp t1 = first[first.size() / 2].time;
+  ASSERT_TRUE(qm->GetSnapshot(t1).ok());  // warm the decoded tier
+  FetchStats warm;
+  ASSERT_TRUE(qm->GetSnapshot(t1, &warm).ok());
+  EXPECT_EQ(warm.decodes, 0u);
+
+  ASSERT_TRUE(tgi.AppendBatch(second).ok());
+  Timestamp t2 = workload::EndTime(events);
+  FetchStats post;
+  auto snap_post = qm->GetSnapshot(t2, &post);
+  ASSERT_TRUE(snap_post.ok());
+  EXPECT_GT(post.decodes, 0u);  // decoded tier was dropped with the epoch
+  EXPECT_TRUE(*snap_post == workload::ReplayToGraph(events, t2));
+  auto snap_old = qm->GetSnapshot(t1);
+  ASSERT_TRUE(snap_old.ok());
+  EXPECT_TRUE(*snap_old == workload::ReplayToGraph(events, t1));
+}
+
+TEST(TGITest, DecodedCacheEvictsUnderByteBudgetPressure) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(74, 6'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  // A budget far below the working set: entries must be admitted and
+  // evicted continuously, with results unaffected.
+  TGIQueryManager qm(&cluster, 2, /*read_cache_bytes=*/0,
+                     /*read_cache_shards=*/2,
+                     /*decoded_cache_bytes=*/8u << 10);
+  ASSERT_TRUE(qm.Open().ok());
+  Timestamp t = workload::EndTime(events);
+  auto first = qm.GetSnapshot(t);
+  ASSERT_TRUE(first.ok());
+  auto second = qm.GetSnapshot(t);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*first == *second);
+  EXPECT_TRUE(*first == workload::ReplayToGraph(events, t));
+  LruCacheCounters counters = qm.DecodedCacheCounters();
+  EXPECT_GT(counters.insertions, 0u);
+  EXPECT_GT(counters.evictions, 0u);
+  EXPECT_LE(counters.bytes_used, 8u << 10);
+}
+
 TEST(TGITest, NodeHistoryCacheInvalidatedByAppendBatch) {
   // A node's version-chain scan is cached; AppendBatch adds new segments
   // under the same scan prefix, so a stale cache would lose events.
@@ -770,12 +911,15 @@ TEST(TGITest, MultiGetBatchingReducesRoundTripsUnderLatency) {
   EXPECT_LT(cold.kv_batches, cold.kv_requests / 2);
   EXPECT_TRUE(*snap == workload::ReplayToGraph(events, t));
 
-  // Repeating the snapshot is served from the cache: no round trips.
+  // Repeating the snapshot is served from the decoded tier: no round
+  // trips, and not a single value re-deserialized — point reads skip the
+  // byte cache entirely and return ready-to-apply objects.
   FetchStats warm;
   auto again = qm->GetSnapshot(t, &warm);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(warm.kv_batches, 0u);
-  EXPECT_GT(warm.CacheHitRate(), 0.0);
+  EXPECT_EQ(warm.decodes, 0u);
+  EXPECT_GT(warm.decode_hits, 0u);
   EXPECT_TRUE(*again == *snap);
 }
 
