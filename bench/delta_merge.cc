@@ -1,0 +1,429 @@
+// Delta merge & replay micro-benchmark: the sorted flat-map representation
+// vs the hash-map baseline it replaced.
+//
+// Kernels, each the hot loop of a read-path stage:
+//  1. micro-merge:   fold K micro-deltas into a snapshot accumulator
+//                    (GetSnapshotDelta's ordered merge)
+//  2. large-merge:   one snapshot-half into another (worst-case Delta::Add)
+//  3. materialize:   replay a whole history into an empty delta (eventlist
+//                    materialization, the Copy+Log / NodeCentric path)
+//  4. attr-replay:   attribute-churn eventlist onto a snapshot-scale delta
+//                    (keys repeat; per-key grouping pays off)
+//  5. growth-replay: add/remove churn of mostly-new keys onto a snapshot
+//                    delta — the one insert-bound shape where the hash map
+//                    keeps an edge; reported for honesty
+//  6. removal-heavy: remove-node storm (the quadratic incident-edge scan
+//                    regression)
+//
+// Output: entries-or-events per second per implementation, and peak RSS at
+// exit (the flat representation also shrinks decoded residency).
+// HGS_SCALE scales the dataset (CI smoke runs use HGS_SCALE=0.05).
+
+#include <malloc.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "delta/delta.h"
+#include "delta/eventlist.h"
+
+// -- live-heap accounting ----------------------------------------------------
+// Counts bytes currently allocated (glibc malloc_usable_size), so the
+// resident footprint of the flat vs hash representation can be compared
+// exactly instead of through process-wide RSS. Disabled under ASan (user
+// replacement operators conflict with its interceptors); the residency
+// kernel reports n/a there.
+#if defined(__SANITIZE_ADDRESS__)
+#define HGS_HEAP_ACCOUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HGS_HEAP_ACCOUNTING 0
+#else
+#define HGS_HEAP_ACCOUNTING 1
+#endif
+#else
+#define HGS_HEAP_ACCOUNTING 1
+#endif
+
+static std::atomic<long long> g_live_bytes{0};
+
+#if HGS_HEAP_ACCOUNTING
+// The replacement operators pair malloc with free correctly; GCC's
+// static checker cannot see through the replacement and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  g_live_bytes.fetch_add(static_cast<long long>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+  return p;
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(static_cast<long long>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
+
+#pragma GCC diagnostic pop
+#endif  // HGS_HEAP_ACCOUNTING
+
+namespace hgs::bench {
+namespace {
+
+// The pre-flat-map Delta: two unordered_maps with identical apply/merge
+// semantics. Kept here as the measured baseline.
+struct HashDelta {
+  std::unordered_map<NodeId, std::optional<NodeRecord>> nodes;
+  std::unordered_map<EdgeKey, std::optional<EdgeRecord>, EdgeKeyHash> edges;
+
+  void Apply(const Event& e) {
+    switch (e.type) {
+      case EventType::kAddNode:
+        nodes[e.u] = NodeRecord{.attrs = e.attrs};
+        break;
+      case EventType::kRemoveNode:
+        nodes[e.u] = std::nullopt;
+        for (auto& [key, rec] : edges) {
+          if ((key.u == e.u || key.v == e.u) && rec.has_value()) {
+            rec = std::nullopt;
+          }
+        }
+        break;
+      case EventType::kAddEdge:
+        edges[EdgeKey(e.u, e.v)] = EdgeRecord{
+            .src = e.u, .dst = e.v, .directed = e.directed, .attrs = e.attrs};
+        break;
+      case EventType::kRemoveEdge:
+        edges[EdgeKey(e.u, e.v)] = std::nullopt;
+        break;
+      case EventType::kSetNodeAttr: {
+        auto& slot = nodes[e.u];
+        if (!slot.has_value()) slot = NodeRecord{};
+        slot->attrs.Set(e.key, e.value);
+        break;
+      }
+      case EventType::kDelNodeAttr: {
+        auto it = nodes.find(e.u);
+        if (it != nodes.end() && it->second.has_value()) {
+          it->second->attrs.Erase(e.key);
+        }
+        break;
+      }
+      case EventType::kSetEdgeAttr: {
+        auto& slot = edges[EdgeKey(e.u, e.v)];
+        if (!slot.has_value()) {
+          slot = EdgeRecord{
+              .src = e.u, .dst = e.v, .directed = e.directed, .attrs = {}};
+        }
+        slot->attrs.Set(e.key, e.value);
+        break;
+      }
+      case EventType::kDelEdgeAttr: {
+        auto it = edges.find(EdgeKey(e.u, e.v));
+        if (it != edges.end() && it->second.has_value()) {
+          it->second->attrs.Erase(e.key);
+        }
+        break;
+      }
+    }
+  }
+
+  void Add(const HashDelta& o) {
+    nodes.reserve(nodes.size() + o.nodes.size());
+    edges.reserve(edges.size() + o.edges.size());
+    for (const auto& [id, rec] : o.nodes) nodes[id] = rec;
+    for (const auto& [key, rec] : o.edges) edges[key] = rec;
+  }
+
+  size_t Cardinality() const { return nodes.size() + edges.size(); }
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void PrintRate(const char* kernel, const char* impl, uint64_t ops,
+               double seconds) {
+  std::printf("%-14s %-14s ops=%10llu  time=%8.4fs  Mops/s=%8.2f\n", kernel,
+              impl, static_cast<unsigned long long>(ops), seconds,
+              seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0.0);
+}
+
+// Splits a snapshot delta into k micro-deltas by node-id bucket; edges are
+// replicated into both endpoints' buckets (partitioned-snapshot semantics).
+std::vector<Delta> SplitFlat(const Delta& d, size_t k) {
+  std::vector<Delta> out(k);
+  d.ForEachNodeEntry([&](NodeId id, const std::optional<NodeRecord>& rec) {
+    if (rec.has_value()) out[id % k].PutNode(id, *rec);
+  });
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        out[key.u % k].PutEdge(key, *rec);
+        if (key.v % k != key.u % k) out[key.v % k].PutEdge(key, *rec);
+      });
+  for (Delta& slot : out) slot.Compact();
+  return out;
+}
+
+std::vector<HashDelta> SplitHash(const Delta& d, size_t k) {
+  std::vector<HashDelta> out(k);
+  d.ForEachNodeEntry([&](NodeId id, const std::optional<NodeRecord>& rec) {
+    if (rec.has_value()) out[id % k].nodes[id] = rec;
+  });
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        out[key.u % k].edges[key] = rec;
+        if (key.v % k != key.u % k) out[key.v % k].edges[key] = rec;
+      });
+  return out;
+}
+
+void RunMicroMerge(const Delta& snapshot, size_t k, size_t rounds) {
+  const std::vector<Delta> flat_parts = SplitFlat(snapshot, k);
+  const std::vector<HashDelta> hash_parts = SplitHash(snapshot, k);
+  uint64_t merged_entries = 0;
+  for (const Delta& p : flat_parts) merged_entries += p.Cardinality();
+  merged_entries *= rounds;
+
+  double flat_s = 0, hash_s = 0;
+  size_t sink = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<Delta> parts = flat_parts;  // copies excluded from timing
+    auto start = std::chrono::steady_clock::now();
+    Delta acc;
+    for (Delta& p : parts) acc.Add(std::move(p));
+    flat_s += SecondsSince(start);
+    sink += acc.Cardinality();
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<HashDelta> parts = hash_parts;
+    auto start = std::chrono::steady_clock::now();
+    HashDelta acc;
+    for (HashDelta& p : parts) acc.Add(p);
+    hash_s += SecondsSince(start);
+    sink += acc.Cardinality();
+  }
+  PrintRate("micro-merge", "flat", merged_entries, flat_s);
+  PrintRate("micro-merge", "hash", merged_entries, hash_s);
+  std::printf("# micro-merge sink=%zu k=%zu\n", sink, k);
+}
+
+void RunLargeMerge(const Delta& snapshot, size_t rounds) {
+  std::vector<Delta> halves = SplitFlat(snapshot, 2);
+  std::vector<HashDelta> hash_halves = SplitHash(snapshot, 2);
+  const uint64_t ops =
+      (halves[0].Cardinality() + halves[1].Cardinality()) * rounds;
+
+  double flat_s = 0, hash_s = 0;
+  size_t sink = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    Delta acc = halves[0];
+    Delta other = halves[1];
+    auto start = std::chrono::steady_clock::now();
+    acc.Add(std::move(other));
+    flat_s += SecondsSince(start);
+    sink += acc.Cardinality();
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    HashDelta acc = hash_halves[0];
+    auto start = std::chrono::steady_clock::now();
+    acc.Add(hash_halves[1]);
+    hash_s += SecondsSince(start);
+    sink += acc.Cardinality();
+  }
+  PrintRate("large-merge", "flat", ops, flat_s);
+  PrintRate("large-merge", "hash", ops, hash_s);
+  std::printf("# large-merge sink=%zu\n", sink);
+}
+
+// Replays `tail_events` onto a copy of `base` (pass empty deltas for the
+// materialization kernel): batched ApplyEvents vs the per-event flat loop
+// vs the hash baseline.
+void RunReplay(const char* kernel, const Delta& base,
+               const HashDelta& hash_base,
+               const std::vector<Event>& tail_events, size_t rounds) {
+  EventList list(kMinTimestamp, kMaxTimestamp);
+  for (const Event& e : tail_events) list.Append(e);
+  const uint64_t ops = tail_events.size() * rounds;
+
+  double batched_s = 0, scalar_s = 0, hash_s = 0;
+  size_t sink = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    Delta d = base;
+    auto start = std::chrono::steady_clock::now();
+    d.ApplyEvents(list, kMinTimestamp, kMaxTimestamp);
+    batched_s += SecondsSince(start);
+    sink += d.Cardinality();
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    Delta d = base;
+    auto start = std::chrono::steady_clock::now();
+    for (const Event& e : tail_events) d.ApplyEvent(e);
+    scalar_s += SecondsSince(start);
+    sink += d.Cardinality();
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    HashDelta d = hash_base;
+    auto start = std::chrono::steady_clock::now();
+    for (const Event& e : tail_events) d.Apply(e);
+    hash_s += SecondsSince(start);
+    sink += d.Cardinality();
+  }
+  PrintRate(kernel, "flat-batched", ops, batched_s);
+  PrintRate(kernel, "flat-scalar", ops, scalar_s);
+  PrintRate(kernel, "hash", ops, hash_s);
+  std::printf("# %s sink=%zu\n", kernel, sink);
+}
+
+void RunRemovalReplay(size_t num_edges, size_t num_removals, size_t rounds) {
+  Delta base;
+  HashDelta hash_base;
+  const NodeId stride = static_cast<NodeId>(num_edges);
+  for (NodeId i = 0; i < stride; ++i) {
+    Event n1 = Event::AddNode(1, i);
+    Event n2 = Event::AddNode(1, i + stride);
+    Event ed = Event::AddEdge(2, i, i + stride);
+    base.ApplyEvent(n1);
+    base.ApplyEvent(n2);
+    base.ApplyEvent(ed);
+    hash_base.Apply(n1);
+    hash_base.Apply(n2);
+    hash_base.Apply(ed);
+  }
+  base.Compact();
+  EventList removals(kMinTimestamp, kMaxTimestamp);
+  std::vector<Event> removal_events;
+  for (size_t i = 0; i < num_removals; ++i) {
+    Event e = Event::RemoveNode(static_cast<Timestamp>(10 + i),
+                                static_cast<NodeId>(i));
+    removals.Append(e);
+    removal_events.push_back(e);
+  }
+  const uint64_t ops = num_removals * rounds;
+
+  double batched_s = 0, hash_s = 0;
+  size_t sink = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    Delta d = base;
+    auto start = std::chrono::steady_clock::now();
+    d.ApplyEvents(removals, kMinTimestamp, kMaxTimestamp);
+    batched_s += SecondsSince(start);
+    sink += d.Cardinality();
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    HashDelta d = hash_base;
+    auto start = std::chrono::steady_clock::now();
+    for (const Event& e : removal_events) d.Apply(e);
+    hash_s += SecondsSince(start);
+    sink += d.Cardinality();
+  }
+  PrintRate("removal-heavy", "flat-batched", ops, batched_s);
+  PrintRate("removal-heavy", "hash", ops, hash_s);
+  std::printf("# removal-heavy sink=%zu edges=%zu removals=%zu\n", sink,
+              num_edges, num_removals);
+}
+
+// Live-heap footprint of one snapshot-scale delta per representation.
+void RunResidency(const Delta& snapshot, const HashDelta& hash_snapshot) {
+  if (!HGS_HEAP_ACCOUNTING) {
+    std::printf("residency      (n/a under sanitizers)\n");
+    return;
+  }
+  const size_t entries = snapshot.Cardinality();
+  long long flat_bytes = 0, hash_bytes = 0;
+  {
+    long long before = g_live_bytes.load();
+    Delta copy = snapshot;
+    flat_bytes = g_live_bytes.load() - before;
+  }
+  {
+    long long before = g_live_bytes.load();
+    HashDelta copy = hash_snapshot;
+    hash_bytes = g_live_bytes.load() - before;
+  }
+  std::printf(
+      "residency      flat           entries=%zu bytes=%lld (%.1f B/entry)\n",
+      entries, flat_bytes,
+      static_cast<double>(flat_bytes) / static_cast<double>(entries));
+  std::printf(
+      "residency      hash           entries=%zu bytes=%lld (%.1f B/entry)\n",
+      entries, hash_bytes,
+      static_cast<double>(hash_bytes) / static_cast<double>(entries));
+}
+
+void Run() {
+  PrintPreamble("delta_merge: flat-map Delta vs hash-map baseline",
+                "flat merges/replays faster at lower peak RSS");
+
+  auto events = Dataset2();
+  const size_t cut = events.size() * 9 / 10;
+  std::vector<Event> head(events.begin(),
+                          events.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<Event> tail(events.begin() + static_cast<ptrdiff_t>(cut),
+                          events.end());
+
+  Delta snapshot;
+  HashDelta hash_snapshot;
+  for (const Event& e : head) {
+    snapshot.ApplyEvent(e);
+    hash_snapshot.Apply(e);
+  }
+  snapshot.Compact();
+  std::printf("# snapshot cardinality=%zu  replay tail=%zu events\n",
+              snapshot.Cardinality(), tail.size());
+
+  const size_t rounds = Scaled(6) > 0 ? Scaled(6) : 1;
+  RunResidency(snapshot, hash_snapshot);
+  RunMicroMerge(snapshot, /*k=*/64, rounds);
+  RunLargeMerge(snapshot, rounds);
+
+  // Materialize: the whole history into an empty delta.
+  RunReplay("materialize", Delta(), HashDelta(), events, rounds);
+
+  // Attribute churn onto an existing snapshot (DBLP shape: repeated keys).
+  {
+    auto dblp = DatasetDblp();
+    const size_t dcut = dblp.size() * 6 / 10;
+    Delta dbase;
+    HashDelta dhash;
+    for (size_t i = 0; i < dcut; ++i) {
+      dbase.ApplyEvent(dblp[i]);
+      dhash.Apply(dblp[i]);
+    }
+    dbase.Compact();
+    std::vector<Event> dtail(dblp.begin() + static_cast<ptrdiff_t>(dcut),
+                             dblp.end());
+    RunReplay("attr-replay", dbase, dhash, dtail, rounds);
+  }
+
+  // Mostly-new-key growth churn onto an existing snapshot: the insert-bound
+  // shape where a hash map keeps an edge over any sorted structure.
+  RunReplay("growth-replay", snapshot, hash_snapshot, tail, rounds);
+
+  RunRemovalReplay(Scaled(4'000), Scaled(1'000), rounds);
+}
+
+}  // namespace
+}  // namespace hgs::bench
+
+int main() {
+  hgs::bench::Run();
+  return 0;
+}

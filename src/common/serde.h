@@ -26,6 +26,35 @@ namespace hgs {
 /// 64-bit FNV-1a hash, used both as a checksum and a cheap content hash.
 uint64_t Fnv1a64(const void* data, size_t n);
 
+// -- wire-size arithmetic ----------------------------------------------------
+// Exact encoded sizes of the primitives above, so value types can report
+// their serialized size without writing a buffer (decoded-cache charging,
+// Table 1 cost accounting).
+
+/// Encoded size of PutVarint64(v).
+inline size_t VarintWireSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Encoded size of PutSigned64(v) (zigzag + varint).
+inline size_t Signed64WireSize(int64_t v) {
+  return VarintWireSize((static_cast<uint64_t>(v) << 1) ^
+                        static_cast<uint64_t>(v >> 63));
+}
+
+/// Encoded size of PutString(s) (varint length prefix + raw bytes).
+inline size_t StringWireSize(std::string_view s) {
+  return VarintWireSize(s.size()) + s.size();
+}
+
+/// Size of the trailing checksum appended by FinishWithChecksum.
+inline constexpr size_t kChecksumWireSize = 8;
+
 /// Append-only buffer with varint primitives.
 class BinaryWriter {
  public:

@@ -1,57 +1,491 @@
 #include "delta/delta.h"
 
+#include <algorithm>
+#include <type_traits>
+
+#include "delta/eventlist.h"
+
 namespace hgs {
+
+namespace {
+
+// Edge entries examined by remove-node incident-edge tombstoning; see
+// Delta::IncidentEdgeScanSteps().
+thread_local uint64_t t_incident_scan_steps = 0;
+
+struct EntryKeyLess {
+  template <typename Entry>
+  bool operator()(const Entry& a, const Entry& b) const {
+    return a.first < b.first;
+  }
+};
+
+// Keeps the last of every run of equal-key entries (runs are write-ordered
+// after a stable sort / stable merge, so "last" is the latest write).
+template <typename Entry>
+void DedupKeepLast(std::vector<Entry>* v) {
+  size_t w = 0;
+  for (size_t i = 0; i < v->size(); ++i) {
+    if (i + 1 < v->size() && (*v)[i + 1].first == (*v)[i].first) continue;
+    if (w != i) (*v)[w] = std::move((*v)[i]);
+    ++w;
+  }
+  v->resize(w);
+}
+
+// Payload transfer for event application: the consuming replay path (mutable
+// Event) donates attribute maps and strings; the const path copies them.
+template <typename Ev>
+Attributes TakeAttrs(Ev& e) {
+  if constexpr (std::is_const_v<Ev>) {
+    return e.attrs;
+  } else {
+    return std::move(e.attrs);
+  }
+}
+
+template <typename Ev>
+void SetAttrFromEvent(Attributes* attrs, Ev& e) {
+  if constexpr (std::is_const_v<Ev>) {
+    attrs->Set(e.key, e.value);
+  } else {
+    attrs->SetOwned(std::move(e.key), std::move(e.value));
+  }
+}
+
+// [first, last) indices of events with after < time <= upto. `after ==
+// kMinTimestamp` means unbounded below (so events carrying the sentinel
+// timestamp itself are still included). Requires chronological order, the
+// same precondition ApplyUpTo has always had.
+std::pair<size_t, size_t> EventWindow(const std::vector<Event>& ev,
+                                      Timestamp after, Timestamp upto) {
+  auto first =
+      after == kMinTimestamp
+          ? ev.begin()
+          : std::partition_point(ev.begin(), ev.end(), [after](const Event& e) {
+              return e.time <= after;
+            });
+  auto last = std::partition_point(
+      first, ev.end(), [upto](const Event& e) { return e.time <= upto; });
+  return {static_cast<size_t>(first - ev.begin()),
+          static_cast<size_t>(last - ev.begin())};
+}
+
+// First index >= `from` whose entry key is >= `key`, by exponential search.
+// Group keys arrive in ascending order, so a cursor galloped forward visits
+// the sorted span once overall (O(G log(n/G)) instead of G full binary
+// searches).
+template <typename Entry, typename Key>
+size_t GallopToKey(const std::vector<Entry>& entries, size_t from,
+                   const Key& key) {
+  size_t lo = from;
+  size_t step = 1;
+  while (lo + step < entries.size() && entries[lo + step].first < key) {
+    lo += step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(entries.size(), lo + step + 1);
+  auto it = std::lower_bound(
+      entries.begin() + static_cast<ptrdiff_t>(lo),
+      entries.begin() + static_cast<ptrdiff_t>(hi), key,
+      [](const Entry& e, const Key& k) { return e.first < k; });
+  return static_cast<size_t>(it - entries.begin());
+}
+
+// Stable LSD radix pass set over a u64 key digit-by-digit (8-bit digits,
+// all-zero digits skipped via the OR mask). Refs are small trivially
+// copyable (key, index) pairs; radix beats comparison sort ~5x on the
+// window sizes event replay produces.
+template <typename Ref, typename KeyFn>
+void StableRadixByU64(std::vector<Ref>* v, KeyFn key_of) {
+  const size_t n = v->size();
+  uint64_t ormask = 0;
+  for (const Ref& r : *v) ormask |= key_of(r);
+  std::vector<Ref> buf(n);
+  Ref* src = v->data();
+  Ref* dst = buf.data();
+  bool in_v = true;
+  for (int shift = 0; shift < 64; shift += 8) {
+    if (((ormask >> shift) & 0xFF) == 0) continue;
+    size_t count[256] = {};
+    for (size_t i = 0; i < n; ++i) {
+      ++count[(key_of(src[i]) >> shift) & 0xFF];
+    }
+    size_t pos = 0;
+    for (size_t d = 0; d < 256; ++d) {
+      size_t c = count[d];
+      count[d] = pos;
+      pos += c;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[count[(key_of(src[i]) >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+    in_v = !in_v;
+  }
+  if (!in_v) std::copy(buf.begin(), buf.end(), v->begin());
+}
+
+// Sorts (key, event index) refs by key, keeping index order within equal
+// keys (the refs are built in index order and every radix pass is stable).
+void SortRefs(std::vector<std::pair<NodeId, uint32_t>>* refs) {
+  if (refs->size() < 512) {
+    std::sort(refs->begin(), refs->end());
+    return;
+  }
+  StableRadixByU64(refs, [](const auto& r) { return r.first; });
+}
+
+void SortRefs(std::vector<std::pair<EdgeKey, uint32_t>>* refs) {
+  if (refs->size() < 512) {
+    std::sort(refs->begin(), refs->end());
+    return;
+  }
+  // LSD multi-key: minor key (v) first, then stable passes on the major
+  // key (u) — equal (u, v) runs keep their original index order.
+  StableRadixByU64(refs, [](const auto& r) { return r.first.v; });
+  StableRadixByU64(refs, [](const auto& r) { return r.first.u; });
+}
+
+// Heterogeneous (entry, node id) ordering for equal_range over the sorted
+// removal index list.
+struct RemovalLess {
+  bool operator()(const std::pair<NodeId, uint32_t>& a, NodeId b) const {
+    return a.first < b;
+  }
+  bool operator()(NodeId a, const std::pair<NodeId, uint32_t>& b) const {
+    return a < b.first;
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// FlatEntryMap
+// ---------------------------------------------------------------------------
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::Set(Key key, std::optional<Rec> rec) {
+  tail_.emplace_back(std::move(key), std::move(rec));
+  MaybeCompact();
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::AppendOrdered(Key key, std::optional<Rec> rec) {
+  if (tail_.empty() && (sorted_.empty() || sorted_.back().first < key)) {
+    sorted_.emplace_back(std::move(key), std::move(rec));
+  } else {
+    Set(std::move(key), std::move(rec));
+  }
+}
+
+template <typename Key, typename Rec>
+const std::optional<Rec>* FlatEntryMap<Key, Rec>::Find(const Key& key) const {
+  for (auto it = tail_.rbegin(); it != tail_.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [](const Entry& e, const Key& k) { return e.first < k; });
+  if (it != sorted_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+template <typename Key, typename Rec>
+std::optional<Rec>* FlatEntryMap<Key, Rec>::FindMutable(const Key& key) {
+  return const_cast<std::optional<Rec>*>(
+      static_cast<const FlatEntryMap*>(this)->Find(key));
+}
+
+template <typename Key, typename Rec>
+size_t FlatEntryMap<Key, Rec>::size() const {
+  if (tail_.empty()) return sorted_.size();
+  std::vector<Key> keys;
+  keys.reserve(tail_.size());
+  for (const Entry& e : tail_) keys.push_back(e.first);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  size_t extra = 0;
+  for (const Key& k : keys) {
+    auto it = std::lower_bound(
+        sorted_.begin(), sorted_.end(), k,
+        [](const Entry& e, const Key& key) { return e.first < key; });
+    if (it == sorted_.end() || !(it->first == k)) ++extra;
+  }
+  return sorted_.size() + extra;
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::Clear() {
+  sorted_.clear();
+  tail_.clear();
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::Compact() {
+  if (tail_.empty()) return;
+  std::stable_sort(tail_.begin(), tail_.end(), EntryKeyLess{});
+  DedupKeepLast(&tail_);
+  if (sorted_.empty()) {
+    sorted_ = std::move(tail_);
+    tail_.clear();
+    return;
+  }
+  const size_t mid = sorted_.size();
+  sorted_.insert(sorted_.end(), std::make_move_iterator(tail_.begin()),
+                 std::make_move_iterator(tail_.end()));
+  tail_.clear();
+  // Stable merge keeps tail entries after equal-key sorted entries, so the
+  // keep-last dedup retains the later write.
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<ptrdiff_t>(mid),
+                     sorted_.end(), EntryKeyLess{});
+  DedupKeepLast(&sorted_);
+}
+
+template <typename Key, typename Rec>
+const FlatEntryMap<Key, Rec>& FlatEntryMap<Key, Rec>::CompactedOrSelf(
+    FlatEntryMap* scratch) const {
+  if (tail_.empty()) return *this;
+  *scratch = *this;
+  scratch->Compact();
+  return *scratch;
+}
+
+template <typename Key, typename Rec>
+std::vector<const typename FlatEntryMap<Key, Rec>::Entry*>
+FlatEntryMap<Key, Rec>::MergedPtrs() const {
+  std::vector<const Entry*> out;
+  if (tail_.empty()) {
+    out.reserve(sorted_.size());
+    for (const Entry& e : sorted_) out.push_back(&e);
+    return out;
+  }
+  std::vector<const Entry*> tp;
+  tp.reserve(tail_.size());
+  for (const Entry& e : tail_) tp.push_back(&e);
+  std::stable_sort(tp.begin(), tp.end(), [](const Entry* a, const Entry* b) {
+    return a->first < b->first;
+  });
+  size_t w = 0;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    if (i + 1 < tp.size() && tp[i + 1]->first == tp[i]->first) continue;
+    tp[w++] = tp[i];
+  }
+  tp.resize(w);
+  out.reserve(sorted_.size() + tp.size());
+  size_t i = 0, j = 0;
+  while (i < sorted_.size() || j < tp.size()) {
+    if (j == tp.size() ||
+        (i < sorted_.size() && sorted_[i].first < tp[j]->first)) {
+      out.push_back(&sorted_[i]);
+      ++i;
+    } else if (i == sorted_.size() || tp[j]->first < sorted_[i].first) {
+      out.push_back(tp[j]);
+      ++j;
+    } else {
+      out.push_back(tp[j]);  // tail wins on collision
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::MergeFrom(const FlatEntryMap& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    sorted_ = other.sorted_;
+    tail_ = other.tail_;
+    return;
+  }
+  const size_t osize = other.TotalEntries();
+  if (osize <= kTailBase + sorted_.size() / 4) {
+    // Small right operand: append in other's write order (sorted span, then
+    // tail) so "other wins" falls out of tail ordering; amortized compaction
+    // keeps long micro-delta merge chains linear overall.
+    tail_.reserve(tail_.size() + osize);
+    for (const Entry& e : other.sorted_) tail_.push_back(e);
+    for (const Entry& e : other.tail_) tail_.push_back(e);
+    MaybeCompact();
+    return;
+  }
+  Compact();
+  FlatEntryMap oscratch;
+  const auto& b = other.CompactedOrSelf(&oscratch).sorted_entries();
+  std::vector<Entry> out;
+  out.reserve(sorted_.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < sorted_.size() || j < b.size()) {
+    if (j == b.size() ||
+        (i < sorted_.size() && sorted_[i].first < b[j].first)) {
+      out.push_back(std::move(sorted_[i]));
+      ++i;
+    } else if (i == sorted_.size() || b[j].first < sorted_[i].first) {
+      out.push_back(b[j]);
+      ++j;
+    } else {
+      out.push_back(b[j]);  // right wins
+      ++i;
+      ++j;
+    }
+  }
+  sorted_ = std::move(out);
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::MergeFrom(FlatEntryMap&& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    sorted_ = std::move(other.sorted_);
+    tail_ = std::move(other.tail_);
+    other.Clear();
+    return;
+  }
+  const size_t osize = other.TotalEntries();
+  if (osize <= kTailBase + sorted_.size() / 4) {
+    tail_.reserve(tail_.size() + osize);
+    for (Entry& e : other.sorted_) tail_.push_back(std::move(e));
+    for (Entry& e : other.tail_) tail_.push_back(std::move(e));
+    other.Clear();
+    MaybeCompact();
+    return;
+  }
+  Compact();
+  other.Compact();
+  std::vector<Entry> out;
+  out.reserve(sorted_.size() + other.sorted_.size());
+  size_t i = 0, j = 0;
+  while (i < sorted_.size() || j < other.sorted_.size()) {
+    if (j == other.sorted_.size() ||
+        (i < sorted_.size() && sorted_[i].first < other.sorted_[j].first)) {
+      out.push_back(std::move(sorted_[i]));
+      ++i;
+    } else if (i == sorted_.size() ||
+               other.sorted_[j].first < sorted_[i].first) {
+      out.push_back(std::move(other.sorted_[j]));
+      ++j;
+    } else {
+      out.push_back(std::move(other.sorted_[j]));  // right wins
+      ++i;
+      ++j;
+    }
+  }
+  sorted_ = std::move(out);
+  other.Clear();
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::MergeDisjointSorted(std::vector<Entry>&& add) {
+  if (add.empty()) return;
+  Compact();
+  if (sorted_.empty()) {
+    sorted_ = std::move(add);
+    return;
+  }
+  // Backward in-place merge: keys in `add` are strictly ascending and
+  // disjoint from sorted_, so no comparison ever ties and no dedup is
+  // needed.
+  size_t i = sorted_.size();
+  size_t j = add.size();
+  size_t w = i + j;
+  sorted_.resize(w);
+  while (j > 0) {
+    if (i > 0 && add[j - 1].first < sorted_[i - 1].first) {
+      sorted_[--w] = std::move(sorted_[--i]);
+    } else {
+      sorted_[--w] = std::move(add[--j]);
+    }
+  }
+}
+
+template <typename Key, typename Rec>
+void FlatEntryMap<Key, Rec>::AssignUnsortedUnique(
+    std::vector<Entry>&& entries) {
+  std::sort(entries.begin(), entries.end(), EntryKeyLess{});
+  sorted_ = std::move(entries);
+  tail_.clear();
+}
+
+template <typename Key, typename Rec>
+bool FlatEntryMap<Key, Rec>::EqualsLogical(const FlatEntryMap& o) const {
+  if (tail_.empty() && o.tail_.empty()) return sorted_ == o.sorted_;
+  auto pa = MergedPtrs();
+  auto pb = o.MergedPtrs();
+  if (pa.size() != pb.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (!(*pa[i] == *pb[i])) return false;
+  }
+  return true;
+}
+
+template class FlatEntryMap<NodeId, NodeRecord>;
+template class FlatEntryMap<EdgeKey, EdgeRecord>;
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Event application
+// ---------------------------------------------------------------------------
 
 void Delta::ApplyEvent(const Event& e) {
   switch (e.type) {
     case EventType::kAddNode:
-      nodes_[e.u] = NodeRecord{.attrs = e.attrs};
+      nodes_.Set(e.u, NodeRecord{.attrs = e.attrs});
       break;
-    case EventType::kRemoveNode: {
-      nodes_[e.u] = std::nullopt;
-      // Defensive: tombstone incident edges already present in this delta.
-      for (auto& [key, rec] : edges_) {
-        if ((key.u == e.u || key.v == e.u) && rec.has_value()) {
-          rec = std::nullopt;
-        }
-      }
+    case EventType::kRemoveNode:
+      nodes_.Set(e.u, std::nullopt);
+      edges_.Compact();
+      TombstoneIncidentEdges({e.u}, {});
       break;
-    }
     case EventType::kAddEdge:
-      edges_[EdgeKey(e.u, e.v)] =
-          EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
-                     .attrs = e.attrs};
+      edges_.Set(EdgeKey(e.u, e.v),
+                 EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                            .attrs = e.attrs});
       break;
     case EventType::kRemoveEdge:
-      edges_[EdgeKey(e.u, e.v)] = std::nullopt;
+      edges_.Set(EdgeKey(e.u, e.v), std::nullopt);
       break;
     case EventType::kSetNodeAttr: {
-      auto& slot = nodes_[e.u];
-      if (!slot.has_value()) slot = NodeRecord{};
-      slot->attrs.Set(e.key, e.value);
+      auto* slot = nodes_.FindMutable(e.u);
+      if (slot == nullptr) {
+        NodeRecord rec;
+        rec.attrs.Set(e.key, e.value);
+        nodes_.Set(e.u, std::move(rec));
+      } else {
+        if (!slot->has_value()) *slot = NodeRecord{};
+        (*slot)->attrs.Set(e.key, e.value);
+      }
       break;
     }
     case EventType::kDelNodeAttr: {
-      auto it = nodes_.find(e.u);
-      if (it != nodes_.end() && it->second.has_value()) {
-        it->second->attrs.Erase(e.key);
-      }
+      auto* slot = nodes_.FindMutable(e.u);
+      if (slot != nullptr && slot->has_value()) (*slot)->attrs.Erase(e.key);
       break;
     }
     case EventType::kSetEdgeAttr: {
-      auto& slot = edges_[EdgeKey(e.u, e.v)];
-      if (!slot.has_value()) {
-        slot = EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
-                          .attrs = {}};
+      const EdgeKey key(e.u, e.v);
+      auto* slot = edges_.FindMutable(key);
+      if (slot == nullptr) {
+        EdgeRecord rec{.src = e.u, .dst = e.v, .directed = e.directed,
+                       .attrs = {}};
+        rec.attrs.Set(e.key, e.value);
+        edges_.Set(key, std::move(rec));
+      } else {
+        if (!slot->has_value()) {
+          *slot = EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                             .attrs = {}};
+        }
+        (*slot)->attrs.Set(e.key, e.value);
       }
-      slot->attrs.Set(e.key, e.value);
       break;
     }
     case EventType::kDelEdgeAttr: {
-      auto it = edges_.find(EdgeKey(e.u, e.v));
-      if (it != edges_.end() && it->second.has_value()) {
-        it->second->attrs.Erase(e.key);
-      }
+      auto* slot = edges_.FindMutable(EdgeKey(e.u, e.v));
+      if (slot != nullptr && slot->has_value()) (*slot)->attrs.Erase(e.key);
       break;
     }
   }
@@ -60,13 +494,42 @@ void Delta::ApplyEvent(const Event& e) {
 void Delta::ApplyEvent(Event&& e) {
   switch (e.type) {
     case EventType::kAddNode:
-      nodes_[e.u] = NodeRecord{.attrs = std::move(e.attrs)};
+      nodes_.Set(e.u, NodeRecord{.attrs = std::move(e.attrs)});
       break;
     case EventType::kAddEdge:
-      edges_[EdgeKey(e.u, e.v)] =
-          EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
-                     .attrs = std::move(e.attrs)};
+      edges_.Set(EdgeKey(e.u, e.v),
+                 EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                            .attrs = std::move(e.attrs)});
       break;
+    case EventType::kSetNodeAttr: {
+      auto* slot = nodes_.FindMutable(e.u);
+      if (slot == nullptr) {
+        NodeRecord rec;
+        rec.attrs.SetOwned(std::move(e.key), std::move(e.value));
+        nodes_.Set(e.u, std::move(rec));
+      } else {
+        if (!slot->has_value()) *slot = NodeRecord{};
+        (*slot)->attrs.SetOwned(std::move(e.key), std::move(e.value));
+      }
+      break;
+    }
+    case EventType::kSetEdgeAttr: {
+      const EdgeKey key(e.u, e.v);
+      auto* slot = edges_.FindMutable(key);
+      if (slot == nullptr) {
+        EdgeRecord rec{.src = e.u, .dst = e.v, .directed = e.directed,
+                       .attrs = {}};
+        rec.attrs.SetOwned(std::move(e.key), std::move(e.value));
+        edges_.Set(key, std::move(rec));
+      } else {
+        if (!slot->has_value()) {
+          *slot = EdgeRecord{.src = e.u, .dst = e.v, .directed = e.directed,
+                             .attrs = {}};
+        }
+        (*slot)->attrs.SetOwned(std::move(e.key), std::move(e.value));
+      }
+      break;
+    }
     default:
       // The remaining event kinds carry no bulk payload worth moving.
       ApplyEvent(static_cast<const Event&>(e));
@@ -74,57 +537,291 @@ void Delta::ApplyEvent(Event&& e) {
   }
 }
 
+template <typename EventIt>
+void Delta::ApplyEventsRange(EventIt begin, EventIt end) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n == 0) return;
+  // Tiny windows: per-key grouping costs more than it saves. Scalar
+  // application looks keys up through the unsorted tail, so fold an
+  // oversized one (grown by a preceding merge chain) first — otherwise
+  // per-event lookups on a snapshot-scale accumulator degrade toward
+  // O(sorted/8) tail comparisons each.
+  if (n <= 8) {
+    if (nodes_.TailEntries() > 64) nodes_.Compact();
+    if (edges_.TailEntries() > 64) edges_.Compact();
+    for (EventIt it = begin; it != end; ++it) {
+      if constexpr (std::is_const_v<std::remove_pointer_t<EventIt>>) {
+        ApplyEvent(*it);
+      } else {
+        ApplyEvent(std::move(*it));
+      }
+    }
+    return;
+  }
+
+  nodes_.Compact();
+  edges_.Compact();
+
+  // Index the window: (key, event index) per touched key, plus the
+  // remove-node stream that interacts with edge state.
+  std::vector<std::pair<NodeId, uint32_t>> node_refs;
+  std::vector<std::pair<EdgeKey, uint32_t>> edge_refs;
+  std::vector<std::pair<NodeId, uint32_t>> removals;
+  node_refs.reserve(n);
+  edge_refs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Event& ev = *(begin + i);
+    if (ev.IsNodeEvent()) {
+      node_refs.emplace_back(ev.u, i);
+      if (ev.type == EventType::kRemoveNode) removals.emplace_back(ev.u, i);
+    } else {
+      edge_refs.emplace_back(EdgeKey(ev.u, ev.v), i);
+    }
+  }
+  SortRefs(&node_refs);
+  SortRefs(&edge_refs);
+  std::sort(removals.begin(), removals.end());
+
+  // --- node groups: locate each touched node once, fold its events. Groups
+  // ascend by key, so a galloping cursor replaces per-group binary search.
+  std::vector<NodeMap::Entry> pending_nodes;
+  pending_nodes.reserve(node_refs.size());
+  auto& node_entries = nodes_.mutable_sorted_entries();
+  size_t ncursor = 0;
+  for (size_t g = 0; g < node_refs.size();) {
+    const NodeId u = node_refs[g].first;
+    size_t ge = g;
+    while (ge < node_refs.size() && node_refs[ge].first == u) ++ge;
+    ncursor = GallopToKey(node_entries, ncursor, u);
+    std::optional<NodeRecord>* slot =
+        ncursor < node_entries.size() && node_entries[ncursor].first == u
+            ? &node_entries[ncursor].second
+            : nullptr;
+    bool entry_exists = slot != nullptr;
+    std::optional<NodeRecord> local;
+    std::optional<NodeRecord>* target = entry_exists ? slot : &local;
+    for (size_t k = g; k < ge; ++k) {
+      auto& ev = *(begin + node_refs[k].second);
+      switch (ev.type) {
+        case EventType::kAddNode:
+          *target = NodeRecord{.attrs = TakeAttrs(ev)};
+          entry_exists = true;
+          break;
+        case EventType::kRemoveNode:
+          *target = std::nullopt;
+          entry_exists = true;
+          break;
+        case EventType::kSetNodeAttr:
+          if (!entry_exists || !target->has_value()) {
+            *target = NodeRecord{};
+            entry_exists = true;
+          }
+          SetAttrFromEvent(&(*target)->attrs, ev);
+          break;
+        case EventType::kDelNodeAttr:
+          if (entry_exists && target->has_value()) {
+            (*target)->attrs.Erase(ev.key);
+          }
+          break;
+        default:
+          break;  // edge events never land in node groups
+      }
+    }
+    if (slot == nullptr && entry_exists) {
+      pending_nodes.emplace_back(u, std::move(local));
+    }
+    g = ge;
+  }
+
+  // --- edge groups: fold edge events merged with the removal stream of
+  // both endpoints, by event index (= application order). ------------------
+  std::vector<EdgeMap::Entry> pending_edges;
+  pending_edges.reserve(edge_refs.size());
+  std::vector<EdgeKey> grouped_keys;
+  grouped_keys.reserve(edge_refs.size());
+  auto& edge_entries = edges_.mutable_sorted_entries();
+  size_t ecursor = 0;
+  for (size_t g = 0; g < edge_refs.size();) {
+    const EdgeKey key = edge_refs[g].first;
+    size_t ge = g;
+    while (ge < edge_refs.size() && edge_refs[ge].first == key) ++ge;
+    grouped_keys.push_back(key);
+    auto ru = removals.end(), ru_end = removals.end();
+    auto rv = removals.end(), rv_end = removals.end();
+    if (!removals.empty()) {
+      std::tie(ru, ru_end) = std::equal_range(removals.begin(),
+                                              removals.end(), key.u,
+                                              RemovalLess{});
+      if (key.v != key.u) {
+        std::tie(rv, rv_end) = std::equal_range(removals.begin(),
+                                                removals.end(), key.v,
+                                                RemovalLess{});
+      }
+    }
+    ecursor = GallopToKey(edge_entries, ecursor, key);
+    std::optional<EdgeRecord>* slot =
+        ecursor < edge_entries.size() && edge_entries[ecursor].first == key
+            ? &edge_entries[ecursor].second
+            : nullptr;
+    bool entry_exists = slot != nullptr;
+    std::optional<EdgeRecord> local;
+    std::optional<EdgeRecord>* target = entry_exists ? slot : &local;
+    size_t k = g;
+    while (k < ge || ru != ru_end || rv != rv_end) {
+      const uint32_t ke = k < ge ? edge_refs[k].second : UINT32_MAX;
+      const uint32_t ue = ru != ru_end ? ru->second : UINT32_MAX;
+      const uint32_t ve = rv != rv_end ? rv->second : UINT32_MAX;
+      if (ke < ue && ke < ve) {
+        auto& ev = *(begin + ke);
+        switch (ev.type) {
+          case EventType::kAddEdge:
+            *target = EdgeRecord{.src = ev.u, .dst = ev.v,
+                                 .directed = ev.directed,
+                                 .attrs = TakeAttrs(ev)};
+            entry_exists = true;
+            break;
+          case EventType::kRemoveEdge:
+            *target = std::nullopt;
+            entry_exists = true;
+            break;
+          case EventType::kSetEdgeAttr:
+            if (!entry_exists || !target->has_value()) {
+              *target = EdgeRecord{.src = ev.u, .dst = ev.v,
+                                   .directed = ev.directed, .attrs = {}};
+              entry_exists = true;
+            }
+            SetAttrFromEvent(&(*target)->attrs, ev);
+            break;
+          case EventType::kDelEdgeAttr:
+            if (entry_exists && target->has_value()) {
+              (*target)->attrs.Erase(ev.key);
+            }
+            break;
+          default:
+            break;  // node events never land in edge groups
+        }
+        ++k;
+      } else if (ue < ve) {
+        // A removed endpoint tombstones the edge iff it is present, and
+        // never creates an entry — matching the sequential semantics.
+        if (entry_exists && target->has_value()) *target = std::nullopt;
+        ++ru;
+      } else {
+        if (entry_exists && target->has_value()) *target = std::nullopt;
+        ++rv;
+      }
+    }
+    if (slot == nullptr && entry_exists) {
+      pending_edges.emplace_back(key, std::move(local));
+    }
+    g = ge;
+  }
+
+  // --- incident-edge tombstoning for edges untouched by this window: one
+  // bounded pass over the sorted span, not one scan per removal. ------------
+  if (!removals.empty()) {
+    std::vector<NodeId> removed;
+    removed.reserve(removals.size());
+    for (const auto& [id, idx] : removals) {
+      if (removed.empty() || removed.back() != id) removed.push_back(id);
+    }
+    TombstoneIncidentEdges(removed, grouped_keys);
+  }
+
+  // New keys arrive in ascending order and are absent from the sorted spans
+  // by construction: one backward in-place merge each, no sort needed.
+  nodes_.MergeDisjointSorted(std::move(pending_nodes));
+  edges_.MergeDisjointSorted(std::move(pending_edges));
+}
+
+void Delta::ApplyEvents(const EventList& el, Timestamp after, Timestamp upto) {
+  const std::vector<Event>& ev = el.events();
+  auto [b, e] = EventWindow(ev, after, upto);
+  ApplyEventsRange(ev.data() + b, ev.data() + e);
+}
+
+void Delta::ApplyEvents(EventList&& el, Timestamp after, Timestamp upto) {
+  std::vector<Event>& ev = el.events_;
+  auto [b, e] = EventWindow(ev, after, upto);
+  ApplyEventsRange(ev.data() + b, ev.data() + e);
+}
+
+void Delta::TombstoneIncidentEdges(const std::vector<NodeId>& removed,
+                                   const std::vector<EdgeKey>& skip) {
+  if (removed.empty()) return;
+  auto& entries = edges_.mutable_sorted_entries();
+  const NodeId max_removed = removed.back();
+  uint64_t steps = 0;
+  for (auto& entry : entries) {
+    // Canonical keys are (min, max): past the largest removed id, no entry's
+    // minimum endpoint — hence neither endpoint — can be a removed node.
+    if (entry.first.u > max_removed) break;
+    ++steps;
+    if (!entry.second.has_value()) continue;
+    if (!std::binary_search(removed.begin(), removed.end(), entry.first.u) &&
+        !std::binary_search(removed.begin(), removed.end(), entry.first.v)) {
+      continue;
+    }
+    if (!skip.empty() &&
+        std::binary_search(skip.begin(), skip.end(), entry.first)) {
+      continue;
+    }
+    entry.second = std::nullopt;
+  }
+  t_incident_scan_steps += steps;
+}
+
+uint64_t Delta::IncidentEdgeScanSteps() { return t_incident_scan_steps; }
+void Delta::ResetIncidentEdgeScanSteps() { t_incident_scan_steps = 0; }
+
+// ---------------------------------------------------------------------------
+// Lookup / size
+// ---------------------------------------------------------------------------
+
 const std::optional<NodeRecord>* Delta::FindNode(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return nodes_.Find(id);
 }
 
 const std::optional<EdgeRecord>* Delta::FindEdge(const EdgeKey& key) const {
-  auto it = edges_.find(key);
-  return it == edges_.end() ? nullptr : &it->second;
+  return edges_.Find(key);
 }
 
 size_t Delta::SerializedSizeBytes() const {
-  size_t total = 16;
-  for (const auto& [id, rec] : nodes_) {
-    total += 10;  // id varint + presence byte
-    if (rec.has_value()) {
-      for (const auto& [k, v] : rec->attrs.entries()) {
-        total += k.size() + v.size() + 4;
-      }
+  size_t total = VarintWireSize(nodes_.size());
+  nodes_.ForEachOrdered([&](const NodeMap::Entry& e) {
+    total += VarintWireSize(e.first) + 1;
+    if (e.second.has_value()) total += AttributesWireSize(e.second->attrs);
+  });
+  total += VarintWireSize(edges_.size());
+  edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+    total += 1;
+    if (e.second.has_value()) {
+      total += VarintWireSize(e.second->src) + VarintWireSize(e.second->dst) +
+               1 + AttributesWireSize(e.second->attrs);
+    } else {
+      total += VarintWireSize(e.first.u) + VarintWireSize(e.first.v);
     }
-  }
-  for (const auto& [key, rec] : edges_) {
-    (void)key;
-    total += 20;
-    if (rec.has_value()) {
-      for (const auto& [k, v] : rec->attrs.entries()) {
-        total += k.size() + v.size() + 4;
-      }
-    }
-  }
-  return total;
+  });
+  return total + kChecksumWireSize;
 }
 
+void Delta::Compact() {
+  nodes_.Compact();
+  edges_.Compact();
+}
+
+// ---------------------------------------------------------------------------
+// Algebra
+// ---------------------------------------------------------------------------
+
 void Delta::Add(const Delta& other) {
-  nodes_.reserve(nodes_.size() + other.nodes_.size());
-  edges_.reserve(edges_.size() + other.edges_.size());
-  for (const auto& [id, rec] : other.nodes_) nodes_[id] = rec;
-  for (const auto& [key, rec] : other.edges_) edges_[key] = rec;
+  nodes_.MergeFrom(other.nodes_);
+  edges_.MergeFrom(other.edges_);
 }
 
 void Delta::Add(Delta&& other) {
-  if (Empty()) {
-    nodes_ = std::move(other.nodes_);
-    edges_ = std::move(other.edges_);
-  } else {
-    nodes_.reserve(nodes_.size() + other.nodes_.size());
-    edges_.reserve(edges_.size() + other.edges_.size());
-    for (auto& [id, rec] : other.nodes_) nodes_[id] = std::move(rec);
-    for (auto& [key, rec] : other.edges_) edges_[key] = std::move(rec);
-  }
-  other.nodes_.clear();
-  other.edges_.clear();
+  nodes_.MergeFrom(std::move(other.nodes_));
+  edges_.MergeFrom(std::move(other.edges_));
 }
 
 Delta Delta::Sum(const Delta& a, const Delta& b) {
@@ -133,128 +830,216 @@ Delta Delta::Sum(const Delta& a, const Delta& b) {
   return out;
 }
 
+namespace {
+
+// Pairs of `a` whose (key, state) is not identically in `b`; linear
+// two-pointer walk over the sorted spans.
+template <typename M>
+void DifferenceInto(const M& am, const M& bm, M* out) {
+  M sa, sb;
+  const auto& a = am.CompactedOrSelf(&sa).sorted_entries();
+  const auto& b = bm.CompactedOrSelf(&sb).sorted_entries();
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i].first < b[j].first) {
+      out->AppendOrdered(a[i].first, a[i].second);
+      ++i;
+    } else if (b[j].first < a[i].first) {
+      ++j;
+    } else {
+      if (!(a[i].second == b[j].second)) {
+        out->AppendOrdered(a[i].first, a[i].second);
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+// Pairs identical in both.
+template <typename M>
+void IntersectInto(const M& am, const M& bm, M* out) {
+  M sa, sb;
+  const auto& a = am.CompactedOrSelf(&sa).sorted_entries();
+  const auto& b = bm.CompactedOrSelf(&sb).sorted_entries();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (b[j].first < a[i].first) {
+      ++j;
+    } else {
+      if (a[i].second == b[j].second) {
+        out->AppendOrdered(a[i].first, a[i].second);
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+// All pairs, left-biased on collision.
+template <typename M>
+void UnionInto(const M& am, const M& bm, M* out) {
+  M sa, sb;
+  const auto& a = am.CompactedOrSelf(&sa).sorted_entries();
+  const auto& b = bm.CompactedOrSelf(&sb).sorted_entries();
+  out->ReserveSorted(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out->AppendOrdered(a[i].first, a[i].second);
+      ++i;
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out->AppendOrdered(b[j].first, b[j].second);
+      ++j;
+    } else {
+      out->AppendOrdered(a[i].first, a[i].second);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
 Delta Delta::Difference(const Delta& a, const Delta& b) {
   Delta out;
-  for (const auto& [id, rec] : a.nodes_) {
-    auto it = b.nodes_.find(id);
-    if (it == b.nodes_.end() || !(it->second == rec)) out.nodes_[id] = rec;
-  }
-  for (const auto& [key, rec] : a.edges_) {
-    auto it = b.edges_.find(key);
-    if (it == b.edges_.end() || !(it->second == rec)) out.edges_[key] = rec;
-  }
+  DifferenceInto(a.nodes_, b.nodes_, &out.nodes_);
+  DifferenceInto(a.edges_, b.edges_, &out.edges_);
   return out;
 }
 
 Delta Delta::Intersect(const Delta& a, const Delta& b) {
   Delta out;
-  const bool a_smaller = a.nodes_.size() <= b.nodes_.size();
-  const auto& nsmall = a_smaller ? a.nodes_ : b.nodes_;
-  const auto& nlarge = a_smaller ? b.nodes_ : a.nodes_;
-  for (const auto& [id, rec] : nsmall) {
-    auto it = nlarge.find(id);
-    if (it != nlarge.end() && it->second == rec) out.nodes_[id] = rec;
-  }
-  const bool ae_smaller = a.edges_.size() <= b.edges_.size();
-  const auto& esmall = ae_smaller ? a.edges_ : b.edges_;
-  const auto& elarge = ae_smaller ? b.edges_ : a.edges_;
-  for (const auto& [key, rec] : esmall) {
-    auto it = elarge.find(key);
-    if (it != elarge.end() && it->second == rec) out.edges_[key] = rec;
-  }
+  IntersectInto(a.nodes_, b.nodes_, &out.nodes_);
+  IntersectInto(a.edges_, b.edges_, &out.edges_);
   return out;
 }
 
 Delta Delta::Union(const Delta& a, const Delta& b) {
-  Delta out = b;
-  // Left bias: a's entries overwrite b's on collision.
-  for (const auto& [id, rec] : a.nodes_) out.nodes_[id] = rec;
-  for (const auto& [key, rec] : a.edges_) out.edges_[key] = rec;
+  Delta out;
+  UnionInto(a.nodes_, b.nodes_, &out.nodes_);
+  UnionInto(a.edges_, b.edges_, &out.edges_);
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Conversion
+// ---------------------------------------------------------------------------
+
 Graph Delta::ToGraph() const {
   Graph g;
-  for (const auto& [id, rec] : nodes_) {
-    if (rec.has_value()) g.AddNode(id, rec->attrs);
-  }
-  for (const auto& [key, rec] : edges_) {
-    (void)key;
+  nodes_.ForEachOrdered([&](const NodeMap::Entry& e) {
+    if (e.second.has_value()) g.AddNode(e.first, e.second->attrs);
+  });
+  edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+    const auto& rec = e.second;
     if (rec.has_value() && g.HasNode(rec->src) && g.HasNode(rec->dst)) {
       g.AddEdge(rec->src, rec->dst, rec->directed, rec->attrs);
     }
-  }
+  });
   return g;
 }
 
 Graph Delta::ToGraphKeepDangling() const {
   Graph g;
-  for (const auto& [id, rec] : nodes_) {
-    if (rec.has_value()) g.AddNode(id, rec->attrs);
-  }
-  for (const auto& [key, rec] : edges_) {
-    (void)key;
+  nodes_.ForEachOrdered([&](const NodeMap::Entry& e) {
+    if (e.second.has_value()) g.AddNode(e.first, e.second->attrs);
+  });
+  edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+    const auto& rec = e.second;
     if (rec.has_value()) {
       g.AddEdge(rec->src, rec->dst, rec->directed, rec->attrs);
     }
-  }
+  });
   return g;
 }
 
 Delta Delta::FromGraph(const Graph& g) {
   Delta d;
+  std::vector<NodeMap::Entry> nodes;
+  nodes.reserve(g.NumNodes());
   g.ForEachNode([&](NodeId id, const NodeRecord& rec) {
-    d.nodes_.emplace(id, rec);
+    nodes.emplace_back(id, rec);
   });
+  d.nodes_.AssignUnsortedUnique(std::move(nodes));
+  std::vector<EdgeMap::Entry> edges;
+  edges.reserve(g.NumEdges());
   g.ForEachEdge([&](const EdgeKey& key, const EdgeRecord& rec) {
-    d.edges_.emplace(key, rec);
+    edges.emplace_back(key, rec);
   });
+  d.edges_.AssignUnsortedUnique(std::move(edges));
   return d;
 }
 
 Delta Delta::FilterByNodes(const std::unordered_set<NodeId>& ids) const {
   Delta out;
-  for (const auto& [id, rec] : nodes_) {
-    if (ids.contains(id)) out.nodes_[id] = rec;
-  }
-  for (const auto& [key, rec] : edges_) {
-    if (ids.contains(key.u) || ids.contains(key.v)) out.edges_[key] = rec;
-  }
+  nodes_.ForEachOrdered([&](const NodeMap::Entry& e) {
+    if (ids.contains(e.first)) out.nodes_.AppendOrdered(e.first, e.second);
+  });
+  edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+    if (ids.contains(e.first.u) || ids.contains(e.first.v)) {
+      out.edges_.AppendOrdered(e.first, e.second);
+    }
+  });
   return out;
 }
 
 Delta Delta::FilterById(NodeId id) const {
   Delta out;
-  auto it = nodes_.find(id);
-  if (it != nodes_.end()) out.nodes_[id] = it->second;
-  for (const auto& [key, rec] : edges_) {
-    if (key.u == id || key.v == id) out.edges_[key] = rec;
+  const auto* rec = nodes_.Find(id);
+  if (rec != nullptr) out.nodes_.AppendOrdered(id, *rec);
+  if (edges_.IsCompact()) {
+    // Canonical keys: entries with minimum endpoint > id cannot touch id.
+    for (const auto& e : edges_.sorted_entries()) {
+      if (e.first.u > id) break;
+      if (e.first.u == id || e.first.v == id) {
+        out.edges_.AppendOrdered(e.first, e.second);
+      }
+    }
+  } else {
+    edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+      if (e.first.u == id || e.first.v == id) {
+        out.edges_.AppendOrdered(e.first, e.second);
+      }
+    });
   }
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Iteration
+// ---------------------------------------------------------------------------
+
 void Delta::ForEachNodeEntry(
     const std::function<void(NodeId, const std::optional<NodeRecord>&)>& fn)
     const {
-  for (const auto& [id, rec] : nodes_) fn(id, rec);
+  nodes_.ForEachOrdered(
+      [&](const NodeMap::Entry& e) { fn(e.first, e.second); });
 }
 
 void Delta::ForEachEdgeEntry(
     const std::function<void(const EdgeKey&, const std::optional<EdgeRecord>&)>&
         fn) const {
-  for (const auto& [key, rec] : edges_) fn(key, rec);
+  edges_.ForEachOrdered(
+      [&](const EdgeMap::Entry& e) { fn(e.first, e.second); });
 }
+
+// ---------------------------------------------------------------------------
+// Serialization (entries in ascending key order)
+// ---------------------------------------------------------------------------
 
 void Delta::SerializeTo(BinaryWriter* w) const {
   w->PutVarint64(nodes_.size());
-  for (const auto& [id, rec] : nodes_) {
-    w->PutVarint64(id);
-    w->PutBool(rec.has_value());
-    if (rec.has_value()) SerializeAttributes(rec->attrs, w);
-  }
+  nodes_.ForEachOrdered([&](const NodeMap::Entry& e) {
+    w->PutVarint64(e.first);
+    w->PutBool(e.second.has_value());
+    if (e.second.has_value()) SerializeAttributes(e.second->attrs, w);
+  });
   w->PutVarint64(edges_.size());
-  for (const auto& [key, rec] : edges_) {
-    (void)key;
+  edges_.ForEachOrdered([&](const EdgeMap::Entry& e) {
+    const auto& rec = e.second;
     w->PutBool(rec.has_value());
     if (rec.has_value()) {
       w->PutVarint64(rec->src);
@@ -262,28 +1047,26 @@ void Delta::SerializeTo(BinaryWriter* w) const {
       w->PutBool(rec->directed);
       SerializeAttributes(rec->attrs, w);
     } else {
-      w->PutVarint64(key.u);
-      w->PutVarint64(key.v);
+      w->PutVarint64(e.first.u);
+      w->PutVarint64(e.first.v);
     }
-  }
+  });
 }
 
 Result<Delta> Delta::DeserializeFrom(BinaryReader* r) {
   Delta d;
   HGS_ASSIGN_OR_RETURN(uint64_t n_nodes, r->GetVarint64());
-  d.nodes_.reserve(n_nodes);
   for (uint64_t i = 0; i < n_nodes; ++i) {
     HGS_ASSIGN_OR_RETURN(uint64_t id, r->GetVarint64());
     HGS_ASSIGN_OR_RETURN(bool present, r->GetBool());
     if (present) {
       HGS_ASSIGN_OR_RETURN(Attributes attrs, DeserializeAttributes(r));
-      d.nodes_[id] = NodeRecord{.attrs = std::move(attrs)};
+      d.nodes_.AppendOrdered(id, NodeRecord{.attrs = std::move(attrs)});
     } else {
-      d.nodes_[id] = std::nullopt;
+      d.nodes_.AppendOrdered(id, std::nullopt);
     }
   }
   HGS_ASSIGN_OR_RETURN(uint64_t n_edges, r->GetVarint64());
-  d.edges_.reserve(n_edges);
   for (uint64_t i = 0; i < n_edges; ++i) {
     HGS_ASSIGN_OR_RETURN(bool present, r->GetBool());
     if (present) {
@@ -291,15 +1074,17 @@ Result<Delta> Delta::DeserializeFrom(BinaryReader* r) {
       HGS_ASSIGN_OR_RETURN(uint64_t dst, r->GetVarint64());
       HGS_ASSIGN_OR_RETURN(bool directed, r->GetBool());
       HGS_ASSIGN_OR_RETURN(Attributes attrs, DeserializeAttributes(r));
-      d.edges_[EdgeKey(src, dst)] =
-          EdgeRecord{.src = src, .dst = dst, .directed = directed,
-                     .attrs = std::move(attrs)};
+      d.edges_.AppendOrdered(EdgeKey(src, dst),
+                             EdgeRecord{.src = src, .dst = dst,
+                                        .directed = directed,
+                                        .attrs = std::move(attrs)});
     } else {
       HGS_ASSIGN_OR_RETURN(uint64_t u, r->GetVarint64());
       HGS_ASSIGN_OR_RETURN(uint64_t v, r->GetVarint64());
-      d.edges_[EdgeKey(u, v)] = std::nullopt;
+      d.edges_.AppendOrdered(EdgeKey(u, v), std::nullopt);
     }
   }
+  d.Compact();
   return d;
 }
 
@@ -311,47 +1096,54 @@ std::string Delta::Serialize() const {
 
 // The whole-value decode is the read path's hot loop, so it runs on the
 // bulk reader: pointer-bumping field decodes with one sticky-error check
-// per record instead of a Result<> per field. DeserializeFrom stays as the
-// scalar reference decoder; the two are equivalence-tested in delta_test.
+// per record instead of a Result<> per field. Entries arrive in key order
+// (the serialization invariant), so they append straight onto the sorted
+// span with no per-entry insertion cost; AppendOrdered degrades gracefully
+// to tail writes if a (corrupt but checksum-colliding) buffer is unsorted.
+// DeserializeFrom stays as the scalar reference decoder; the two are
+// equivalence-tested in delta_test.
 Result<Delta> Delta::Deserialize(std::string_view data) {
   BinaryReader r(data);
   HGS_RETURN_NOT_OK(r.VerifyChecksum());
   Delta d;
   uint64_t n_nodes = r.ReadVarint64();
   if (r.failed()) return r.BulkStatus();
-  d.nodes_.reserve(std::min<uint64_t>(n_nodes, r.remaining()));
+  d.nodes_.ReserveSorted(std::min<uint64_t>(n_nodes, r.remaining()));
   for (uint64_t i = 0; i < n_nodes; ++i) {
     uint64_t id = r.ReadVarint64();
     if (r.ReadBool()) {
-      d.nodes_[id] = NodeRecord{.attrs = DeserializeAttributesBulk(&r)};
+      d.nodes_.AppendOrdered(
+          id, NodeRecord{.attrs = DeserializeAttributesBulk(&r)});
     } else {
-      d.nodes_[id] = std::nullopt;
+      d.nodes_.AppendOrdered(id, std::nullopt);
     }
     if (r.failed()) return r.BulkStatus();
   }
   uint64_t n_edges = r.ReadVarint64();
   if (r.failed()) return r.BulkStatus();
-  d.edges_.reserve(std::min<uint64_t>(n_edges, r.remaining()));
+  d.edges_.ReserveSorted(std::min<uint64_t>(n_edges, r.remaining()));
   for (uint64_t i = 0; i < n_edges; ++i) {
     if (r.ReadBool()) {
       uint64_t src = r.ReadVarint64();
       uint64_t dst = r.ReadVarint64();
       bool directed = r.ReadBool();
-      d.edges_[EdgeKey(src, dst)] =
+      d.edges_.AppendOrdered(
+          EdgeKey(src, dst),
           EdgeRecord{.src = src, .dst = dst, .directed = directed,
-                     .attrs = DeserializeAttributesBulk(&r)};
+                     .attrs = DeserializeAttributesBulk(&r)});
     } else {
       uint64_t u = r.ReadVarint64();
       uint64_t v = r.ReadVarint64();
-      d.edges_[EdgeKey(u, v)] = std::nullopt;
+      d.edges_.AppendOrdered(EdgeKey(u, v), std::nullopt);
     }
     if (r.failed()) return r.BulkStatus();
   }
+  d.Compact();
   return d;
 }
 
 bool Delta::operator==(const Delta& o) const {
-  return nodes_ == o.nodes_ && edges_ == o.edges_;
+  return nodes_.EqualsLogical(o.nodes_) && edges_.EqualsLogical(o.edges_);
 }
 
 }  // namespace hgs

@@ -118,6 +118,14 @@ void SerializeAttributes(const Attributes& attrs, BinaryWriter* w) {
   }
 }
 
+size_t AttributesWireSize(const Attributes& attrs) {
+  size_t total = VarintWireSize(attrs.size());
+  for (const auto& [k, v] : attrs.entries()) {
+    total += StringWireSize(k) + StringWireSize(v);
+  }
+  return total;
+}
+
 Result<Attributes> DeserializeAttributes(BinaryReader* r) {
   HGS_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint64());
   Attributes attrs;
@@ -168,6 +176,39 @@ void Event::SerializeTo(BinaryWriter* w) const {
       w->PutString(prev_value);
       break;
   }
+}
+
+size_t Event::SerializedWireSize() const {
+  size_t total = Signed64WireSize(time) + 1 + VarintWireSize(u);
+  switch (type) {
+    case EventType::kAddNode:
+      total += AttributesWireSize(attrs);
+      break;
+    case EventType::kRemoveNode:
+      break;
+    case EventType::kAddEdge:
+      total += VarintWireSize(v) + 1 + AttributesWireSize(attrs);
+      break;
+    case EventType::kRemoveEdge:
+      total += VarintWireSize(v);
+      break;
+    case EventType::kSetNodeAttr:
+      total += StringWireSize(key) + StringWireSize(value) +
+               StringWireSize(prev_value);
+      break;
+    case EventType::kDelNodeAttr:
+      total += StringWireSize(key) + StringWireSize(prev_value);
+      break;
+    case EventType::kSetEdgeAttr:
+      total += VarintWireSize(v) + StringWireSize(key) +
+               StringWireSize(value) + StringWireSize(prev_value);
+      break;
+    case EventType::kDelEdgeAttr:
+      total += VarintWireSize(v) + StringWireSize(key) +
+               StringWireSize(prev_value);
+      break;
+  }
+  return total;
 }
 
 Result<Event> Event::DeserializeFrom(BinaryReader* r) {

@@ -71,6 +71,9 @@ struct Event {
   void SerializeTo(BinaryWriter* w) const;
   static Result<Event> DeserializeFrom(BinaryReader* r);
 
+  /// Exact number of bytes SerializeTo writes for this event.
+  size_t SerializedWireSize() const;
+
   /// Bulk fast-path decode (see BinaryReader's Read* interface): decodes
   /// into `e` with no per-field Result<> construction; on corruption the
   /// reader's failed() flag latches and `e` is meaningless. Produces
@@ -86,6 +89,8 @@ struct Event {
 void ApplyEventToGraph(const Event& e, Graph* g);
 
 void SerializeAttributes(const Attributes& attrs, BinaryWriter* w);
+/// Exact number of bytes SerializeAttributes writes.
+size_t AttributesWireSize(const Attributes& attrs);
 Result<Attributes> DeserializeAttributes(BinaryReader* r);
 /// Bulk fast-path attribute decode; mirrors DeserializeAttributes.
 Attributes DeserializeAttributesBulk(BinaryReader* r);

@@ -42,7 +42,7 @@ void EventList::ApplyTo(Graph* g) const {
 }
 
 void EventList::ApplyTo(Delta* d) const {
-  for (const Event& e : events_) d->ApplyEvent(e);
+  d->ApplyEvents(*this, kMinTimestamp, kMaxTimestamp);
 }
 
 void EventList::ApplyUpTo(Timestamp t, Graph* g) const {
@@ -53,27 +53,19 @@ void EventList::ApplyUpTo(Timestamp t, Graph* g) const {
 }
 
 void EventList::ApplyUpTo(Timestamp t, Delta* d) const& {
-  for (const Event& e : events_) {
-    if (e.time > t) break;
-    d->ApplyEvent(e);
-  }
+  d->ApplyEvents(*this, kMinTimestamp, t);
 }
 
 void EventList::ApplyUpTo(Timestamp t, Delta* d) && {
-  for (Event& e : events_) {
-    if (e.time > t) break;
-    d->ApplyEvent(std::move(e));
-  }
+  d->ApplyEvents(std::move(*this), kMinTimestamp, t);
   events_.clear();
 }
 
 size_t EventList::SerializedSizeBytes() const {
-  size_t total = 24;
-  for (const Event& e : events_) {
-    total += 16 + e.key.size() + e.value.size() + e.prev_value.size();
-    for (const auto& [k, v] : e.attrs.entries()) total += k.size() + v.size() + 4;
-  }
-  return total;
+  size_t total = Signed64WireSize(after_) + Signed64WireSize(upto_) +
+                 VarintWireSize(events_.size());
+  for (const Event& e : events_) total += e.SerializedWireSize();
+  return total + kChecksumWireSize;
 }
 
 void EventList::SerializeTo(BinaryWriter* w) const {

@@ -50,17 +50,21 @@ class EventList {
   EventList FilterByNode(NodeId id) const&;
   EventList FilterByNode(NodeId id) &&;
 
-  /// Applies all events in order to a snapshot / an accumulating delta.
+  /// Applies all events in order to a snapshot / an accumulating delta. The
+  /// delta overload runs the batched Delta::ApplyEvents path (per-key
+  /// grouping) rather than a per-event loop.
   void ApplyTo(Graph* g) const;
   void ApplyTo(Delta* d) const;
 
   /// Applies only events with time <= t. The rvalue overload consumes the
   /// list: each applied event donates its payload to the delta instead of
   /// being copied (the zero-copy merge path of snapshot reconstruction).
+  /// Delta overloads batch through Delta::ApplyEvents.
   void ApplyUpTo(Timestamp t, Graph* g) const;
   void ApplyUpTo(Timestamp t, Delta* d) const&;
   void ApplyUpTo(Timestamp t, Delta* d) &&;
 
+  /// Exact wire size of Serialize() (payload + checksum).
   size_t SerializedSizeBytes() const;
 
   void SerializeTo(BinaryWriter* w) const;
@@ -71,6 +75,9 @@ class EventList {
   bool operator==(const EventList& o) const = default;
 
  private:
+  // Delta::ApplyEvents(EventList&&, ...) consumes events_ in place.
+  friend class Delta;
+
   Timestamp after_ = kMinTimestamp;
   Timestamp upto_ = kMaxTimestamp;
   std::vector<Event> events_;

@@ -47,6 +47,9 @@ std::unordered_map<MicroPartitionId, Delta> SplitDeltaByPid(
         put(pu);
         if (pv != pu) put(pv);
       });
+  // The splits were built through O(1) appends; compact once so they
+  // serialize and merge off their sorted spans.
+  for (auto& [pid, slot] : out) slot.Compact();
   return out;
 }
 
@@ -273,6 +276,7 @@ Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {
         const EdgeRecord* rec = state_.GetEdge(key.u, key.v);
         if (rec != nullptr) cb.PutEdge(key, *rec);
       }
+      cb.Compact();
       leaves.push_back(std::move(cb));
       checkpoint_times.push_back(e.time);
     }
@@ -295,6 +299,7 @@ Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {
         if (rec != nullptr) leaf.PutEdge(key, *rec);
       }
     }
+    leaf.Compact();
   }
 
   // ---- 4. Span-stable delta: everything never touched during the span. --
@@ -306,6 +311,7 @@ Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {
       [&](const EdgeKey& key, const EdgeRecord& rec) {
         if (!edge_first_touch.contains(key)) span_stable.PutEdge(key, rec);
       });
+  span_stable.Compact();
 
   // ---- 5. Intersection tree over the checkpoint residues. ----------------
   std::vector<TreeBuildNode> pool;
@@ -401,6 +407,7 @@ Status TGIBuilder::BuildTimespan(const std::vector<Event>& events) {
               }
             }
           });
+      for (auto& [pid, d] : aux) d.Compact();
       for (auto& [pid, d] : aux) {
         PartitionId sid = tgi::SidOf(pid, ns);
         HGS_RETURN_NOT_OK(cluster_->Put(

@@ -189,15 +189,21 @@ Result<std::pair<std::shared_ptr<const void>, size_t>> DecodeByKind(
   }
 }
 
-// The ordered merge consumes a decoded object when this reference is its
-// only owner (decoded cache disabled, or the entry was evicted); a shared
-// object is applied by const reference. make_shared allocates the pointee
-// as a mutable object, so the const_cast on an exclusively owned value is
-// well-defined. use_count() is stable here: the merge runs after the fetch
-// fan-out joined, so no other thread can be acquiring references.
-void MergeDelta(Delta* acc, std::shared_ptr<const Delta>&& d) {
+// The ordered merge consumes a decoded object only when ownership is
+// statically exclusive: with the decoded cache disabled, every decode is
+// private to this query (`exclusive` below), and use_count() == 1 then
+// rules out the same object appearing twice in this query's own slot
+// lists. With the cache enabled a decoded object may be shared with a
+// concurrent query, and observing use_count() == 1 cannot prove otherwise:
+// the count is a relaxed load with no synchronizes-with edge to a releasing
+// reader, so mutating after reading 1 would race with that reader's prior
+// accesses (TSan-visible now that the flat representation moves individual
+// entries). Cache-managed objects are therefore always applied by const
+// reference. make_shared allocates the pointee as a mutable object, so the
+// const_cast on an exclusively owned value is well-defined.
+void MergeDelta(Delta* acc, std::shared_ptr<const Delta>&& d, bool exclusive) {
   if (d == nullptr) return;
-  if (d.use_count() == 1) {
+  if (exclusive && d.use_count() == 1) {
     acc->Add(std::move(const_cast<Delta&>(*d)));
   } else {
     acc->Add(*d);
@@ -206,9 +212,9 @@ void MergeDelta(Delta* acc, std::shared_ptr<const Delta>&& d) {
 }
 
 void MergeEventListUpTo(Delta* acc, std::shared_ptr<const EventList>&& e,
-                        Timestamp t) {
+                        Timestamp t, bool exclusive) {
   if (e == nullptr) return;
-  if (e.use_count() == 1) {
+  if (exclusive && e.use_count() == 1) {
     std::move(const_cast<EventList&>(*e)).ApplyUpTo(t, acc);
   } else {
     e->ApplyUpTo(t, acc);
@@ -739,13 +745,16 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
 
   // Merge: tree deltas root-to-leaf, then eventlists in order, up to t.
   // Exclusively owned decoded objects are consumed by the move-aware
-  // Add/ApplyUpTo overloads; cache-shared ones are applied by const ref.
+  // Add/ApplyUpTo overloads; cache-managed ones are applied by const ref.
+  const bool exclusive = decoded_cache_ == nullptr;
   Delta acc;
   for (size_t i = 0; i < nd; ++i) {
     if (!is_evl[i]) {
-      for (auto& d : slot_deltas[i]) MergeDelta(&acc, std::move(d));
+      for (auto& d : slot_deltas[i]) MergeDelta(&acc, std::move(d), exclusive);
     } else {
-      for (auto& e : slot_evls[i]) MergeEventListUpTo(&acc, std::move(e), t);
+      for (auto& e : slot_evls[i]) {
+        MergeEventListUpTo(&acc, std::move(e), t, exclusive);
+      }
     }
   }
   return acc;
@@ -842,22 +851,42 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
           if (evl != nullptr) evls.push_back(std::move(evl));
         }
       }
-      for (const auto& evl : evls) {
-        // Skip events already applied, stop at t.
-        for (const Event& e : evl->events()) {
-          if (e.time > state_time && e.time <= t) state.ApplyEvent(e);
+      const bool exclusive = decoded_cache_ == nullptr;
+      for (auto& evl : evls) {
+        // Skip events already applied, stop at t. Each eventlist's window
+        // is applied as one batched per-key pass; exclusively owned decoded
+        // lists donate their payloads (see MergeDelta for why cache-managed
+        // objects are applied by const reference).
+        if (exclusive && evl.use_count() == 1) {
+          state.ApplyEvents(std::move(const_cast<EventList&>(*evl)),
+                            state_time, t);
+        } else {
+          state.ApplyEvents(*evl, state_time, t);
         }
+        evl.reset();
       }
     }
     state_time = t;
     by_sorted_index.push_back(state.ToGraph());
   }
 
-  // Restore the caller's ordering.
-  std::vector<Graph> out(times.size());
+  // Restore the caller's ordering: each materialized graph is moved into
+  // its last output slot and copied only for duplicate timestamps.
+  std::vector<size_t> slot_of(times.size());
+  std::vector<size_t> last_user(by_sorted_index.size());
   for (size_t i = 0; i < times.size(); ++i) {
     auto it = std::lower_bound(sorted.begin(), sorted.end(), times[i]);
-    out[i] = by_sorted_index[static_cast<size_t>(it - sorted.begin())];
+    slot_of[i] = static_cast<size_t>(it - sorted.begin());
+    last_user[slot_of[i]] = i;
+  }
+  std::vector<Graph> out(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    const size_t s = slot_of[i];
+    if (i == last_user[s]) {
+      out[i] = std::move(by_sorted_index[s]);
+    } else {
+      out[i] = by_sorted_index[s];
+    }
   }
   return out;
 }
@@ -1007,17 +1036,19 @@ Result<std::vector<Delta>> TGIQueryManager::FetchMicroStatesAt(
 
   // Merge per pid: tree deltas root-to-leaf, then eventlist replay to t.
   // All values are already decoded; exclusively owned ones are consumed.
+  const bool exclusive = decoded_cache_ == nullptr;
   ParallelFor(pids.size(), fetch_parallelism_, [&](size_t p) {
     Delta acc;
     auto merge_one = [&](std::shared_ptr<const void>&& obj, bool eventlist) {
       if (obj == nullptr) return;
       if (!eventlist) {
         MergeDelta(&acc,
-                   std::static_pointer_cast<const Delta>(std::move(obj)));
+                   std::static_pointer_cast<const Delta>(std::move(obj)),
+                   exclusive);
       } else {
         MergeEventListUpTo(
             &acc, std::static_pointer_cast<const EventList>(std::move(obj)),
-            t);
+            t, exclusive);
       }
     };
     for (size_t i = 0; i < nd; ++i) {

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <new>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "delta/delta.h"
@@ -18,9 +19,27 @@
 // Replaces the global allocator for this test binary with a pass-through
 // that counts allocations made on the current thread while armed. Used to
 // assert that filter outputs reserve once instead of growing.
+//
+// Under AddressSanitizer the replacement is disabled (mixing user-replaced
+// operators with ASan's interposed ones trips alloc-dealloc-mismatch for
+// allocations crossing the shared-library boundary); the counting-based
+// tests skip themselves there.
+#if defined(__SANITIZE_ADDRESS__)
+#define HGS_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HGS_ALLOC_COUNTING 0
+#else
+#define HGS_ALLOC_COUNTING 1
+#endif
+#else
+#define HGS_ALLOC_COUNTING 1
+#endif
+
 static thread_local bool g_count_allocs = false;
 static thread_local size_t g_alloc_count = 0;
 
+#if HGS_ALLOC_COUNTING
 void* operator new(std::size_t n) {
   if (g_count_allocs) ++g_alloc_count;
   void* p = std::malloc(n);
@@ -32,6 +51,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // HGS_ALLOC_COUNTING
 
 namespace hgs {
 namespace {
@@ -533,6 +553,9 @@ TEST(EventListTest, RvalueApplyUpToMatchesConstApply) {
 }
 
 TEST(EventListTest, FilterByNodeReservesOutputAndDoesNotReallocate) {
+  if (!HGS_ALLOC_COUNTING) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
   EventList list(0, 10'000);
   for (int i = 0; i < 200; ++i) {
     // Attribute-free edge events: copying one allocates nothing (SSO
@@ -555,6 +578,347 @@ TEST(EventListTest, FilterByNodeReservesOutputAndDoesNotReallocate) {
   EventList moved = std::move(doomed).FilterByNode(1);
   EXPECT_TRUE(moved == out);
   EXPECT_TRUE(doomed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flat-map representation: equivalence against a reference hash-map Delta,
+// batched event application, removal-scan regression, serde exactness.
+// ---------------------------------------------------------------------------
+
+/// Reference implementation of the delta semantics over two hash maps (the
+/// pre-flat-map representation). The flat-map algebra must stay
+/// content-equivalent to this across arbitrary event sequences.
+struct RefDelta {
+  std::unordered_map<NodeId, std::optional<NodeRecord>> nodes;
+  std::unordered_map<EdgeKey, std::optional<EdgeRecord>, EdgeKeyHash> edges;
+
+  void Apply(const Event& e) {
+    switch (e.type) {
+      case EventType::kAddNode:
+        nodes[e.u] = NodeRecord{.attrs = e.attrs};
+        break;
+      case EventType::kRemoveNode: {
+        nodes[e.u] = std::nullopt;
+        for (auto& [key, rec] : edges) {
+          if ((key.u == e.u || key.v == e.u) && rec.has_value()) {
+            rec = std::nullopt;
+          }
+        }
+        break;
+      }
+      case EventType::kAddEdge:
+        edges[EdgeKey(e.u, e.v)] = EdgeRecord{
+            .src = e.u, .dst = e.v, .directed = e.directed, .attrs = e.attrs};
+        break;
+      case EventType::kRemoveEdge:
+        edges[EdgeKey(e.u, e.v)] = std::nullopt;
+        break;
+      case EventType::kSetNodeAttr: {
+        auto& slot = nodes[e.u];
+        if (!slot.has_value()) slot = NodeRecord{};
+        slot->attrs.Set(e.key, e.value);
+        break;
+      }
+      case EventType::kDelNodeAttr: {
+        auto it = nodes.find(e.u);
+        if (it != nodes.end() && it->second.has_value()) {
+          it->second->attrs.Erase(e.key);
+        }
+        break;
+      }
+      case EventType::kSetEdgeAttr: {
+        auto& slot = edges[EdgeKey(e.u, e.v)];
+        if (!slot.has_value()) {
+          slot = EdgeRecord{
+              .src = e.u, .dst = e.v, .directed = e.directed, .attrs = {}};
+        }
+        slot->attrs.Set(e.key, e.value);
+        break;
+      }
+      case EventType::kDelEdgeAttr: {
+        auto it = edges.find(EdgeKey(e.u, e.v));
+        if (it != edges.end() && it->second.has_value()) {
+          it->second->attrs.Erase(e.key);
+        }
+        break;
+      }
+    }
+  }
+
+  void Add(const RefDelta& o) {
+    for (const auto& [id, rec] : o.nodes) nodes[id] = rec;
+    for (const auto& [key, rec] : o.edges) edges[key] = rec;
+  }
+
+  static RefDelta Difference(const RefDelta& a, const RefDelta& b) {
+    RefDelta out;
+    for (const auto& [id, rec] : a.nodes) {
+      auto it = b.nodes.find(id);
+      if (it == b.nodes.end() || !(it->second == rec)) out.nodes[id] = rec;
+    }
+    for (const auto& [key, rec] : a.edges) {
+      auto it = b.edges.find(key);
+      if (it == b.edges.end() || !(it->second == rec)) out.edges[key] = rec;
+    }
+    return out;
+  }
+
+  static RefDelta Intersect(const RefDelta& a, const RefDelta& b) {
+    RefDelta out;
+    for (const auto& [id, rec] : a.nodes) {
+      auto it = b.nodes.find(id);
+      if (it != b.nodes.end() && it->second == rec) out.nodes[id] = rec;
+    }
+    for (const auto& [key, rec] : a.edges) {
+      auto it = b.edges.find(key);
+      if (it != b.edges.end() && it->second == rec) out.edges[key] = rec;
+    }
+    return out;
+  }
+
+  static RefDelta Union(const RefDelta& a, const RefDelta& b) {
+    RefDelta out = b;
+    for (const auto& [id, rec] : a.nodes) out.nodes[id] = rec;
+    for (const auto& [key, rec] : a.edges) out.edges[key] = rec;
+    return out;
+  }
+};
+
+RefDelta ToRef(const Delta& d) {
+  RefDelta out;
+  d.ForEachNodeEntry([&](NodeId id, const std::optional<NodeRecord>& rec) {
+    out.nodes[id] = rec;
+  });
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        out.edges[key] = rec;
+      });
+  return out;
+}
+
+::testing::AssertionResult SameContent(const Delta& d, const RefDelta& r) {
+  RefDelta got = ToRef(d);
+  if (got.nodes != r.nodes) {
+    return ::testing::AssertionFailure()
+           << "node entries differ: " << got.nodes.size() << " vs "
+           << r.nodes.size();
+  }
+  if (got.edges != r.edges) {
+    return ::testing::AssertionFailure()
+           << "edge entries differ: " << got.edges.size() << " vs "
+           << r.edges.size();
+  }
+  if (d.NodeEntryCount() != r.nodes.size() ||
+      d.EdgeEntryCount() != r.edges.size()) {
+    return ::testing::AssertionFailure() << "entry counts disagree";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class FlatMapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapPropertyTest, MatchesHashReferenceAcrossRandomEventSequences) {
+  Rng rng(GetParam() * 7919 + 3);
+  for (int round = 0; round < 8; ++round) {
+    // Two independently built deltas, mutated through the full event set.
+    Delta d1, d2;
+    RefDelta r1, r2;
+    const size_t n1 = 20 + rng.Uniform(150);
+    const size_t n2 = 20 + rng.Uniform(150);
+    for (size_t i = 0; i < n1; ++i) {
+      Event e = RandomEvent(&rng, static_cast<Timestamp>(i + 1));
+      d1.ApplyEvent(e);
+      r1.Apply(e);
+    }
+    for (size_t i = 0; i < n2; ++i) {
+      Event e = RandomEvent(&rng, static_cast<Timestamp>(i + 1));
+      d2.ApplyEvent(e);
+      r2.Apply(e);
+    }
+    ASSERT_TRUE(SameContent(d1, r1));
+    ASSERT_TRUE(SameContent(d2, r2));
+
+    // Algebra equivalence (tombstones included in the entry comparison).
+    RefDelta rsum = r1;
+    rsum.Add(r2);
+    EXPECT_TRUE(SameContent(Delta::Sum(d1, d2), rsum));
+    EXPECT_TRUE(SameContent(Delta::Difference(d1, d2),
+                            RefDelta::Difference(r1, r2)));
+    EXPECT_TRUE(SameContent(Delta::Intersect(d1, d2),
+                            RefDelta::Intersect(r1, r2)));
+    EXPECT_TRUE(SameContent(Delta::Union(d1, d2), RefDelta::Union(r1, r2)));
+
+    // In-place and consuming sums agree with the functional one.
+    Delta acc = d1;
+    acc.Add(d2);
+    EXPECT_TRUE(SameContent(acc, rsum));
+    Delta acc2 = d1;
+    Delta doomed = d2;
+    acc2.Add(std::move(doomed));
+    EXPECT_TRUE(SameContent(acc2, rsum));
+    EXPECT_TRUE(doomed.Empty());
+
+    // Serde round trip is content-preserving, lands compact, and the
+    // re-serialized bytes are canonical (key-ordered).
+    std::string wire = d1.Serialize();
+    auto back = Delta::Deserialize(wire);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(*back == d1);
+    EXPECT_TRUE(back->IsCompact());
+    EXPECT_EQ(back->Serialize(), wire);
+  }
+}
+
+TEST_P(FlatMapPropertyTest, BatchedApplyEventsMatchesSequentialReplay) {
+  Rng rng(GetParam() * 104729 + 11);
+  for (int round = 0; round < 10; ++round) {
+    // A chronologically sorted eventlist with repeated timestamps.
+    EventList list(kMinTimestamp, kMaxTimestamp);
+    Timestamp t = 0;
+    const size_t n = 30 + rng.Uniform(200);
+    for (size_t i = 0; i < n; ++i) {
+      t += static_cast<Timestamp>(rng.Uniform(2));
+      list.Append(RandomEvent(&rng, t));
+    }
+    // A base state built from an unrelated prefix of events.
+    Delta base;
+    for (int i = 0; i < 40; ++i) {
+      base.ApplyEvent(RandomEvent(&rng, i));
+    }
+    if (rng.Uniform(2) == 0) base.Compact();
+
+    // Sweep windows, including empty, full, and boundary-colliding ones.
+    const Timestamp probes[] = {kMinTimestamp, 0, t / 3, t / 2, t,
+                                kMaxTimestamp};
+    for (Timestamp after : probes) {
+      for (Timestamp upto : probes) {
+        Delta seq = base;
+        for (const Event& e : list.events()) {
+          if (e.time > after && e.time <= upto) seq.ApplyEvent(e);
+        }
+        if (after == kMinTimestamp) {
+          // The sentinel means unbounded below for the batched path.
+          seq = base;
+          for (const Event& e : list.events()) {
+            if (e.time <= upto) seq.ApplyEvent(e);
+          }
+        }
+        Delta batched = base;
+        batched.ApplyEvents(list, after, upto);
+        EXPECT_TRUE(batched == seq)
+            << "window (" << after << ", " << upto << "]";
+
+        Delta consumed = base;
+        EventList doomed = list;
+        consumed.ApplyEvents(std::move(doomed), after, upto);
+        EXPECT_TRUE(consumed == seq)
+            << "consuming window (" << after << ", " << upto << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DeltaTest, BatchedRemovalReplayScansEdgeEntriesOnce) {
+  // Removal-heavy replay regression: R remove-node events over E edge
+  // entries must cost one bounded pass over the edge span, not R scans
+  // (the quadratic behavior of the per-event loop this replaced).
+  constexpr NodeId kNodes = 1'000;
+  Delta base;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    base.ApplyEvent(Event::AddNode(1, i));
+    base.ApplyEvent(Event::AddNode(1, i + kNodes));
+    base.ApplyEvent(Event::AddEdge(2, i, i + kNodes));
+  }
+  base.Compact();
+
+  constexpr size_t kRemovals = 500;
+  EventList removals(kMinTimestamp, kMaxTimestamp);
+  for (size_t i = 0; i < kRemovals; ++i) {
+    removals.Append(Event::RemoveNode(static_cast<Timestamp>(10 + i),
+                                      static_cast<NodeId>(i)));
+  }
+
+  Delta seq = base;
+  for (const Event& e : removals.events()) seq.ApplyEvent(e);
+
+  Delta::ResetIncidentEdgeScanSteps();
+  Delta batched = base;
+  batched.ApplyEvents(removals, kMinTimestamp, kMaxTimestamp);
+  const uint64_t steps = Delta::IncidentEdgeScanSteps();
+
+  EXPECT_TRUE(batched == seq);
+  // One pass, bounded by the edge entry count — not kRemovals * kNodes.
+  EXPECT_LE(steps, static_cast<uint64_t>(kNodes));
+  for (size_t i = 0; i < kRemovals; ++i) {
+    const auto* edge =
+        batched.FindEdge(EdgeKey(static_cast<NodeId>(i),
+                                 static_cast<NodeId>(i) + kNodes));
+    ASSERT_NE(edge, nullptr);
+    EXPECT_FALSE(edge->has_value()) << "edge " << i << " not tombstoned";
+  }
+}
+
+TEST(DeltaTest, ConsumingSetAttrMovesPayloadStrings) {
+  if (!HGS_ALLOC_COUNTING) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  // Long strings defeat SSO, so a copied payload must allocate and a moved
+  // one must not.
+  const std::string key(64, 'k');
+  Delta d;
+  d.ApplyEvent(Event::SetNodeAttr(1, 7, key, std::string(64, 'v')));
+  d.Compact();
+
+  // A copied oversized payload must reallocate the stored string...
+  Event copied = Event::SetNodeAttr(2, 7, key, std::string(512, 'x'));
+  size_t copy_allocs = 0;
+  {
+    ScopedAllocCounter counter;
+    d.ApplyEvent(copied);
+    copy_allocs = counter.count();
+  }
+  EXPECT_GT(copy_allocs, 0u);
+
+  // ...while a donated one steals the event's buffer: zero allocations.
+  Event update = Event::SetNodeAttr(3, 7, key, std::string(512, 'w'));
+  size_t moved_allocs = 0;
+  {
+    ScopedAllocCounter counter;
+    d.ApplyEvent(std::move(update));
+    moved_allocs = counter.count();
+  }
+  EXPECT_EQ(*(*d.FindNode(7))->attrs.Get(key), std::string(512, 'w'));
+  EXPECT_EQ(moved_allocs, 0u);
+}
+
+TEST(DeltaTest, SerializedSizeBytesIsExact) {
+  Rng rng(20260730);
+  for (int round = 0; round < 20; ++round) {
+    Delta d;
+    size_t n = rng.Uniform(80);
+    for (size_t i = 0; i < n; ++i) {
+      d.ApplyEvent(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+    }
+    // Exact both with a pending append tail and compacted.
+    EXPECT_EQ(d.SerializedSizeBytes(), d.Serialize().size());
+    d.Compact();
+    EXPECT_EQ(d.SerializedSizeBytes(), d.Serialize().size());
+  }
+}
+
+TEST(EventListTest, SerializedSizeBytesIsExact) {
+  Rng rng(20260729);
+  for (int round = 0; round < 20; ++round) {
+    EventList list(-3, 10'000);
+    size_t n = rng.Uniform(50);
+    for (size_t i = 0; i < n; ++i) {
+      list.Append(RandomEvent(&rng, static_cast<Timestamp>(i + 1)));
+    }
+    EXPECT_EQ(list.SerializedSizeBytes(), list.Serialize().size());
+  }
 }
 
 }  // namespace

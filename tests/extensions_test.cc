@@ -83,6 +83,28 @@ TEST(MultipointSnapshotTest, RollForwardIsCheaperThanIndependentFetches) {
   EXPECT_LT(multi_stats.kv_requests, single_stats.kv_requests);
 }
 
+TEST(MultipointSnapshotTest, DuplicateTimestampsShareMaterialization) {
+  // Order restoration moves each materialized graph into its last output
+  // slot and copies only for duplicate timestamps — every slot, duplicate
+  // or not, must still hold the full correct snapshot.
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = History(209, 3'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  Timestamp end = workload::EndTime(events);
+  std::vector<Timestamp> times = {end / 2, end,     end / 2, end / 4,
+                                  end,     end / 2, end / 4};
+  auto multi = qm->GetMultipointSnapshots(times);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi->size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    Graph expected = workload::ReplayToGraph(events, times[i]);
+    EXPECT_TRUE((*multi)[i] == expected) << "slot " << i << " t=" << times[i];
+  }
+}
+
 TEST(MultipointSnapshotTest, EmptyAndSingleInput) {
   Cluster cluster(FastCluster());
   TGI tgi(&cluster, SmallOptions());
