@@ -89,18 +89,25 @@ struct Row {
   FetchStats snapshot, vertex, versions, one_hop, one_hop_versions;
 };
 
+// bytes(Sum|D|) counts value bytes *viewed* — every byte the query consumed
+// regardless of source — while `copies` counts the values whose bytes
+// actually *moved* into a fresh buffer. On the shared-buffer read path the
+// only moves left are LZ-block materializations, so uncompressed runs (and
+// every warm run) report 0: bytes-viewed stays constant while bytes-moved
+// collapses.
 void PrintStats(const char* primitive, const std::vector<Row>& rows,
                 FetchStats Row::*member) {
-  std::printf("\n%-18s %14s %14s %10s %10s %7s %8s %8s %10s\n", primitive,
+  std::printf("\n%-18s %14s %14s %10s %10s %7s %8s %8s %7s %10s\n", primitive,
               "deltas(SumD1)", "bytes(Sum|D|)", "fetches", "rtrips", "hit%",
-              "decodes", "dec_hits", "time(ms)");
+              "decodes", "dec_hits", "copies", "time(ms)");
   for (const Row& r : rows) {
     const FetchStats& s = r.*member;
     std::printf("%-18s %14" PRIu64 " %14" PRIu64 " %10" PRIu64 " %10" PRIu64
-                " %6.1f%% %8" PRIu64 " %8" PRIu64 " %10.2f\n",
+                " %6.1f%% %8" PRIu64 " %8" PRIu64 " %7" PRIu64 " %10.2f\n",
                 r.name.c_str(), s.micro_deltas, s.bytes, s.kv_requests,
                 hgs::bench::FetchRoundTrips(s), 100.0 * s.CacheHitRate(),
-                s.decodes, s.decode_hits, s.wall_seconds * 1e3);
+                s.decodes, s.decode_hits, s.value_copies,
+                s.wall_seconds * 1e3);
   }
 }
 

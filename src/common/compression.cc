@@ -127,6 +127,23 @@ Result<std::string> LzDecompressImpl(std::string_view in,
   return out;
 }
 
+/// Parsed block header: codec tag + claimed uncompressed size + body
+/// offset. One parser serves both the string and the zero-copy decompress
+/// paths, so the two can never disagree about the wire contract.
+struct BlockHeader {
+  CompressionKind kind;
+  uint64_t raw_size;
+  size_t body_offset;
+};
+
+Result<BlockHeader> ParseBlockHeader(std::string_view input) {
+  if (input.empty()) return Status::Corruption("empty compressed block");
+  auto kind = static_cast<CompressionKind>(input[0]);
+  size_t pos = 1;
+  HGS_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarRaw(input, &pos));
+  return BlockHeader{kind, raw_size, pos};
+}
+
 }  // namespace
 
 std::string Compress(std::string_view input, CompressionKind kind) {
@@ -148,19 +165,36 @@ std::string Compress(std::string_view input, CompressionKind kind) {
 }
 
 Result<std::string> Decompress(std::string_view input) {
-  if (input.empty()) return Status::Corruption("empty compressed block");
-  auto kind = static_cast<CompressionKind>(input[0]);
-  size_t pos = 1;
-  HGS_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarRaw(input, &pos));
-  std::string_view body = input.substr(pos);
-  switch (kind) {
+  HGS_ASSIGN_OR_RETURN(BlockHeader h, ParseBlockHeader(input));
+  std::string_view body = input.substr(h.body_offset);
+  switch (h.kind) {
     case CompressionKind::kNone:
-      if (body.size() != raw_size) {
+      if (body.size() != h.raw_size) {
         return Status::Corruption("stored block size mismatch");
       }
       return std::string(body);
     case CompressionKind::kLz:
-      return LzDecompressImpl(body, raw_size);
+      return LzDecompressImpl(body, h.raw_size);
+  }
+  return Status::Corruption("unknown compression kind");
+}
+
+Result<SharedValue> DecompressShared(const SharedValue& stored) {
+  std::string_view input = stored.view();
+  HGS_ASSIGN_OR_RETURN(BlockHeader h, ParseBlockHeader(input));
+  switch (h.kind) {
+    case CompressionKind::kNone:
+      if (input.size() - h.body_offset != h.raw_size) {
+        return Status::Corruption("stored block size mismatch");
+      }
+      // Window past the header: same buffer, zero bytes moved.
+      return stored.Window(h.body_offset, h.raw_size);
+    case CompressionKind::kLz: {
+      HGS_ASSIGN_OR_RETURN(
+          std::string raw,
+          LzDecompressImpl(input.substr(h.body_offset), h.raw_size));
+      return SharedValue(std::move(raw));
+    }
   }
   return Status::Corruption("unknown compression kind");
 }

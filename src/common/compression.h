@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/shared_value.h"
 
 namespace hgs {
 
@@ -24,6 +25,13 @@ std::string Compress(std::string_view input, CompressionKind kind);
 
 /// Inverse of Compress. Fails with Corruption on malformed input.
 Result<std::string> Decompress(std::string_view input);
+
+/// Zero-copy inverse of Compress over a shared buffer: a stored (kNone)
+/// block decompresses to a window into `stored`'s own buffer — header
+/// stripped, no bytes moved — while an LZ block materializes one fresh
+/// shared buffer. Callers can detect the materialization (the read path's
+/// only value copy) by comparing owners with the input.
+Result<SharedValue> DecompressShared(const SharedValue& stored);
 
 }  // namespace hgs
 

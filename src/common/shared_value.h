@@ -1,0 +1,79 @@
+// SharedValue: the data plane's refcounted zero-copy value handle.
+//
+// A value fetched from the store is a window (string_view) into a buffer
+// owned by a shared_ptr. Storage nodes hand out windows of their own
+// resident buffers, decompression of an uncompressed block is a window into
+// the stored bytes (tag and length header stripped, nothing moved), the
+// read-side byte cache stores and serves SharedValues, and the decoders
+// (BinaryReader) run directly over the view. The only value copy left on
+// the read path is the single materialization a compressed block needs.
+//
+// Lifetime: the owner refcount keeps the underlying buffer alive for as
+// long as any view exists, so an overwrite, delete, or cache eviction of
+// the key never invalidates a live view — readers drain against the buffer
+// they started with. This is also what makes a future mmap/arena-backed
+// store a drop-in: only the owner type changes, every consumer already
+// speaks views.
+
+#ifndef HGS_COMMON_SHARED_VALUE_H_
+#define HGS_COMMON_SHARED_VALUE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hgs {
+
+class SharedValue {
+ public:
+  SharedValue() = default;
+
+  /// Materializes `bytes` into a fresh shared buffer (the one copy a
+  /// decompression or an ad-hoc construction pays).
+  explicit SharedValue(std::string bytes)
+      : owner_(std::make_shared<const std::string>(std::move(bytes))) {
+    view_ = *owner_;
+  }
+
+  /// A window into an existing shared buffer. `view` must point into
+  /// `*owner` (or be empty).
+  SharedValue(std::shared_ptr<const std::string> owner, std::string_view view)
+      : owner_(std::move(owner)), view_(view) {}
+
+  std::string_view view() const { return view_; }
+  operator std::string_view() const { return view_; }  // NOLINT
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  /// Explicit copy-out (counts as a value copy; hot paths should not need
+  /// it — decode from the view instead).
+  std::string ToString() const { return std::string(view_); }
+
+  /// A sub-window of this value sharing the same owner.
+  SharedValue Window(size_t offset, size_t length) const {
+    return SharedValue(owner_, view_.substr(offset, length));
+  }
+
+  /// The owning buffer (null for a default-constructed value). Two values
+  /// with equal owners are windows of one buffer — no bytes moved between
+  /// them.
+  const std::shared_ptr<const std::string>& owner() const { return owner_; }
+
+  friend bool operator==(const SharedValue& a, std::string_view b) {
+    return a.view_ == b;
+  }
+  friend bool operator==(const SharedValue& a, const SharedValue& b) {
+    return a.view_ == b.view_;
+  }
+
+ private:
+  std::shared_ptr<const std::string> owner_;
+  std::string_view view_;
+};
+
+}  // namespace hgs
+
+#endif  // HGS_COMMON_SHARED_VALUE_H_

@@ -6,6 +6,21 @@
 
 namespace hgs {
 
+namespace {
+
+/// Decompresses a stored value into a zero-copy window when possible,
+/// bumping `*value_copies` when the codec forced a materialization.
+Result<SharedValue> DecompressCounted(const SharedValue& stored,
+                                      size_t* value_copies) {
+  HGS_ASSIGN_OR_RETURN(SharedValue out, DecompressShared(stored));
+  if (value_copies != nullptr && out.owner() != stored.owner()) {
+    ++*value_copies;
+  }
+  return out;
+}
+
+}  // namespace
+
 Cluster::Cluster(ClusterOptions options) : options_(options) {
   if (options_.num_nodes == 0) options_.num_nodes = 1;
   if (options_.replication == 0) options_.replication = 1;
@@ -52,8 +67,9 @@ Status Cluster::Put(std::string_view table, uint64_t partition,
   return Status::OK();
 }
 
-Result<std::string> Cluster::Get(std::string_view table, uint64_t partition,
-                                 std::string_view key) {
+Result<SharedValue> Cluster::Get(std::string_view table, uint64_t partition,
+                                 std::string_view key, size_t* value_copies) {
+  if (value_copies != nullptr) *value_copies = 0;
   std::string phys = PhysicalKey(table, partition, key);
   uint64_t token = PlacementToken(table, partition);
   std::vector<size_t> replicas = Replicas(token);
@@ -65,18 +81,19 @@ Result<std::string> Cluster::Get(std::string_view table, uint64_t partition,
     StorageNode* node = nodes_[replicas[(start + i) % replicas.size()]].get();
     if (node->IsDown()) continue;
     auto res = node->SubmitGet(phys).get();
-    if (res.ok()) return Decompress(*res);
+    if (res.ok()) return DecompressCounted(*res, value_copies);
     if (res.status().IsNotFound()) return res.status();
     last = res.status();
   }
   return last;
 }
 
-Result<std::vector<std::optional<std::string>>> Cluster::MultiGet(
+Result<std::vector<std::optional<SharedValue>>> Cluster::MultiGet(
     std::string_view table, const std::vector<MultiGetKey>& keys,
-    size_t* node_batches) {
-  std::vector<std::optional<std::string>> out(keys.size());
+    size_t* node_batches, size_t* value_copies) {
+  std::vector<std::optional<SharedValue>> out(keys.size());
   if (node_batches != nullptr) *node_batches = 0;
+  if (value_copies != nullptr) *value_copies = 0;
   if (keys.empty()) return out;
 
   // Pick a serving replica per key (load-balanced, skipping down nodes) and
@@ -104,7 +121,7 @@ Result<std::vector<std::optional<std::string>>> Cluster::MultiGet(
   // One concurrent batch request per node; each node's server pool serves
   // its batch while the others are in flight.
   std::vector<std::pair<const std::vector<size_t>*,
-                        std::future<std::vector<Result<std::string>>>>>
+                        std::future<std::vector<Result<SharedValue>>>>>
       inflight;
   inflight.reserve(by_node.size());
   for (const auto& [node, idxs] : by_node) {
@@ -118,18 +135,21 @@ Result<std::vector<std::optional<std::string>>> Cluster::MultiGet(
   if (node_batches != nullptr) *node_batches += inflight.size();
 
   for (auto& [idxs, fut] : inflight) {
-    std::vector<Result<std::string>> batch = fut.get();
+    std::vector<Result<SharedValue>> batch = fut.get();
     for (size_t j = 0; j < idxs->size(); ++j) {
       size_t i = (*idxs)[j];
-      Result<std::string>& res = batch[j];
+      Result<SharedValue>& res = batch[j];
       if (res.ok()) {
-        HGS_ASSIGN_OR_RETURN(out[i], Decompress(*res));
+        HGS_ASSIGN_OR_RETURN(out[i], DecompressCounted(*res, value_copies));
         continue;
       }
       if (res.status().IsNotFound()) continue;  // absent -> nullopt
-      // The node failed mid-flight; retry through the failover Get path.
+      // The node failed mid-flight; retry through the failover Get path
+      // (whose out-param resets, so accumulate through a local).
       if (node_batches != nullptr) ++*node_batches;
-      auto retry = Get(table, keys[i].partition, keys[i].key);
+      size_t retry_copies = 0;
+      auto retry = Get(table, keys[i].partition, keys[i].key, &retry_copies);
+      if (value_copies != nullptr) *value_copies += retry_copies;
       if (retry.ok()) {
         out[i] = std::move(*retry);
       } else if (!retry.status().IsNotFound()) {
@@ -142,7 +162,9 @@ Result<std::vector<std::optional<std::string>>> Cluster::MultiGet(
 
 Result<std::vector<KVPair>> Cluster::Scan(std::string_view table,
                                           uint64_t partition,
-                                          std::string_view key_prefix) {
+                                          std::string_view key_prefix,
+                                          size_t* value_copies) {
+  if (value_copies != nullptr) *value_copies = 0;
   std::string phys_prefix = PhysicalKey(table, partition, key_prefix);
   size_t strip = table.size() + 1 + 8;  // logical key offset
   uint64_t token = PlacementToken(table, partition);
@@ -161,7 +183,8 @@ Result<std::vector<KVPair>> Cluster::Scan(std::string_view table,
     std::vector<KVPair> out;
     out.reserve(res->size());
     for (auto& kv : *res) {
-      HGS_ASSIGN_OR_RETURN(std::string raw, Decompress(kv.value));
+      HGS_ASSIGN_OR_RETURN(SharedValue raw,
+                           DecompressCounted(kv.value, value_copies));
       out.push_back(KVPair{kv.key.substr(strip), std::move(raw)});
     }
     return out;

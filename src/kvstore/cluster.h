@@ -50,9 +50,14 @@ class Cluster {
              std::string_view value);
 
   /// Reads one replica (load-balanced), failing over to others when a node
-  /// is down. NotFound when no replica holds the key.
-  Result<std::string> Get(std::string_view table, uint64_t partition,
-                          std::string_view key);
+  /// is down. NotFound when no replica holds the key. The returned value is
+  /// a zero-copy view of the serving node's buffer (decompression of an
+  /// uncompressed block is a header-stripping window; an LZ block
+  /// materializes one shared buffer — the read path's only value copy,
+  /// counted into `value_copies` when non-null).
+  Result<SharedValue> Get(std::string_view table, uint64_t partition,
+                          std::string_view key,
+                          size_t* value_copies = nullptr);
 
   /// Batched point reads. Keys are grouped by the storage node serving
   /// them (replica choice is load-balanced, skipping down nodes) and each
@@ -61,15 +66,19 @@ class Cluster {
   /// input key, in input order; absent keys yield nullopt. Keys whose node
   /// fails mid-flight fall back to per-key Get (with its replica failover).
   /// When `node_batches` is non-null it receives the number of node round
-  /// trips issued (batches plus any per-key fallbacks).
-  Result<std::vector<std::optional<std::string>>> MultiGet(
+  /// trips issued (batches plus any per-key fallbacks); `value_copies`
+  /// counts values that had to be materialized (LZ blocks) rather than
+  /// viewed in place.
+  Result<std::vector<std::optional<SharedValue>>> MultiGet(
       std::string_view table, const std::vector<MultiGetKey>& keys,
-      size_t* node_batches = nullptr);
+      size_t* node_batches = nullptr, size_t* value_copies = nullptr);
 
   /// All pairs of the partition whose key begins with `key_prefix`, in key
-  /// order. Keys returned are logical (table/token stripped).
+  /// order. Keys returned are logical (table/token stripped); values are
+  /// zero-copy views (see Get for the `value_copies` contract).
   Result<std::vector<KVPair>> Scan(std::string_view table, uint64_t partition,
-                                   std::string_view key_prefix);
+                                   std::string_view key_prefix,
+                                   size_t* value_copies = nullptr);
 
   /// Deletes from all replicas; true if any replica held the key.
   bool Delete(std::string_view table, uint64_t partition,

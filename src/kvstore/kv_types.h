@@ -15,12 +15,16 @@
 #include <vector>
 
 #include "common/serde.h"
+#include "common/shared_value.h"
 
 namespace hgs {
 
+/// One scanned row. The key is owned (small, and the node's map entry may
+/// be erased after the scan returns); the value is a zero-copy window into
+/// the storage node's shared buffer.
 struct KVPair {
   std::string key;
-  std::string value;
+  SharedValue value;
 };
 
 /// Appends a big-endian fixed32 so lexicographic order == numeric order.

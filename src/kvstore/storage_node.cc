@@ -34,12 +34,12 @@ void StorageNode::ChargeLatency(size_t keys, size_t bytes) {
   }
 }
 
-Result<std::string> StorageNode::DoGet(const std::string& key) {
+Result<SharedValue> StorageNode::DoGet(const std::string& key) {
   if (IsDown()) {
     return Status::IOError("storage node " + std::to_string(node_id_) +
                            " is down");
   }
-  std::string value;
+  SharedValue value;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = data_.find(key);
@@ -49,7 +49,7 @@ Result<std::string> StorageNode::DoGet(const std::string& key) {
       ChargeLatency(1, 0);
       return Status::NotFound("key not found");
     }
-    value = it->second;
+    value = SharedValue(it->second, *it->second);
   }
   stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
   stats_.keys_read.fetch_add(1, std::memory_order_relaxed);
@@ -58,9 +58,9 @@ Result<std::string> StorageNode::DoGet(const std::string& key) {
   return value;
 }
 
-std::vector<Result<std::string>> StorageNode::DoMultiGet(
+std::vector<Result<SharedValue>> StorageNode::DoMultiGet(
     const std::vector<std::string>& keys) {
-  std::vector<Result<std::string>> out;
+  std::vector<Result<SharedValue>> out;
   out.reserve(keys.size());
   if (IsDown()) {
     Status down = Status::IOError("storage node " + std::to_string(node_id_) +
@@ -78,8 +78,8 @@ std::vector<Result<std::string>> StorageNode::DoMultiGet(
         out.push_back(Status::NotFound("key not found"));
       } else {
         ++found;
-        bytes += it->second.size();
-        out.push_back(it->second);
+        bytes += it->second->size();
+        out.push_back(SharedValue(it->second, *it->second));
       }
     }
   }
@@ -103,8 +103,8 @@ Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
     for (auto it = data_.lower_bound(prefix);
          it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
          ++it) {
-      out.push_back(KVPair{it->first, it->second});
-      bytes += it->second.size();
+      out.push_back(KVPair{it->first, SharedValue(it->second, *it->second)});
+      bytes += it->second->size();
     }
   }
   stats_.scan_requests.fetch_add(1, std::memory_order_relaxed);
@@ -115,12 +115,12 @@ Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
   return out;
 }
 
-std::future<Result<std::string>> StorageNode::SubmitGet(std::string key) {
+std::future<Result<SharedValue>> StorageNode::SubmitGet(std::string key) {
   return servers_.Submit(
       [this, key = std::move(key)]() { return DoGet(key); });
 }
 
-std::future<std::vector<Result<std::string>>> StorageNode::SubmitMultiGet(
+std::future<std::vector<Result<SharedValue>>> StorageNode::SubmitMultiGet(
     std::vector<std::string> keys) {
   return servers_.Submit(
       [this, keys = std::move(keys)]() { return DoMultiGet(keys); });
@@ -133,21 +133,24 @@ std::future<Result<std::vector<KVPair>>> StorageNode::SubmitScan(
 }
 
 void StorageNode::Put(std::string key, std::string value) {
+  auto stored = std::make_shared<const std::string>(std::move(value));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
   if (it != data_.end()) {
-    stats_.bytes_stored.fetch_sub(it->second.size(),
+    stats_.bytes_stored.fetch_sub(it->second->size(),
                                   std::memory_order_relaxed);
   }
-  stats_.bytes_stored.fetch_add(value.size(), std::memory_order_relaxed);
-  data_[std::move(key)] = std::move(value);
+  stats_.bytes_stored.fetch_add(stored->size(), std::memory_order_relaxed);
+  // Swap in the new buffer; readers holding views of the old one keep it
+  // alive through their shared owners.
+  data_[std::move(key)] = std::move(stored);
 }
 
 bool StorageNode::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return false;
-  stats_.bytes_stored.fetch_sub(it->second.size(), std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_sub(it->second->size(), std::memory_order_relaxed);
   data_.erase(it);
   return true;
 }

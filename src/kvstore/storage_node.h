@@ -65,17 +65,21 @@ class StorageNode {
 
   int node_id() const { return node_id_; }
 
-  /// Point read. NotFound if the key is absent.
-  std::future<Result<std::string>> SubmitGet(std::string key);
+  /// Point read. NotFound if the key is absent. The returned value is a
+  /// zero-copy view of the node's resident buffer; the shared owner keeps
+  /// it valid across overwrites and deletes of the key.
+  std::future<Result<SharedValue>> SubmitGet(std::string key);
 
   /// Batched point reads served as ONE request: the seek cost is charged
   /// once for the whole batch (per-key and per-byte costs still apply), and
   /// the batch counts as one get request in the stats. One Result per input
-  /// key, in input order; absent keys yield NotFound.
-  std::future<std::vector<Result<std::string>>> SubmitMultiGet(
+  /// key, in input order; absent keys yield NotFound. Values are zero-copy
+  /// views of node memory, like SubmitGet's.
+  std::future<std::vector<Result<SharedValue>>> SubmitMultiGet(
       std::vector<std::string> keys);
 
   /// Prefix scan: all pairs whose key starts with `prefix`, in key order.
+  /// Values are zero-copy views of node memory.
   std::future<Result<std::vector<KVPair>>> SubmitScan(std::string prefix);
 
   /// Write (no simulated latency: index construction is not a measured
@@ -92,8 +96,8 @@ class StorageNode {
   void ResetStats();
 
  private:
-  Result<std::string> DoGet(const std::string& key);
-  std::vector<Result<std::string>> DoMultiGet(
+  Result<SharedValue> DoGet(const std::string& key);
+  std::vector<Result<SharedValue>> DoMultiGet(
       const std::vector<std::string>& keys);
   Result<std::vector<KVPair>> DoScan(const std::string& prefix);
   void ChargeLatency(size_t keys, size_t bytes);
@@ -101,7 +105,9 @@ class StorageNode {
   const int node_id_;
   LatencyModel latency_;
   mutable std::mutex mu_;
-  std::map<std::string, std::string> data_;
+  // Values are shared buffers so reads hand out views without copying;
+  // an overwrite swaps in a new buffer while live views keep the old one.
+  std::map<std::string, std::shared_ptr<const std::string>> data_;
   std::atomic<bool> down_{false};
   StorageNodeStats stats_;
   ThreadPool servers_;  // must be last: tasks reference the members above

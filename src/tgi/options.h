@@ -83,6 +83,12 @@ struct TGIOptions {
   /// sharded like read_cache_shards. 0 disables the tier.
   size_t decoded_cache_bytes = 32ull << 20;
 
+  /// TinyLFU-style admission on both read-side cache tiers: a doorkeeper
+  /// bit array plus a small frequency sketch gate inserts that would evict,
+  /// so one cold snapshot scan over the whole key space cannot flush a hot
+  /// node-history working set. Off by default (pure LRU admission).
+  bool cache_tinylfu_admission = false;
+
   /// Effective checkpoint interval after defaulting rules.
   size_t EffectiveCheckpointInterval() const {
     size_t cp = checkpoint_interval;

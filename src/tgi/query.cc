@@ -43,6 +43,7 @@ struct AtomicStats {
   std::atomic<uint64_t> decode_hits{0};
   std::atomic<uint64_t> decodes{0};
   std::atomic<uint64_t> decoded_bytes{0};
+  std::atomic<uint64_t> value_copies{0};
 
   /// Accumulates a task-local FetchStats (wall_seconds is ignored; the
   /// caller's WallTimer covers the whole query).
@@ -61,6 +62,7 @@ struct AtomicStats {
     decode_hits.fetch_add(s.decode_hits, std::memory_order_relaxed);
     decodes.fetch_add(s.decodes, std::memory_order_relaxed);
     decoded_bytes.fetch_add(s.decoded_bytes, std::memory_order_relaxed);
+    value_copies.fetch_add(s.value_copies, std::memory_order_relaxed);
   }
 
   void FlushInto(FetchStats* stats) const {
@@ -78,6 +80,7 @@ struct AtomicStats {
     stats->decode_hits += decode_hits.load();
     stats->decodes += decodes.load();
     stats->decoded_bytes += decoded_bytes.load();
+    stats->value_copies += value_copies.load();
   }
 };
 
@@ -126,7 +129,9 @@ std::string ReadCacheKey(char kind, uint64_t epoch, std::string_view table,
 }
 
 // Approximate heap footprint of a cache entry, for byte-budget eviction.
-size_t CacheCharge(const std::string& key, const std::string& value) {
+// SharedValue entries charge their viewed size: the window is what the
+// cache logically holds (the shared owner is charged where it lives).
+size_t CacheCharge(const std::string& key, const SharedValue& value) {
   return key.size() + value.size() + 64;
 }
 
@@ -134,7 +139,10 @@ size_t CacheCharge(const std::string& key, const std::string& value) {
 
 // Kind byte of each decoded type (the first byte of its cache key), so two
 // types can never alias under one key and a cached object is always cast
-// back to the type that produced it.
+// back to the type that produced it. Beyond the per-row kinds there are two
+// aggregate kinds: 'C' caches the decoded rows of one whole scan prefix
+// (TGIQueryManager::DecodedScan) and 'V' a node's merged version chain
+// (TGIQueryManager::MergedVersionChain).
 template <typename T>
 struct DecodedKindOf;
 template <>
@@ -145,19 +153,14 @@ template <>
 struct DecodedKindOf<EventList> {
   static constexpr char kKind = 'e';
 };
-template <>
-struct DecodedKindOf<tgi::VersionChainSegment> {
-  static constexpr char kKind = 'v';
-};
+constexpr char kDecodedScanKind = 'C';
+constexpr char kVersionChainKind = 'V';
 
 // Decoded heap footprint estimates for byte-budget eviction. Delta and
 // EventList charge their wire size (the paper's Σ|Δ| currency, and a close
 // proxy for the decoded maps' payload).
 size_t DecodedCharge(const Delta& d) { return d.SerializedSizeBytes(); }
 size_t DecodedCharge(const EventList& e) { return e.SerializedSizeBytes(); }
-size_t DecodedCharge(const tgi::VersionChainSegment& s) {
-  return 48 + s.entries.size() * sizeof(tgi::VersionEntry);
-}
 
 // Decodes one raw value according to its kind byte. Returns the shared
 // immutable object plus its eviction charge.
@@ -175,14 +178,6 @@ Result<std::pair<std::shared_ptr<const void>, size_t>> DecodeByKind(
       size_t charge = DecodedCharge(e);
       return std::pair<std::shared_ptr<const void>, size_t>(
           std::make_shared<EventList>(std::move(e)), charge);
-    }
-    case DecodedKindOf<tgi::VersionChainSegment>::kKind: {
-      HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment s,
-                           tgi::VersionChainSegment::Deserialize(raw));
-      size_t charge = DecodedCharge(s);
-      return std::pair<std::shared_ptr<const void>, size_t>(
-          std::make_shared<tgi::VersionChainSegment>(std::move(s)),
-          charge);
     }
     default:
       return Status::InvalidArgument("unknown decoded kind");
@@ -238,16 +233,17 @@ std::vector<std::pair<Timestamp, Delta>> NodeHistory::Materialize() const {
 TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism,
                                  size_t read_cache_bytes,
                                  size_t read_cache_shards,
-                                 size_t decoded_cache_bytes)
+                                 size_t decoded_cache_bytes,
+                                 bool tinylfu_admission)
     : cluster_(cluster),
       fetch_parallelism_(fetch_parallelism == 0 ? 1 : fetch_parallelism) {
   if (read_cache_bytes > 0) {
-    read_cache_ =
-        std::make_unique<ReadCache>(read_cache_bytes, read_cache_shards);
+    read_cache_ = std::make_unique<ReadCache>(
+        read_cache_bytes, read_cache_shards, tinylfu_admission);
   }
   if (decoded_cache_bytes > 0) {
-    decoded_cache_ =
-        std::make_unique<DecodedCache>(decoded_cache_bytes, read_cache_shards);
+    decoded_cache_ = std::make_unique<DecodedCache>(
+        decoded_cache_bytes, read_cache_shards, tinylfu_admission);
   }
 }
 
@@ -344,23 +340,28 @@ const tgi::TimespanMeta* TGIQueryManager::SpanFor(const MetaState& meta,
   return best;
 }
 
-Result<std::vector<std::optional<std::string>>> TGIQueryManager::FetchValues(
+Result<std::vector<std::optional<SharedValue>>> TGIQueryManager::FetchValues(
     const MetaState& meta, std::string_view table,
     const std::vector<MultiGetKey>& keys, FetchStats* stats) {
-  std::vector<std::optional<std::string>> out(keys.size());
+  std::vector<std::optional<SharedValue>> out(keys.size());
   if (stats != nullptr) stats->kv_requests += keys.size();
   if (keys.empty()) return out;
 
   if (read_cache_ == nullptr) {
     size_t batches = 0;
-    auto fetched = cluster_->MultiGet(table, keys, &batches);
+    size_t copies = 0;
+    auto fetched = cluster_->MultiGet(table, keys, &batches, &copies);
     if (!fetched.ok()) return fetched.status();
-    if (stats != nullptr) stats->kv_batches += batches;
+    if (stats != nullptr) {
+      stats->kv_batches += batches;
+      stats->value_copies += copies;
+    }
     return std::move(*fetched);
   }
 
   // Serve what we can from the partition-delta cache (including cached
-  // "absent" results), then batch the misses into one MultiGet.
+  // "absent" results), then batch the misses into one MultiGet. A hit
+  // hands out a view of the cached shared buffer — no bytes move.
   std::vector<size_t> miss_index;
   std::vector<MultiGetKey> misses;
   std::vector<std::string> miss_ckeys;
@@ -381,15 +382,19 @@ Result<std::vector<std::optional<std::string>>> TGIQueryManager::FetchValues(
   if (misses.empty()) return out;
 
   size_t batches = 0;
-  auto fetched = cluster_->MultiGet(table, misses, &batches);
+  size_t copies = 0;
+  auto fetched = cluster_->MultiGet(table, misses, &batches, &copies);
   if (!fetched.ok()) return fetched.status();
-  if (stats != nullptr) stats->kv_batches += batches;
+  if (stats != nullptr) {
+    stats->kv_batches += batches;
+    stats->value_copies += copies;
+  }
   for (size_t j = 0; j < misses.size(); ++j) {
-    std::optional<std::string>& value = (*fetched)[j];
+    std::optional<SharedValue>& value = (*fetched)[j];
     std::string& ckey = miss_ckeys[j];
     auto entry = std::make_shared<ReadCacheEntry>();
     entry->found = value.has_value();
-    if (value.has_value()) entry->value = *value;
+    if (value.has_value()) entry->value = *value;  // shares the buffer
     size_t charge = CacheCharge(ckey, entry->value);
     read_cache_->Put(std::move(ckey), std::move(entry), charge);
     out[miss_index[j]] = std::move(value);
@@ -397,10 +402,10 @@ Result<std::vector<std::optional<std::string>>> TGIQueryManager::FetchValues(
   return out;
 }
 
-Result<std::optional<std::string>> TGIQueryManager::FetchValue(
+Result<std::optional<SharedValue>> TGIQueryManager::FetchValue(
     const MetaState& meta, std::string_view table, uint64_t partition,
     std::string_view key, FetchStats* stats) {
-  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<std::string>> values,
+  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<SharedValue>> values,
                        FetchValues(meta, table,
                                    {MultiGetKey{partition, std::string(key)}},
                                    stats));
@@ -426,9 +431,13 @@ TGIQueryManager::CachedScan(const MetaState& meta, std::string_view table,
     }
     if (stats != nullptr) ++stats->cache_misses;
   }
-  auto res = cluster_->Scan(table, partition, prefix);
+  size_t copies = 0;
+  auto res = cluster_->Scan(table, partition, prefix, &copies);
   if (!res.ok()) return res.status();
-  if (stats != nullptr) ++stats->kv_batches;
+  if (stats != nullptr) {
+    ++stats->kv_batches;
+    stats->value_copies += copies;
+  }
   auto entry = std::make_shared<ReadCacheEntry>();
   entry->pairs = std::move(*res);
   if (read_cache_ != nullptr) {
@@ -487,9 +496,10 @@ TGIQueryManager::FetchDecodedRows(const MetaState& meta,
   }
 
   // Byte tier + cluster for the misses (one batched MultiGet), then decode
-  // each present row exactly once, in parallel, and publish the decoded
-  // object for every later consumer.
-  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<std::string>> values,
+  // each present row exactly once, in parallel — BinaryReader runs directly
+  // over the shared view — and publish the decoded object for every later
+  // consumer.
+  HGS_ASSIGN_OR_RETURN(std::vector<std::optional<SharedValue>> values,
                        FetchValues(meta, table, miss_keys, stats));
   HGS_RETURN_NOT_OK(ParallelStatusFor(
       miss_keys.size(), fetch_parallelism_, stats,
@@ -504,7 +514,7 @@ TGIQueryManager::FetchDecodedRows(const MetaState& meta,
           }
           return Status::OK();
         }
-        const std::string& raw = *values[j];
+        const std::string_view raw = values[j]->view();
         HGS_ASSIGN_OR_RETURN(auto decoded, DecodeByKind(kinds[i], raw));
         ++local->decodes;
         local->decoded_bytes += raw.size();
@@ -569,6 +579,184 @@ Result<std::shared_ptr<const T>> TGIQueryManager::DecodeShared(
   return std::static_pointer_cast<const T>(std::move(decoded.first));
 }
 
+Result<TGIQueryManager::DecodedScanRef> TGIQueryManager::FetchDecodedScan(
+    const MetaState& meta, std::string_view table, uint64_t partition,
+    std::string_view prefix, char row_kind, FetchStats* stats) {
+  std::string ckey;
+  if (decoded_cache_ != nullptr) {
+    ckey =
+        ReadCacheKey(kDecodedScanKind, meta.epoch, table, partition, prefix);
+    auto hit = decoded_cache_->Get(ckey);
+    if (hit.has_value() && hit->obj != nullptr) {
+      auto scan =
+          std::static_pointer_cast<const DecodedScan>(std::move(hit->obj));
+      if (stats != nullptr) {
+        // One probe served the whole prefix. The logical accounting
+        // matches the cold path exactly: one scan request, every row
+        // consumed ready-to-apply.
+        ++stats->kv_requests;
+        ++stats->cache_hits;
+        stats->decode_hits += scan->rows.size();
+        stats->micro_deltas += scan->rows.size();
+        stats->bytes += hit->raw_bytes;
+      }
+      return scan;
+    }
+  }
+
+  // Cold: bytes through the cached scan, each row decoded (or decode-hit)
+  // through the row-level tier — so point-read paths can reuse the rows —
+  // then the assembled vector is published under the scan's own key.
+  HGS_ASSIGN_OR_RETURN(std::shared_ptr<const ReadCacheEntry> res,
+                       CachedScan(meta, table, partition, prefix, stats));
+  auto scan = std::make_shared<DecodedScan>();
+  scan->rows.reserve(res->pairs.size());
+  size_t total_raw = 0;
+  for (const KVPair& kv : res->pairs) {
+    std::shared_ptr<const void> obj;
+    if (row_kind == DecodedKindOf<Delta>::kKind) {
+      HGS_ASSIGN_OR_RETURN(std::shared_ptr<const Delta> d,
+                           DecodeShared<Delta>(meta, table, partition, kv.key,
+                                               kv.value, stats));
+      obj = std::move(d);
+    } else {
+      HGS_ASSIGN_OR_RETURN(
+          std::shared_ptr<const EventList> e,
+          DecodeShared<EventList>(meta, table, partition, kv.key, kv.value,
+                                  stats));
+      obj = std::move(e);
+    }
+    total_raw += kv.value.size();
+    scan->rows.push_back(DecodedScanRow{std::move(obj), kv.value.size()});
+  }
+  if (decoded_cache_ != nullptr) {
+    // Charged at the full row-byte sum even though the row-level entries
+    // carry the same objects: warm scans touch only this entry, so the
+    // untouched row entries age out of the LRU and the scan entry becomes
+    // the objects' sole in-cache owner — the full charge is the honest
+    // steady-state accounting (the overlap is transient, and the safe
+    // direction is over- rather than under-charging the budget).
+    size_t charge = ckey.size() + 64;
+    for (const KVPair& kv : res->pairs) charge += kv.value.size() + 32;
+    decoded_cache_->Put(std::move(ckey), DecodedEntry{scan, total_raw},
+                        charge);
+  }
+  return DecodedScanRef(std::move(scan));
+}
+
+Result<std::vector<std::shared_ptr<const TGIQueryManager::MergedVersionChain>>>
+TGIQueryManager::FetchVersionChains(const MetaState& meta,
+                                    const std::vector<NodeId>& ids,
+                                    FetchStats* stats) {
+  std::vector<std::shared_ptr<const MergedVersionChain>> out(ids.size());
+
+  // Probe the decoded tier per node first: a warm node — hub or not —
+  // costs exactly one probe and no scan.
+  std::vector<std::string> ckeys(ids.size());
+  std::vector<bool> hit_of(ids.size(), false);
+  for (size_t u = 0; u < ids.size(); ++u) {
+    if (decoded_cache_ != nullptr) {
+      ckeys[u] =
+          ReadCacheKey(kVersionChainKind, meta.epoch, tgi::kVersionsTable,
+                       tgi::NodePlacement(ids[u]),
+                       tgi::VersionScanPrefix(ids[u]));
+      auto hit = decoded_cache_->Get(ckeys[u]);
+      if (hit.has_value() && hit->obj != nullptr) {
+        out[u] = std::static_pointer_cast<const MergedVersionChain>(
+            std::move(hit->obj));
+        hit_of[u] = true;
+        if (stats != nullptr) {
+          ++stats->decode_hits;
+          stats->micro_deltas += out[u]->segment_count;
+          stats->bytes += out[u]->raw_bytes;
+        }
+      }
+    }
+  }
+
+  // Group ALL requested nodes by versions-table placement: partitions with
+  // a missing member are scanned (one scan each, not one per node);
+  // partitions fully served by merged-chain hits count one logical scan
+  // request served from cache, so warm and cold runs report identical
+  // logical counters.
+  struct ScanGroup {
+    uint64_t partition;
+    std::vector<size_t> members;  ///< indices into `ids` placed here
+    bool any_miss = false;
+  };
+  std::vector<ScanGroup> groups;
+  {
+    std::unordered_map<uint64_t, size_t> group_of;
+    for (size_t u = 0; u < ids.size(); ++u) {
+      uint64_t partition = tgi::NodePlacement(ids[u]);
+      auto [it, inserted] = group_of.emplace(partition, groups.size());
+      if (inserted) groups.push_back(ScanGroup{partition, {}});
+      groups[it->second].members.push_back(u);
+      if (!hit_of[u]) groups[it->second].any_miss = true;
+    }
+  }
+  std::vector<size_t> scan_groups;  // indices of groups needing a scan
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].any_miss) {
+      scan_groups.push_back(g);
+    } else if (stats != nullptr) {
+      ++stats->kv_requests;
+      ++stats->cache_hits;
+    }
+  }
+  if (scan_groups.empty()) return out;
+
+  std::vector<std::shared_ptr<const ReadCacheEntry>> scans(groups.size());
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      scan_groups.size(), fetch_parallelism_, stats,
+      [&](size_t i, FetchStats* local) -> Status {
+        const size_t g = scan_groups[i];
+        HGS_ASSIGN_OR_RETURN(
+            scans[g], CachedScan(meta, tgi::kVersionsTable,
+                                 groups[g].partition, /*prefix=*/"", local));
+        return Status::OK();
+      }));
+  if (stats != nullptr) stats->version_scans += scan_groups.size();
+
+  // Rebuild each missing node's merged chain: its segments arrive in key
+  // (= tsid) order from the scan, decoded straight off the shared views,
+  // and are concatenated unfiltered so every later time window shares the
+  // one cached object.
+  for (size_t g : scan_groups) {
+    for (size_t u : groups[g].members) {
+      if (hit_of[u]) continue;  // served decoded above
+      const std::string prefix = tgi::VersionScanPrefix(ids[u]);
+      auto chain = std::make_shared<MergedVersionChain>();
+      for (const KVPair& kv : scans[g]->pairs) {
+        // A partition scan returns every node hashed to this placement
+        // (virtually always just this node); keep only its segments.
+        if (kv.key.compare(0, prefix.size(), prefix) != 0) continue;
+        HGS_ASSIGN_OR_RETURN(tgi::VersionChainSegment seg,
+                             tgi::VersionChainSegment::Deserialize(kv.value));
+        if (stats != nullptr) {
+          ++stats->decodes;
+          stats->decoded_bytes += kv.value.size();
+          ++stats->micro_deltas;
+          stats->bytes += kv.value.size();
+        }
+        ++chain->segment_count;
+        chain->raw_bytes += kv.value.size();
+        chain->entries.insert(chain->entries.end(), seg.entries.begin(),
+                              seg.entries.end());
+      }
+      if (decoded_cache_ != nullptr) {
+        size_t charge = ckeys[u].size() + 48 +
+                        chain->entries.size() * sizeof(tgi::VersionEntry) +
+                        64;
+        decoded_cache_->Put(std::move(ckeys[u]),
+                            DecodedEntry{chain, chain->raw_bytes}, charge);
+      }
+      out[u] = std::move(chain);
+    }
+  }
+  return out;
+}
+
 Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
                                                 NodeId id,
                                                 const tgi::TimespanMeta& span,
@@ -594,7 +782,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
   std::string key;
   AppendOrdered32(&key, static_cast<uint32_t>(bucket));
   HGS_ASSIGN_OR_RETURN(
-      std::optional<std::string> raw,
+      std::optional<SharedValue> raw,
       FetchValue(meta, tgi::kMicropartsTable, cache_key, key, stats));
   std::unordered_map<NodeId, MicroPartitionId> map;
   if (raw.has_value()) {
@@ -697,9 +885,11 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
       }
     }
   } else {
-    // Delta-major: one cached scan per (did, sid), decoded in place and in
-    // parallel — the paper's query processors "process the raw deltas" in
-    // parallel; only the ordered merge below is sequential.
+    // Delta-major: one scan-granularity decoded fetch per (did, sid) — a
+    // warm scan is a single decoded-tier probe for the whole prefix; a cold
+    // one decodes in place from the shared scan result, in parallel (the
+    // paper's query processors "process the raw deltas" in parallel; only
+    // the ordered merge below is sequential).
     struct Unit {
       size_t slot;
       PartitionId sid;
@@ -718,25 +908,22 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
           const Unit& u = units[uidx];
           const uint64_t placement =
               tgi::DeltaPlacement(span->tsid, u.sid, ns);
+          const char kind = is_evl[u.slot]
+                                ? DecodedKindOf<EventList>::kKind
+                                : DecodedKindOf<Delta>::kKind;
           HGS_ASSIGN_OR_RETURN(
-              std::shared_ptr<const ReadCacheEntry> res,
-              CachedScan(meta, tgi::kDeltasTable, placement,
-                         tgi::DeltaScanPrefix(dids[u.slot]), local));
-          for (const KVPair& kv : res->pairs) {
+              DecodedScanRef scan,
+              FetchDecodedScan(meta, tgi::kDeltasTable, placement,
+                               tgi::DeltaScanPrefix(dids[u.slot]), kind,
+                               local));
+          std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
+          for (const DecodedScanRow& row : scan->rows) {
             if (!is_evl[u.slot]) {
-              HGS_ASSIGN_OR_RETURN(
-                  std::shared_ptr<const Delta> d,
-                  DecodeShared<Delta>(meta, tgi::kDeltasTable, placement,
-                                      kv.key, kv.value, local));
-              std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
-              slot_deltas[u.slot].push_back(std::move(d));
+              slot_deltas[u.slot].push_back(
+                  std::static_pointer_cast<const Delta>(row.obj));
             } else {
-              HGS_ASSIGN_OR_RETURN(
-                  std::shared_ptr<const EventList> e,
-                  DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
-                                          kv.key, kv.value, local));
-              std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
-              slot_evls[u.slot].push_back(std::move(e));
+              slot_evls[u.slot].push_back(
+                  std::static_pointer_cast<const EventList>(row.obj));
             }
           }
           return Status::OK();
@@ -811,17 +998,14 @@ Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
           for (size_t sid = 0; sid < ns; ++sid) {
             const uint64_t placement = tgi::DeltaPlacement(
                 span->tsid, static_cast<PartitionId>(sid), ns);
-            auto res = CachedScan(
+            auto res = FetchDecodedScan(
                 meta, tgi::kDeltasTable, placement,
                 tgi::DeltaScanPrefix(tgi::EventlistDid(static_cast<size_t>(j))),
-                stats);
+                DecodedKindOf<EventList>::kKind, stats);
             if (!res.ok()) return res.status();
-            for (const KVPair& kv : (*res)->pairs) {
-              HGS_ASSIGN_OR_RETURN(
-                  std::shared_ptr<const EventList> evl,
-                  DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
-                                          kv.key, kv.value, stats));
-              evls.push_back(std::move(evl));
+            for (const DecodedScanRow& row : (*res)->rows) {
+              evls.push_back(
+                  std::static_pointer_cast<const EventList>(row.obj));
             }
           }
         }
@@ -1164,33 +1348,13 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
     }
   }
 
-  // ---- Version chains: group ids by versions-table placement and issue
-  // one partition scan per touched partition (not one per node). Scans run
-  // as parallel cached requests across the fetch clients.
-  struct ScanGroup {
-    uint64_t partition;
-    std::vector<size_t> members;  ///< uniq indices placed here
-  };
-  std::vector<ScanGroup> groups;
-  {
-    std::unordered_map<uint64_t, size_t> group_of;
-    for (size_t u = 0; u < uniq.size(); ++u) {
-      uint64_t partition = tgi::NodePlacement(uniq[u]);
-      auto [it, inserted] = group_of.emplace(partition, groups.size());
-      if (inserted) groups.push_back(ScanGroup{partition, {}});
-      groups[it->second].members.push_back(u);
-    }
-  }
-  std::vector<std::shared_ptr<const ReadCacheEntry>> scans(groups.size());
-  HGS_RETURN_NOT_OK(ParallelStatusFor(
-      groups.size(), fetch_parallelism_, stats,
-      [&](size_t g, FetchStats* local) -> Status {
-        HGS_ASSIGN_OR_RETURN(
-            scans[g], CachedScan(meta, tgi::kVersionsTable,
-                                 groups[g].partition, /*prefix=*/"", local));
-        return Status::OK();
-      }));
-  if (stats != nullptr) stats->version_scans += groups.size();
+  // ---- Version chains: one merged decoded chain per node (hub nodes with
+  // many segments cost one decoded entry, not one per segment). Warm nodes
+  // skip the versions-table scans entirely; cold ones share one partition
+  // scan per touched placement, run as parallel cached requests.
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<const MergedVersionChain>> chains,
+      FetchVersionChains(meta, uniq, stats));
 
   // ---- Union all version-chain references into one deduplicated eventlist
   // batch. refs_of[u] holds indices into `keys` in chain order, so the
@@ -1202,38 +1366,23 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
   std::unordered_map<std::string, size_t> key_index;  // placement \0 row key
   std::vector<std::vector<size_t>> refs_of(uniq.size());
   uint64_t total_refs = 0;
-  for (size_t g = 0; g < groups.size(); ++g) {
-    for (size_t u : groups[g].members) {
-      const NodeId id = uniq[u];
-      const std::string prefix = tgi::VersionScanPrefix(id);
-      for (const KVPair& kv : scans[g]->pairs) {
-        // A partition scan returns every node hashed to this placement
-        // (virtually always just `id`); keep only this node's segments.
-        if (kv.key.compare(0, prefix.size(), prefix) != 0) continue;
-        HGS_ASSIGN_OR_RETURN(
-            std::shared_ptr<const tgi::VersionChainSegment> seg,
-            DecodeShared<tgi::VersionChainSegment>(
-                meta, tgi::kVersionsTable, groups[g].partition, kv.key,
-                kv.value, stats));
-        for (const tgi::VersionEntry& e : seg->entries) {
-          if (e.last_time <= from || e.first_time > to) continue;
-          ++total_refs;
-          PartitionId sid = tgi::SidOf(e.pid, ns);
-          MultiGetKey key{
-              tgi::DeltaPlacement(e.tsid, sid, ns),
-              tgi::DeltaRowKey(order, tgi::EventlistDid(e.eventlist_index),
-                               e.pid, false)};
-          std::string dedup;
-          dedup.reserve(8 + 1 + key.key.size());
-          AppendOrdered64(&dedup, key.partition);
-          dedup.push_back('\0');
-          dedup.append(key.key);
-          auto [it, inserted] = key_index.emplace(std::move(dedup),
-                                                  keys.size());
-          if (inserted) keys.push_back(std::move(key));
-          refs_of[u].push_back(it->second);
-        }
-      }
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    for (const tgi::VersionEntry& e : chains[u]->entries) {
+      if (e.last_time <= from || e.first_time > to) continue;
+      ++total_refs;
+      PartitionId sid = tgi::SidOf(e.pid, ns);
+      MultiGetKey key{
+          tgi::DeltaPlacement(e.tsid, sid, ns),
+          tgi::DeltaRowKey(order, tgi::EventlistDid(e.eventlist_index),
+                           e.pid, false)};
+      std::string dedup;
+      dedup.reserve(8 + 1 + key.key.size());
+      AppendOrdered64(&dedup, key.partition);
+      dedup.push_back('\0');
+      dedup.append(key.key);
+      auto [it, inserted] = key_index.emplace(std::move(dedup), keys.size());
+      if (inserted) keys.push_back(std::move(key));
+      refs_of[u].push_back(it->second);
     }
   }
   if (stats != nullptr) {
@@ -1458,17 +1607,13 @@ Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
         if (order == ClusteringOrder::kDeltaMajor) {
           const uint64_t placement = tgi::DeltaPlacement(u.tsid, u.sid, ns);
           HGS_ASSIGN_OR_RETURN(
-              std::shared_ptr<const ReadCacheEntry> res,
-              CachedScan(meta, tgi::kDeltasTable, placement,
-                         tgi::DeltaScanPrefix(tgi::EventlistDid(
-                             u.eventlist_index)),
-                         local));
-          for (const KVPair& kv : res->pairs) {
-            HGS_ASSIGN_OR_RETURN(
-                std::shared_ptr<const EventList> evl,
-                DecodeShared<EventList>(meta, tgi::kDeltasTable, placement,
-                                        kv.key, kv.value, local));
-            collect(*evl);
+              DecodedScanRef res,
+              FetchDecodedScan(meta, tgi::kDeltasTable, placement,
+                               tgi::DeltaScanPrefix(tgi::EventlistDid(
+                                   u.eventlist_index)),
+                               DecodedKindOf<EventList>::kKind, local));
+          for (const DecodedScanRow& row : res->rows) {
+            collect(*std::static_pointer_cast<const EventList>(row.obj));
           }
         } else {
           const auto& [begin, end] = unit_ranges[i];

@@ -73,6 +73,12 @@ struct FetchStats {
                                ///< buckets and cached "absent" rows)
   uint64_t decodes = 0;        ///< Deserialize calls actually performed
   uint64_t decoded_bytes = 0;  ///< raw bytes those decodes consumed
+  // Zero-copy accounting: `bytes` above counts bytes *viewed* (every value
+  // byte the query consumed, wherever it came from); value_copies counts
+  // values whose bytes actually *moved* into a fresh buffer. On the
+  // shared-buffer path the only copies left are LZ-block materializations,
+  // so uncompressed reads — and every warm read — report 0.
+  uint64_t value_copies = 0;   ///< values materialized rather than viewed
   double wall_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -94,6 +100,7 @@ struct FetchStats {
     decode_hits += o.decode_hits;
     decodes += o.decodes;
     decoded_bytes += o.decoded_bytes;
+    value_copies += o.value_copies;
     wall_seconds += o.wall_seconds;
   }
 };
@@ -129,10 +136,12 @@ class TGIQueryManager {
   /// either tier; TGI::OpenQueryManager passes the TGIOptions knobs). The
   /// two tiers are independent: bytes serve re-fetches without round trips,
   /// decoded objects serve repeats without deserialization.
+  /// `tinylfu_admission` enables the TinyLFU admission filter on both tiers.
   explicit TGIQueryManager(Cluster* cluster, size_t fetch_parallelism = 1,
                            size_t read_cache_bytes = 0,
                            size_t read_cache_shards = 16,
-                           size_t decoded_cache_bytes = 0);
+                           size_t decoded_cache_bytes = 0,
+                           bool tinylfu_admission = false);
 
   /// Loads graph + timespan metadata. Metadata and the read cache refresh
   /// automatically when the cluster's publish epoch changes (AppendBatch).
@@ -214,11 +223,13 @@ class TGIQueryManager {
 
  private:
   /// One cached read: either a point-read value (possibly a cached
-  /// "absent") or the pairs of a partition scan.
+  /// "absent") or the pairs of a partition scan. Values are SharedValues —
+  /// the cache shares the storage node's buffer on fill and hands out
+  /// views on hit, so neither direction copies value bytes.
   struct ReadCacheEntry {
     bool found = false;          ///< point reads: value present
-    std::string value;           ///< point-read payload
-    std::vector<KVPair> pairs;   ///< scan payload
+    SharedValue value;           ///< point-read payload (zero-copy view)
+    std::vector<KVPair> pairs;   ///< scan payload (zero-copy views)
   };
   using ReadCache =
       ShardedLruCache<std::string, std::shared_ptr<const ReadCacheEntry>>;
@@ -234,6 +245,34 @@ class TGIQueryManager {
     size_t raw_bytes = 0;
   };
   using DecodedCache = ShardedLruCache<std::string, DecodedEntry>;
+
+  /// One row of a scan-granularity decoded entry: the shared decoded object
+  /// plus the raw size it decoded from (for the logical byte accounting).
+  struct DecodedScanRow {
+    std::shared_ptr<const void> obj;
+    size_t raw_bytes = 0;
+  };
+  /// Scan-granularity decoded entry (cache kind 'C'): every decoded row of
+  /// one (table, partition, prefix) scan, in key order. A warm delta-major
+  /// scan costs exactly one decoded-tier probe for the whole prefix instead
+  /// of one byte-cache probe plus one decoded probe per row. The row type
+  /// (Delta vs EventList) is fixed by the scan prefix's did, so a single
+  /// kind byte cannot alias two row types under one key.
+  struct DecodedScan {
+    std::vector<DecodedScanRow> rows;
+  };
+  using DecodedScanRef = std::shared_ptr<const DecodedScan>;
+
+  /// Per-node merged version chain (cache kind 'V'): the concatenation of
+  /// every VersionChainSegment of one node, in chain (tsid) order and
+  /// unfiltered by time, so hub nodes with many segments cost one decoded
+  /// entry — and one probe — instead of one per segment. segment_count and
+  /// raw_bytes carry the logical accounting a rebuild would have reported.
+  struct MergedVersionChain {
+    std::vector<tgi::VersionEntry> entries;
+    size_t segment_count = 0;
+    size_t raw_bytes = 0;
+  };
 
   /// An immutable snapshot of the index metadata at one publish epoch.
   /// Every query grabs one shared_ptr at entry and runs entirely against
@@ -285,12 +324,13 @@ class TGIQueryManager {
 
   /// Batched, cached point reads: cache lookups first, then one MultiGet
   /// for the misses. One entry per input key; NotFound maps to nullopt.
-  Result<std::vector<std::optional<std::string>>> FetchValues(
+  /// Values are zero-copy views shared with the byte cache.
+  Result<std::vector<std::optional<SharedValue>>> FetchValues(
       const MetaState& meta, std::string_view table,
       const std::vector<MultiGetKey>& keys, FetchStats* stats);
 
   /// Fetches one value; NotFound is mapped to "absent" (nullopt).
-  Result<std::optional<std::string>> FetchValue(const MetaState& meta,
+  Result<std::optional<SharedValue>> FetchValue(const MetaState& meta,
                                                 std::string_view table,
                                                 uint64_t partition,
                                                 std::string_view key,
@@ -337,6 +377,28 @@ class TGIQueryManager {
                                                 std::string_view row,
                                                 std::string_view raw,
                                                 FetchStats* stats);
+
+  /// Scan-granularity decoded fetch: one decoded-tier probe serves every
+  /// row of the (table, partition, prefix) scan as ready-to-apply objects.
+  /// On a miss the scan's bytes come through CachedScan, each row decodes
+  /// (or decode-hits) through DecodeShared — publishing row-level entries
+  /// for the point-read paths — and the assembled row vector is published
+  /// under the scan's own key. `row_kind` is the decoded type of every row
+  /// (scans here are per-did, so one scan is single-typed).
+  Result<DecodedScanRef> FetchDecodedScan(const MetaState& meta,
+                                          std::string_view table,
+                                          uint64_t partition,
+                                          std::string_view prefix,
+                                          char row_kind, FetchStats* stats);
+
+  /// Per-node merged version chains for `ids` (see MergedVersionChain):
+  /// probes the decoded tier per node, scans only the versions partitions
+  /// that still have a node missing, and publishes rebuilt chains. One
+  /// entry per input id, never null (a node without version rows yields an
+  /// empty chain, negatively cached).
+  Result<std::vector<std::shared_ptr<const MergedVersionChain>>>
+  FetchVersionChains(const MetaState& meta, const std::vector<NodeId>& ids,
+                     FetchStats* stats);
 
   // Internal (no-refresh) bodies of the public primitives, so composite
   // queries run every leg against one metadata snapshot.

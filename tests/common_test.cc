@@ -402,6 +402,63 @@ TEST(LruCacheTest, PutReplacesAndClearKeepsCounters) {
   EXPECT_FALSE(cache.Get("a").has_value());
 }
 
+TEST(LruCacheTest, TinyLfuAdmissionProtectsHotSetFromColdSweep) {
+  // A hot working set keeps serving traffic while a long one-hit-wonder
+  // sweep (a cold snapshot scan) streams through. With TinyLFU admission
+  // the sweep bounces off the doorkeeper once the cache is full; with
+  // plain LRU every round of the sweep flushes the entire cache.
+  auto hot_survivors = [](bool admission) {
+    ShardedLruCache<uint64_t, int> cache(/*capacity_bytes=*/64 * 16,
+                                         /*num_shards=*/1, admission);
+    for (int round = 0; round < 8; ++round) {
+      for (uint64_t k = 0; k < 32; ++k) {
+        if (!cache.Get(k).has_value()) cache.Put(k, 1, 16);
+      }
+    }
+    uint64_t cold = 1'000;
+    for (int round = 0; round < 30; ++round) {
+      for (uint64_t k = 0; k < 32; ++k) {
+        if (!cache.Get(k).has_value()) cache.Put(k, 1, 16);
+      }
+      for (int j = 0; j < 64; ++j, ++cold) {
+        cache.Get(cold);  // the miss records the sighting
+        cache.Put(cold, 1, 16);
+      }
+    }
+    size_t survivors = 0;
+    for (uint64_t k = 0; k < 32; ++k) {
+      if (cache.Get(k).has_value()) ++survivors;
+    }
+    return survivors;
+  };
+  EXPECT_EQ(hot_survivors(true), 32u);  // the whole hot set survives
+  EXPECT_EQ(hot_survivors(false), 0u);  // plain LRU is flushed every round
+}
+
+TEST(LruCacheTest, TinyLfuAdmitsKeyOnceItProvesFrequency) {
+  ShardedLruCache<uint64_t, int> cache(/*capacity_bytes=*/4 * 16,
+                                       /*num_shards=*/1, true);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 4; ++k) {
+      cache.Get(k);
+      cache.Put(k, 1, 16);
+    }
+  }
+  // A cold newcomer bounces at first...
+  cache.Get(99);
+  cache.Put(99, 1, 16);
+  EXPECT_FALSE(cache.Get(99).has_value());
+  EXPECT_GT(cache.Counters().admission_rejects, 0u);
+  // ...but sustained demand builds frequency past the victim's and wins
+  // admission.
+  bool admitted = false;
+  for (int i = 0; i < 16 && !admitted; ++i) {
+    cache.Put(99, 1, 16);
+    admitted = cache.Get(99).has_value();
+  }
+  EXPECT_TRUE(admitted);
+}
+
 TEST(LruCacheTest, ConcurrentReadersAndWritersDoNotRace) {
   ShardedLruCache<uint64_t, uint64_t> cache(1 << 16, 8);
   std::vector<std::thread> threads;

@@ -237,6 +237,60 @@ TEST(MultiGetTest, OneBatchCountsAsOneRequestAndOneSeek) {
   EXPECT_EQ(c.TotalReadRequests(), 1u);
 }
 
+TEST(SharedValueTest, ViewsSurviveOverwriteAndDelete) {
+  // The refcounted owner keeps a fetched buffer alive across overwrites and
+  // deletes of its key: views never dangle, they just go stale.
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 1, "k", "original-payload-well-past-sso-length").ok());
+  auto v = c.Get("t", 1, "k");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(c.Put("t", 1, "k", "replacement").ok());
+  EXPECT_TRUE(c.Delete("t", 1, "k"));
+  EXPECT_EQ(*v, "original-payload-well-past-sso-length");
+  EXPECT_TRUE(c.Get("t", 1, "k").status().IsNotFound());
+}
+
+TEST(SharedValueTest, UncompressedReadsAreZeroCopy) {
+  // Without compression every read is a window into node memory: the value
+  // shares the stored buffer and the copy counters stay at zero.
+  Cluster c(FastOptions(1));
+  ASSERT_TRUE(c.Put("t", 1, "a", "payload-a").ok());
+  ASSERT_TRUE(c.Put("t", 1, "b", "payload-b").ok());
+  size_t copies = 99;
+  auto got = c.Get("t", 1, "a", &copies);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(copies, 0u);
+  EXPECT_NE(got->owner(), nullptr);  // backed by the node's shared buffer
+
+  copies = 99;
+  size_t batches = 0;
+  auto multi = c.MultiGet("t", {MultiGetKey{1, "a"}, MultiGetKey{1, "b"}},
+                          &batches, &copies);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(copies, 0u);
+
+  copies = 99;
+  auto scanned = c.Scan("t", 1, "", &copies);
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_EQ(scanned->size(), 2u);
+  EXPECT_EQ(copies, 0u);
+}
+
+TEST(SharedValueTest, LzReadsMaterializeOncePerCompressedValue) {
+  ClusterOptions opts = FastOptions(1);
+  opts.compression = CompressionKind::kLz;
+  Cluster c(opts);
+  std::string value;
+  for (int i = 0; i < 200; ++i) value += "repetitive-payload-";
+  ASSERT_TRUE(c.Put("t", 1, "a", value).ok());
+  ASSERT_TRUE(c.Put("t", 1, "b", value).ok());
+  size_t copies = 0;
+  auto scanned = c.Scan("t", 1, "", &copies);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(copies, 2u);  // one materialization per compressed block
+  EXPECT_EQ((*scanned)[0].value, value);
+}
+
 TEST(LatencyModelTest, CostScalesWithKeysAndBytes) {
   LatencyModel m;
   m.seek_micros = 100;

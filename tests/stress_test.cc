@@ -190,7 +190,7 @@ TEST(CorruptionTest, FlippedDeltaByteSurfacesAsCorruption) {
   ASSERT_TRUE(rows.ok());
   ASSERT_FALSE(rows->empty());
   for (const KVPair& kv : *rows) {
-    std::string corrupted = kv.value;
+    std::string corrupted = kv.value.ToString();
     corrupted[corrupted.size() / 2] ^= 0x08;
     ASSERT_TRUE(
         cluster.Put(tgi::kDeltasTable, placement, kv.key, corrupted).ok());
@@ -200,6 +200,140 @@ TEST(CorruptionTest, FlippedDeltaByteSurfacesAsCorruption) {
   auto snap = qm->GetSnapshot(events[900].time);
   ASSERT_FALSE(snap.ok());
   EXPECT_TRUE(snap.status().IsCorruption());
+}
+
+TEST(SharedValueLifetimeTest, LiveViewsRaceOverwritesAndEpochBumps) {
+  // Readers hold SharedValue views of fetched values while a writer
+  // continuously overwrites the same keys — freeing each old buffer as the
+  // last view drops — and bumps the publish epoch. Under ASan/TSan this is
+  // the lifetime proof for the zero-copy path: no view ever dangles, and
+  // every held view stays byte-identical to what was read.
+  Cluster cluster(FastCluster(2));
+  constexpr int kKeys = 64;
+  auto payload = [](int k, int round) {
+    std::string s =
+        "v" + std::to_string(k) + "-" + std::to_string(round) + "-";
+    while (s.size() < 96) s += "x";  // off-SSO, so frees are real frees
+    return s;
+  };
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(cluster
+                    .Put("life", static_cast<uint64_t>(k % 5),
+                         "key" + std::to_string(k), payload(k, 0))
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread writer([&] {
+    for (int round = 1; !stop.load(std::memory_order_relaxed); ++round) {
+      for (int k = 0; k < kKeys; ++k) {
+        cluster.Put("life", static_cast<uint64_t>(k % 5),
+                    "key" + std::to_string(k), payload(k, round));
+      }
+      cluster.BumpPublishEpoch();
+    }
+  });
+  ParallelFor(8, 8, [&](size_t tid) {
+    Rng rng(tid + 1);
+    for (int iter = 0; iter < 150; ++iter) {
+      // Stash views plus an immediate copy of their contents, give the
+      // writer time to overwrite the keys underneath, then re-compare.
+      std::vector<std::pair<SharedValue, std::string>> held;
+      std::vector<MultiGetKey> keys;
+      for (int j = 0; j < 8; ++j) {
+        int k = static_cast<int>(rng.Uniform(kKeys));
+        keys.push_back(MultiGetKey{static_cast<uint64_t>(k % 5),
+                                   "key" + std::to_string(k)});
+      }
+      auto got = cluster.MultiGet("life", keys);
+      if (!got.ok()) {
+        ++bad;
+        continue;
+      }
+      for (auto& v : *got) {
+        if (v.has_value()) held.emplace_back(*v, v->ToString());
+      }
+      auto scan = cluster.Scan("life", tid % 5, "");
+      if (!scan.ok()) {
+        ++bad;
+        continue;
+      }
+      for (auto& kv : *scan) held.emplace_back(kv.value, kv.value.ToString());
+      std::this_thread::yield();
+      for (auto& [view, expect] : held) {
+        if (!(view == std::string_view(expect))) ++bad;
+      }
+    }
+  });
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SharedValueLifetimeTest, QueriesRaceAppendBatchCacheInvalidation) {
+  // Concurrent retrievals race AppendBatch's epoch bumps, which clear both
+  // read-side caches while queries still hold shared decoded objects, byte
+  // views, and scan entries. Tiny cache budgets force continuous eviction
+  // at the same time. Queries are pinned to times inside the first,
+  // completed timespan, whose rows the batch updates never rewrite, so
+  // every snapshot must equal the event-log replay no matter which epoch
+  // it ran against.
+  auto events = History(991, 6'000);
+  Cluster cluster(FastCluster());
+  TGIOptions opts;
+  opts.events_per_timespan = 1'500;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 300;
+  opts.micro_delta_size = 64;
+  opts.num_horizontal_partitions = 2;
+  opts.read_cache_bytes = 32u << 10;    // far below the working set
+  opts.decoded_cache_bytes = 32u << 10;
+  TGI tgi(&cluster, opts);
+
+  const size_t first_chunk = 2'000;
+  ASSERT_TRUE(
+      tgi.BuildFrom({events.begin(),
+                     events.begin() + static_cast<long>(first_chunk)})
+          .ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  // Probe times within the first completed timespan only.
+  std::vector<Timestamp> probes = {events[200].time, events[700].time,
+                                   events[1'300].time};
+  std::vector<Graph> expected;
+  for (Timestamp t : probes) {
+    expected.push_back(workload::ReplayToGraph(events, t));
+  }
+
+  std::atomic<int> bad{0};
+  std::atomic<bool> stop{false};
+  std::thread appender([&] {
+    for (size_t start = first_chunk;
+         start < events.size() && !stop.load(std::memory_order_relaxed);
+         start += 800) {
+      size_t end = std::min(events.size(), start + 800);
+      std::vector<Event> batch(events.begin() + static_cast<long>(start),
+                               events.begin() + static_cast<long>(end));
+      if (!tgi.AppendBatch(batch).ok()) {
+        ++bad;
+        return;
+      }
+    }
+  });
+  ParallelFor(6, 6, [&](size_t tid) {
+    Rng rng(tid + 17);
+    for (int iter = 0; iter < 40; ++iter) {
+      size_t p = rng.Uniform(probes.size());
+      auto snap = qm->GetSnapshot(probes[p]);
+      if (!snap.ok() || !(*snap == expected[p])) ++bad;
+      NodeId id = static_cast<NodeId>(rng.Uniform(50));
+      auto hist = qm->GetNodeHistory(id, 0, probes[p]);
+      if (!hist.ok()) ++bad;
+    }
+  });
+  stop.store(true);
+  appender.join();
+  EXPECT_EQ(bad.load(), 0);
 }
 
 TEST(UpdateStressTest, ManySmallBatchesEqualOneBigBuild) {

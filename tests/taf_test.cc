@@ -394,10 +394,13 @@ TEST_F(TafFixture, FetchReportsBulkRetrievalStats) {
   auto son = ctx.Nodes().TimeRange(0, to).Fetch(&stats);
   ASSERT_TRUE(son.ok());
   // Every temporal node was a logical history request served through the
-  // bulk primitive: refs are deduplicated, scans bounded by requests.
+  // bulk primitive: refs are deduplicated, scans bounded by requests. On a
+  // warm manager (the suite shares one) the merged version chains can be
+  // served entirely from the decoded tier — zero scans, decode hits
+  // instead.
   EXPECT_EQ(stats.node_requests, son->size());
-  EXPECT_GT(stats.version_scans, 0u);
   EXPECT_LE(stats.version_scans, stats.node_requests);
+  if (stats.version_scans == 0) EXPECT_GT(stats.decode_hits, 0u);
   EXPECT_LE(stats.eventlist_fetches, stats.eventlist_refs);
 }
 

@@ -923,6 +923,148 @@ TEST(TGITest, MultiGetBatchingReducesRoundTripsUnderLatency) {
   EXPECT_TRUE(*again == *snap);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy data plane: warm reads move no value bytes, warm delta-major
+// scans cost one decoded probe per prefix, and hub-node version chains are
+// served as one merged decoded object.
+// ---------------------------------------------------------------------------
+
+TEST(TGITest, WarmReadsPerformZeroValueCopies) {
+  // With LZ compression every cold fetch of a compressed block pays the one
+  // materialization the codec requires; warm reads are shared views end to
+  // end and move nothing.
+  ClusterOptions copts = FastCluster();
+  copts.compression = CompressionKind::kLz;
+  Cluster cluster(copts);
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(81, 6'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+  Timestamp t = workload::EndTime(events);
+
+  FetchStats cold;
+  auto snap_cold = qm->GetSnapshot(t, &cold);
+  ASSERT_TRUE(snap_cold.ok());
+  EXPECT_GT(cold.value_copies, 0u);  // LZ blocks materialize once each
+  EXPECT_LE(cold.value_copies, cold.micro_deltas);
+
+  FetchStats warm;
+  auto snap_warm = qm->GetSnapshot(t, &warm);
+  ASSERT_TRUE(snap_warm.ok());
+  EXPECT_EQ(warm.value_copies, 0u);
+  EXPECT_TRUE(*snap_warm == *snap_cold);
+
+  std::vector<NodeId> ids;
+  for (const Event& e : events) {
+    if (ids.size() >= 8) break;
+    if (e.type == EventType::kAddNode) ids.push_back(e.u);
+  }
+  FetchStats hist_cold;
+  ASSERT_TRUE(qm->GetNodeHistories(ids, 0, t, &hist_cold).ok());
+  FetchStats hist_warm;
+  ASSERT_TRUE(qm->GetNodeHistories(ids, 0, t, &hist_warm).ok());
+  EXPECT_EQ(hist_warm.value_copies, 0u);
+
+  // An uncompressed cluster never copies, cold or warm: every value is a
+  // window into storage-node memory.
+  Cluster plain(FastCluster());
+  TGI plain_tgi(&plain, SmallOptions());
+  ASSERT_TRUE(plain_tgi.BuildFrom(events).ok());
+  auto plain_qm = plain_tgi.OpenQueryManager(2).value();
+  FetchStats plain_cold;
+  ASSERT_TRUE(plain_qm->GetSnapshot(t, &plain_cold).ok());
+  EXPECT_EQ(plain_cold.value_copies, 0u);
+}
+
+TEST(TGITest, WarmDeltaMajorScanCostsOneDecodedProbePerPrefix) {
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());  // delta-major clustering by default
+  auto events = SmallHistory(82, 6'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(1).value();
+  Timestamp t = workload::EndTime(events);
+
+  FetchStats cold;
+  ASSERT_TRUE(qm->GetSnapshotDelta(t, &cold).ok());
+
+  LruCacheCounters decoded_before = qm->DecodedCacheCounters();
+  LruCacheCounters bytes_before = qm->ReadCacheCounters();
+  FetchStats warm;
+  ASSERT_TRUE(qm->GetSnapshotDelta(t, &warm).ok());
+  LruCacheCounters decoded_after = qm->DecodedCacheCounters();
+  LruCacheCounters bytes_after = qm->ReadCacheCounters();
+
+  // Exactly one decoded-tier probe per (delta, partition) scan prefix —
+  // warm.kv_requests counts those scans — and nothing else: no per-row
+  // probes, no byte-cache traffic, no decodes, no copies.
+  EXPECT_GT(warm.kv_requests, 0u);
+  EXPECT_EQ(decoded_after.hits - decoded_before.hits, warm.kv_requests);
+  EXPECT_EQ(decoded_after.misses, decoded_before.misses);
+  EXPECT_EQ(bytes_after.hits, bytes_before.hits);
+  EXPECT_EQ(bytes_after.misses, bytes_before.misses);
+  EXPECT_EQ(warm.kv_batches, 0u);
+  EXPECT_EQ(warm.decodes, 0u);
+  EXPECT_EQ(warm.value_copies, 0u);
+  // Logical accounting identical to the cold run.
+  EXPECT_EQ(warm.kv_requests, cold.kv_requests);
+  EXPECT_EQ(warm.micro_deltas, cold.micro_deltas);
+  EXPECT_EQ(warm.bytes, cold.bytes);
+}
+
+TEST(TGITest, HubNodeVersionChainServedAsOneMergedObject) {
+  // 6000 events over 2000-event timespans give a busy node several
+  // VersionChainSegments; warm retrievals serve them as one merged decoded
+  // chain — no versions-table scan, no per-segment decode — and the chain
+  // is shared across different time windows.
+  Cluster cluster(FastCluster());
+  TGI tgi(&cluster, SmallOptions());
+  auto events = SmallHistory(83, 6'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  std::unordered_map<NodeId, int> touches;
+  for (const Event& e : events) {
+    ++touches[e.u];
+    if (e.IsEdgeEvent()) ++touches[e.v];
+  }
+  NodeId busy = events.front().u;
+  int best = 0;
+  for (auto [id, cnt] : touches) {
+    if (cnt > best) {
+      best = cnt;
+      busy = id;
+    }
+  }
+  Timestamp end = workload::EndTime(events);
+
+  FetchStats cold;
+  auto h_cold = qm->GetNodeHistory(busy, 0, end, &cold);
+  ASSERT_TRUE(h_cold.ok());
+  EXPECT_GT(cold.version_scans, 0u);
+
+  FetchStats warm;
+  auto h_warm = qm->GetNodeHistory(busy, 0, end, &warm);
+  ASSERT_TRUE(h_warm.ok());
+  EXPECT_EQ(warm.version_scans, 0u);  // merged chain replaced the scan
+  EXPECT_EQ(warm.decodes, 0u);
+  EXPECT_EQ(warm.value_copies, 0u);
+  EXPECT_TRUE(h_warm->initial == h_cold->initial);
+  EXPECT_TRUE(h_warm->events == h_cold->events);
+
+  // The chain is cached unfiltered: a narrower window reuses it (still no
+  // scan) and agrees with the event log.
+  Timestamp mid = end / 2;
+  FetchStats windowed;
+  auto h_mid = qm->GetNodeHistory(busy, 0, mid, &windowed);
+  ASSERT_TRUE(h_mid.ok());
+  EXPECT_EQ(windowed.version_scans, 0u);
+  size_t expected = 0;
+  for (const Event& e : events) {
+    if (e.time > 0 && e.time <= mid && e.Touches(busy)) ++expected;
+  }
+  EXPECT_EQ(h_mid->events.size(), expected);
+}
+
 TEST(TGITest, ReplicationReducesOneHopFetches) {
   auto events = workload::GenerateFriendster(
       {.num_nodes = 1'500, .num_edges = 6'000, .community_size = 100});
