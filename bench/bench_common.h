@@ -17,7 +17,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <string>
 #include <vector>
@@ -39,6 +41,103 @@ inline double ScaleFromEnv() {
 
 inline uint64_t Scaled(uint64_t base) {
   return static_cast<uint64_t>(static_cast<double>(base) * ScaleFromEnv());
+}
+
+// -- Machine-readable telemetry ---------------------------------------------
+
+/// Accumulates `{bench, metric, value, unit}` rows and writes them as a JSON
+/// array at process exit. The sink stays inert until a path is configured via
+/// the `--json=<path>` flag (see InitBenchTelemetry) or the HGS_BENCH_JSON
+/// environment variable, so interactive runs are unaffected.
+class BenchJsonSink {
+ public:
+  static BenchJsonSink& Instance() {
+    // Leaked on purpose so the atexit flush never races static teardown.
+    static BenchJsonSink* sink = new BenchJsonSink();
+    return *sink;
+  }
+
+  void SetPath(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = std::move(path);
+  }
+
+  void Add(const std::string& bench, const std::string& metric, double value,
+           const std::string& unit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back(Row{bench, metric, unit, value});
+  }
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty() || rows_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                   Escaped(r.bench).c_str(), Escaped(r.metric).c_str(),
+                   r.value, Escaped(r.unit).c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    rows_.clear();
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::string metric;
+    std::string unit;
+    double value;
+  };
+
+  BenchJsonSink() {
+    const char* env = std::getenv("HGS_BENCH_JSON");
+    if (env != nullptr && env[0] != '\0') path_ = env;
+    std::atexit([] { Instance().Flush(); });
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::mutex mu_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// Records one telemetry row; a no-op unless a JSON path is configured.
+inline void JsonRow(const std::string& bench, const std::string& metric,
+                    double value, const std::string& unit) {
+  BenchJsonSink::Instance().Add(bench, metric, value, unit);
+}
+
+/// Consumes a `--json=<path>` flag from argv (leaving all other flags for
+/// the bench's own parsing) and arms the JSON sink. Call first in main().
+inline void InitBenchTelemetry(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      BenchJsonSink::Instance().SetPath(argv[i] + 7);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
 }
 
 /// The cluster latency model used by all benches (a commodity disk/network:
@@ -264,14 +363,19 @@ inline uint64_t PeakRssBytes() {
 }
 
 inline void PrintPeakRssAtExit() {
-  std::printf("# peak_rss_mib=%.1f\n",
-              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+  double mib = static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+  std::printf("# peak_rss_mib=%.1f\n", mib);
+  JsonRow("process", "peak_rss_mib", mib, "MiB");
 }
 
 inline void PrintPreamble(const char* experiment, const char* paper_shape) {
   std::printf("# %s\n", experiment);
   std::printf("# paper shape to reproduce: %s\n", paper_shape);
   std::printf("# HGS_SCALE=%.2f\n", ScaleFromEnv());
+  // Touch the sink first so its flush handler is registered before the RSS
+  // hook below (atexit runs in reverse order): the RSS row must land in the
+  // file even when the sink is armed by HGS_BENCH_JSON alone.
+  BenchJsonSink::Instance();
   // Every figure bench reports its memory high-water mark alongside wall
   // time, so the byte-cache vs decoded-cache memory tradeoff is visible.
   std::atexit(PrintPeakRssAtExit);

@@ -55,11 +55,17 @@ void PrintRow(const char* primitive, const char* config, const RunResult& r) {
               primitive, config, r.cold_ms, r.warm_ms, r.cold.decodes,
               r.warm.decodes, r.warm.decode_hits,
               hgs::bench::FetchRoundTrips(r.warm));
+  std::string stem = std::string(primitive) + "_" + config;
+  hgs::bench::JsonRow("decode_cache", stem + "_cold_ms", r.cold_ms, "ms");
+  hgs::bench::JsonRow("decode_cache", stem + "_warm_ms", r.warm_ms, "ms");
+  hgs::bench::JsonRow("decode_cache", stem + "_warm_decodes",
+                      static_cast<double>(r.warm.decodes), "decodes");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgs::bench::InitBenchTelemetry(&argc, argv);
   hgs::bench::PrintPreamble(
       "Decoded-object read cache: cold vs warm latency and decode counts",
       "warm bytes-only re-decodes everything; warm bytes+decoded performs "

@@ -1,0 +1,206 @@
+// Ingest pipeline throughput: row-at-a-time puts vs group commit vs the
+// sharded encode pipeline (thread sweep) vs BulkLoad, on the Dataset 2
+// event stream.
+//
+// Two regimes, same stream:
+//   * io  — the simulated commodity-store latency model with write charging
+//     enabled. Every row-at-a-time Put pays a seek; a group commit pays one
+//     seek per storage-node batch. Expect the group-commit rows to beat the
+//     row-puts baseline by roughly (rows per span / node count), visible
+//     even on a single-core host.
+//   * cpu — latency disabled. Isolates the encode pipeline (leaf
+//     compaction, intersection-tree algebra, partition splits, row
+//     serialization) sharded across the worker pool; scaling with the
+//     thread sweep shows only on multi-core hosts.
+//
+// Every configuration must produce byte-identical storage (the pipeline's
+// determinism contract); the bench cross-checks content fingerprints and
+// aborts on a mismatch. Write counters (put_batches / rows_put / bytes_put)
+// print per row, and every figure is emitted through the JSON telemetry
+// sink (--json=<path> or HGS_BENCH_JSON).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace hgs;
+
+struct Spec {
+  const char* name;    // table label
+  const char* metric;  // JSON metric stem
+  size_t threads;      // TGIOptions::ingest_threads
+  bool group_commit;   // TGIOptions::group_commit_puts
+  bool bulk;           // BulkLoad instead of BuildFrom
+};
+
+struct Outcome {
+  double seconds = 0;
+  double events_per_sec = 0;
+  uint64_t put_batches = 0;
+  uint64_t rows_put = 0;
+  uint64_t bytes_put = 0;
+  uint64_t keys = 0;
+  uint64_t fingerprint = 0;
+};
+
+Outcome RunOnce(const std::vector<Event>& events, const ClusterOptions& copts,
+                const Spec& spec) {
+  TGIOptions opts = hgs::bench::DefaultTGIOptions();
+  opts.ingest_threads = spec.threads;
+  opts.group_commit_puts = spec.group_commit;
+  Cluster cluster(copts);
+  TGI tgi(&cluster, opts);
+  auto start = std::chrono::steady_clock::now();
+  Status s = spec.bulk ? tgi.BulkLoad(events) : tgi.BuildFrom(events);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s ingest failed: %s\n", spec.name,
+                 s.ToString().c_str());
+    std::abort();
+  }
+  Outcome out;
+  out.seconds = secs;
+  out.events_per_sec =
+      secs > 0 ? static_cast<double>(events.size()) / secs : 0;
+  out.put_batches = cluster.TotalPutBatches();
+  out.rows_put = cluster.TotalRowsPut();
+  out.bytes_put = cluster.TotalBytesPut();
+  out.keys = cluster.TotalKeys();
+  out.fingerprint = cluster.ContentFingerprint();
+  return out;
+}
+
+void PrintRow(const char* regime, const Spec& spec, const Outcome& o) {
+  std::printf("%-4s %-24s events_per_sec=%10.0f time_s=%8.3f "
+              "put_batches=%8" PRIu64 " rows_put=%8" PRIu64
+              " bytes_put=%11" PRIu64 "\n",
+              regime, spec.name, o.events_per_sec, o.seconds, o.put_batches,
+              o.rows_put, o.bytes_put);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hgs::bench::InitBenchTelemetry(&argc, argv);
+  hgs::bench::PrintPreamble(
+      "Ingest pipeline: row-at-a-time vs group commit vs sharded encode vs "
+      "BulkLoad",
+      "group commit collapses per-row seeks into per-node batches; the "
+      "thread sweep shards the encode work; all configurations store "
+      "byte-identical contents");
+
+  auto events = hgs::bench::Dataset2();
+  std::printf("# events=%zu\n", events.size());
+
+  const Spec kRowPuts = {"row-puts (1t)", "row_puts_1t", 1, false, false};
+  const Spec kSweep[] = {
+      {"group-commit (1t)", "group_commit_1t", 1, true, false},
+      {"sharded (2t)", "sharded_2t", 2, true, false},
+      {"sharded (4t)", "sharded_4t", 4, true, false},
+      {"sharded (8t)", "sharded_8t", 8, true, false},
+      {"bulkload (8t)", "bulkload_8t", 8, true, true},
+  };
+
+  uint64_t fingerprint = 0;
+  uint64_t keys = 0;
+  bool identical = true;
+  auto check = [&](const Outcome& o) {
+    if (fingerprint == 0 && keys == 0) {
+      fingerprint = o.fingerprint;
+      keys = o.keys;
+      return;
+    }
+    if (o.fingerprint != fingerprint || o.keys != keys) identical = false;
+  };
+
+  // -- io regime: write latency charged -------------------------------------
+  ClusterOptions io_opts = hgs::bench::MakeClusterOptions(4, 1);
+  io_opts.latency.charge_writes = true;
+
+  std::printf("\n== io regime (write latency charged, 4 nodes) ==\n");
+  Outcome io_base = RunOnce(events, io_opts, kRowPuts);
+  PrintRow("io", kRowPuts, io_base);
+  check(io_base);
+  hgs::bench::JsonRow("ingest", std::string("io_") + kRowPuts.metric +
+                                    "_events_per_sec",
+                      io_base.events_per_sec, "events/s");
+
+  double io_group_1t = 0;
+  double io_sharded_8t = 0;
+  for (const Spec& spec : kSweep) {
+    Outcome o = RunOnce(events, io_opts, spec);
+    PrintRow("io", spec, o);
+    check(o);
+    hgs::bench::JsonRow("ingest",
+                        std::string("io_") + spec.metric + "_events_per_sec",
+                        o.events_per_sec, "events/s");
+    if (std::string(spec.metric) == "group_commit_1t") {
+      io_group_1t = o.events_per_sec;
+      // The batching win in counters: same rows, far fewer round trips.
+      hgs::bench::JsonRow("ingest", "io_group_commit_put_batches",
+                          static_cast<double>(o.put_batches), "batches");
+      hgs::bench::JsonRow("ingest", "io_row_puts_put_batches",
+                          static_cast<double>(io_base.put_batches),
+                          "batches");
+      hgs::bench::JsonRow("ingest", "rows_put",
+                          static_cast<double>(o.rows_put), "rows");
+      hgs::bench::JsonRow("ingest", "bytes_put",
+                          static_cast<double>(o.bytes_put), "bytes");
+    }
+    if (std::string(spec.metric) == "sharded_8t") {
+      io_sharded_8t = o.events_per_sec;
+    }
+  }
+  double group_speedup =
+      io_base.events_per_sec > 0 ? io_group_1t / io_base.events_per_sec : 0;
+  double sharded_speedup =
+      io_base.events_per_sec > 0 ? io_sharded_8t / io_base.events_per_sec : 0;
+  std::printf("group-commit vs row-puts: %.2fx; sharded 8t vs row-puts: "
+              "%.2fx\n",
+              group_speedup, sharded_speedup);
+  hgs::bench::JsonRow("ingest", "io_group_commit_speedup_vs_row_puts",
+                      group_speedup, "x");
+  hgs::bench::JsonRow("ingest", "io_sharded_8t_speedup_vs_row_puts",
+                      sharded_speedup, "x");
+
+  // -- cpu regime: latency off ----------------------------------------------
+  ClusterOptions cpu_opts = hgs::bench::MakeClusterOptions(4, 1);
+  cpu_opts.latency.enabled = false;
+
+  std::printf("\n== cpu regime (latency off, encode-bound) ==\n");
+  double cpu_1t = 0;
+  double cpu_8t = 0;
+  for (const Spec& spec : kSweep) {
+    Outcome o = RunOnce(events, cpu_opts, spec);
+    PrintRow("cpu", spec, o);
+    check(o);
+    hgs::bench::JsonRow("ingest",
+                        std::string("cpu_") + spec.metric + "_events_per_sec",
+                        o.events_per_sec, "events/s");
+    if (std::string(spec.metric) == "group_commit_1t") {
+      cpu_1t = o.events_per_sec;
+    }
+    if (std::string(spec.metric) == "sharded_8t") cpu_8t = o.events_per_sec;
+  }
+  double cpu_scaling = cpu_1t > 0 ? cpu_8t / cpu_1t : 0;
+  std::printf("encode scaling 8t vs 1t: %.2fx (shows on multi-core hosts)\n",
+              cpu_scaling);
+  hgs::bench::JsonRow("ingest", "cpu_sharded_8t_speedup_vs_1t", cpu_scaling,
+                      "x");
+
+  std::printf("\nstorage determinism across all configurations: %s "
+              "(fingerprint=%016" PRIx64 ", keys=%" PRIu64 ")\n",
+              identical ? "IDENTICAL" : "MISMATCH", fingerprint, keys);
+  hgs::bench::JsonRow("ingest", "fingerprints_all_equal", identical ? 1 : 0,
+                      "bool");
+  if (!identical) std::abort();
+  return 0;
+}

@@ -113,7 +113,8 @@ void PrintStats(const char* primitive, const std::vector<Row>& rows,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgs::bench::InitBenchTelemetry(&argc, argv);
   hgs::bench::PrintPreamble(
       "Table 1: index access costs across retrieval primitives",
       "see header comment — Copy fastest/biggest, Log smallest/slowest, "
@@ -224,6 +225,14 @@ int main() {
   std::printf("\n== fetch efficiency (snapshot) ==\n");
   for (const Row& r : rows) {
     hgs::bench::PrintFetchEfficiency(r.name.c_str(), r.snapshot);
+    hgs::bench::JsonRow("table1", r.name + "_storage_bytes",
+                        static_cast<double>(r.storage), "bytes");
+    hgs::bench::JsonRow("table1", r.name + "_snapshot_ms",
+                        r.snapshot.wall_seconds * 1e3, "ms");
+    hgs::bench::JsonRow(
+        "table1", r.name + "_snapshot_round_trips",
+        static_cast<double>(hgs::bench::FetchRoundTrips(r.snapshot)),
+        "round trips");
   }
   return 0;
 }

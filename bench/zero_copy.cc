@@ -85,6 +85,12 @@ void PrintRow(const char* section, const char* mode, const Measured& m) {
   std::printf("%-10s %-14s time_ms=%8.2f allocs=%9zu alloc_bytes=%11zu "
               "value_copies=%7zu\n",
               section, mode, m.ms, m.allocs, m.alloc_bytes, m.value_copies);
+  std::string stem = std::string(section) + "_" + mode;
+  hgs::bench::JsonRow("zero_copy", stem + "_time_ms", m.ms, "ms");
+  hgs::bench::JsonRow("zero_copy", stem + "_value_copies",
+                      static_cast<double>(m.value_copies), "copies");
+  hgs::bench::JsonRow("zero_copy", stem + "_alloc_bytes",
+                      static_cast<double>(m.alloc_bytes), "bytes");
 }
 
 template <typename Fn>
@@ -104,7 +110,8 @@ Measured Measure(Fn&& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hgs::bench::InitBenchTelemetry(&argc, argv);
   hgs::bench::PrintPreamble(
       "Zero-copy storage values: copies, allocations and latency vs the "
       "string-copy baseline",

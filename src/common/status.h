@@ -68,6 +68,9 @@ class Status {
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
 

@@ -117,4 +117,21 @@ void ParallelFor(size_t n, size_t parallelism,
   state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
+Status StatusParallelFor(size_t n, size_t parallelism,
+                         const std::function<Status(size_t)>& fn) {
+  std::mutex mu;
+  size_t first_bad = n;
+  Status first_status = Status::OK();
+  ParallelFor(n, parallelism, [&](size_t i) {
+    Status s = fn(i);
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (i < first_bad) {
+      first_bad = i;
+      first_status = std::move(s);
+    }
+  });
+  return first_status;
+}
+
 }  // namespace hgs

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace hgs {
 
 class ThreadPool {
@@ -80,6 +82,15 @@ ThreadPool& SharedWorkPool();
 /// (Callers in this codebase report failure through Status captures.)
 void ParallelFor(size_t n, size_t parallelism,
                  const std::function<void(size_t)>& fn);
+
+/// ParallelFor whose body reports failure through Status. Every iteration
+/// runs (helpers have no cancellation channel); the returned status is the
+/// failure with the lowest iteration index, so error reporting is
+/// deterministic regardless of worker interleaving. Used by the parallel
+/// ingest pipeline, where a deterministic first error keeps parallel and
+/// serial ingest behaviorally identical.
+Status StatusParallelFor(size_t n, size_t parallelism,
+                         const std::function<Status(size_t)>& fn);
 
 }  // namespace hgs
 

@@ -67,6 +67,35 @@ Status Cluster::Put(std::string_view table, uint64_t partition,
   return Status::OK();
 }
 
+Status Cluster::MultiPut(std::string_view table, std::vector<PutRow> rows,
+                         size_t* put_batches) {
+  if (put_batches != nullptr) *put_batches = 0;
+  if (rows.empty()) return Status::OK();
+
+  // Compress each row once and fan the shared buffer out to its replicas'
+  // node groups.
+  std::unordered_map<size_t, std::vector<NodePutRow>> by_node;
+  for (PutRow& row : rows) {
+    std::string phys = PhysicalKey(table, row.partition, row.key);
+    auto stored = std::make_shared<const std::string>(
+        Compress(row.value, options_.compression));
+    uint64_t token = PlacementToken(table, row.partition);
+    for (size_t node : Replicas(token)) {
+      by_node[node].push_back(NodePutRow{phys, stored});
+    }
+  }
+
+  // One concurrent batched submission per node: group commit.
+  std::vector<std::future<void>> inflight;
+  inflight.reserve(by_node.size());
+  for (auto& [node, batch] : by_node) {
+    inflight.push_back(nodes_[node]->SubmitPutBatch(std::move(batch)));
+  }
+  if (put_batches != nullptr) *put_batches = inflight.size();
+  for (auto& fut : inflight) fut.get();
+  return Status::OK();
+}
+
 Result<SharedValue> Cluster::Get(std::string_view table, uint64_t partition,
                                  std::string_view key, size_t* value_copies) {
   if (value_copies != nullptr) *value_copies = 0;
@@ -236,6 +265,39 @@ uint64_t Cluster::TotalBytesRead() const {
     total += n->stats().bytes_read.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+uint64_t Cluster::TotalPutBatches() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().put_batches.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalRowsPut() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().rows_put.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalBytesPut() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->stats().bytes_put.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Cluster::ContentFingerprint() const {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& n : nodes_) {
+    h ^= n->ContentFingerprint();
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 void Cluster::ResetStats() {

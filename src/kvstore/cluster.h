@@ -41,6 +41,13 @@ struct MultiGetKey {
   std::string key;
 };
 
+/// One row of a batched write.
+struct PutRow {
+  uint64_t partition = 0;
+  std::string key;
+  std::string value;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
@@ -48,6 +55,16 @@ class Cluster {
   /// Writes to all replicas of the token's placement group.
   Status Put(std::string_view table, uint64_t partition, std::string_view key,
              std::string_view value);
+
+  /// Group-committed batch write: each row is compressed once, rows are
+  /// grouped by replica storage node, and every node receives its whole
+  /// group as ONE batched submission — the MultiGet batching discipline
+  /// mirrored for writes. Replicas of a row share one value buffer. All
+  /// node batches are committed concurrently through the nodes' server
+  /// pools. When `put_batches` is non-null it receives the number of node
+  /// submissions this call issued.
+  Status MultiPut(std::string_view table, std::vector<PutRow> rows,
+                  size_t* put_batches = nullptr);
 
   /// Reads one replica (load-balanced), failing over to others when a node
   /// is down. NotFound when no replica holds the key. The returned value is
@@ -97,6 +114,15 @@ class Cluster {
   /// Aggregate read requests (gets + scans) across nodes.
   uint64_t TotalReadRequests() const;
   uint64_t TotalBytesRead() const;
+  /// Aggregate write-side counters across nodes (replica writes counted at
+  /// every replica): write submissions, rows written, value bytes written.
+  uint64_t TotalPutBatches() const;
+  uint64_t TotalRowsPut() const;
+  uint64_t TotalBytesPut() const;
+  /// Order-stable fingerprint of all resident contents, per node. Two
+  /// clusters loaded with byte-identical data compare equal regardless of
+  /// the order or batching of the writes that produced them.
+  uint64_t ContentFingerprint() const;
   void ResetStats();
 
   /// Monotonic counter bumped whenever index metadata is (re-)published

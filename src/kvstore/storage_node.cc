@@ -134,16 +134,51 @@ std::future<Result<std::vector<KVPair>>> StorageNode::SubmitScan(
 
 void StorageNode::Put(std::string key, std::string value) {
   auto stored = std::make_shared<const std::string>(std::move(value));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = data_.find(key);
-  if (it != data_.end()) {
-    stats_.bytes_stored.fetch_sub(it->second->size(),
-                                  std::memory_order_relaxed);
+  size_t bytes = stored->size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (it != data_.end()) {
+      stats_.bytes_stored.fetch_sub(it->second->size(),
+                                    std::memory_order_relaxed);
+    }
+    stats_.bytes_stored.fetch_add(bytes, std::memory_order_relaxed);
+    // Swap in the new buffer; readers holding views of the old one keep it
+    // alive through their shared owners.
+    data_[std::move(key)] = std::move(stored);
   }
-  stats_.bytes_stored.fetch_add(stored->size(), std::memory_order_relaxed);
-  // Swap in the new buffer; readers holding views of the old one keep it
-  // alive through their shared owners.
-  data_[std::move(key)] = std::move(stored);
+  stats_.put_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.rows_put.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(bytes, std::memory_order_relaxed);
+  if (latency_.charge_writes) ChargeLatency(1, bytes);
+}
+
+void StorageNode::PutBatch(std::vector<NodePutRow> rows) {
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (NodePutRow& row : rows) {
+      bytes += row.value->size();
+      auto it = data_.find(row.key);
+      if (it != data_.end()) {
+        stats_.bytes_stored.fetch_sub(it->second->size(),
+                                      std::memory_order_relaxed);
+      }
+      stats_.bytes_stored.fetch_add(row.value->size(),
+                                    std::memory_order_relaxed);
+      data_[std::move(row.key)] = std::move(row.value);
+    }
+  }
+  stats_.put_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.rows_put.fetch_add(rows.size(), std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(bytes, std::memory_order_relaxed);
+  // One round trip commits the whole batch.
+  if (latency_.charge_writes) ChargeLatency(rows.size(), bytes);
+}
+
+std::future<void> StorageNode::SubmitPutBatch(std::vector<NodePutRow> rows) {
+  return servers_.Submit(
+      [this, rows = std::move(rows)]() mutable { PutBatch(std::move(rows)); });
 }
 
 bool StorageNode::Delete(const std::string& key) {
@@ -160,12 +195,27 @@ size_t StorageNode::NumKeys() const {
   return data_.size();
 }
 
+uint64_t StorageNode::ContentFingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const auto& [key, value] : data_) {
+    h ^= Fnv1a64(key.data(), key.size());
+    h *= 1099511628211ull;
+    h ^= Fnv1a64(value->data(), value->size());
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 void StorageNode::ResetStats() {
   stats_.get_requests.store(0);
   stats_.scan_requests.store(0);
   stats_.keys_read.store(0);
   stats_.bytes_read.store(0);
   stats_.simulated_micros.store(0);
+  stats_.put_batches.store(0);
+  stats_.rows_put.store(0);
+  stats_.bytes_put.store(0);
 }
 
 }  // namespace hgs

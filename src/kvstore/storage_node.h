@@ -36,6 +36,12 @@ struct LatencyModel {
   double bytes_per_micro = 120.0;  // ~120 MB/s
   /// When false, requests complete instantly (pure in-memory store).
   bool enabled = true;
+  /// When true, writes are charged the same seek/per-key/per-byte costs as
+  /// reads (a put is a round trip too). Off by default: the paper's
+  /// evaluation measures retrieval, not construction, and the existing
+  /// figure benches assume free writes. The ingest bench turns this on to
+  /// make the group-commit batching discipline measurable.
+  bool charge_writes = false;
   /// Wait implementation. Precise waits hit sub-millisecond deadlines by
   /// spinning the residue the OS sleep can't express (use when exact
   /// per-request latency matters and waiter concurrency is low). Coarse
@@ -57,6 +63,21 @@ struct StorageNodeStats {
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_stored{0};
   std::atomic<uint64_t> simulated_micros{0};
+  // Write-side counters (the ingest path's FetchStats analogue): every
+  // write submission is one batch, so row-at-a-time ingest shows
+  // put_batches == rows_put while group-committed ingest shows
+  // put_batches << rows_put.
+  std::atomic<uint64_t> put_batches{0};
+  std::atomic<uint64_t> rows_put{0};
+  std::atomic<uint64_t> bytes_put{0};
+};
+
+/// One row of a group-committed write batch. The value buffer is shared:
+/// the cluster compresses each logical row once and every replica stores
+/// the same buffer.
+struct NodePutRow {
+  std::string key;
+  std::shared_ptr<const std::string> value;
 };
 
 class StorageNode {
@@ -82,9 +103,19 @@ class StorageNode {
   /// Values are zero-copy views of node memory.
   std::future<Result<std::vector<KVPair>>> SubmitScan(std::string prefix);
 
-  /// Write (no simulated latency: index construction is not a measured
-  /// quantity in the paper's evaluation).
+  /// Point write, counted as a degenerate batch of one. Synchronous; only
+  /// charged simulated latency when the model's `charge_writes` is on.
   void Put(std::string key, std::string value);
+
+  /// Group commit: applies all rows under one lock acquisition and counts
+  /// the whole batch as ONE write submission (one seek when writes are
+  /// charged), mirroring SubmitMultiGet on the read side.
+  void PutBatch(std::vector<NodePutRow> rows);
+
+  /// PutBatch through the node's server pool, so one client can commit to
+  /// several nodes concurrently (Cluster::MultiPut waits on the futures).
+  std::future<void> SubmitPutBatch(std::vector<NodePutRow> rows);
+
   bool Delete(const std::string& key);
 
   /// Failure injection: a down node fails every request with IOError.
@@ -92,6 +123,12 @@ class StorageNode {
   bool IsDown() const { return down_.load(std::memory_order_relaxed); }
 
   size_t NumKeys() const;
+
+  /// Order-stable FNV-1a fingerprint of the resident contents (key and
+  /// value bytes in key order). Test/diagnostic hook: two nodes holding
+  /// byte-identical data fingerprint equal regardless of write order.
+  uint64_t ContentFingerprint() const;
+
   const StorageNodeStats& stats() const { return stats_; }
   void ResetStats();
 

@@ -3,7 +3,7 @@
 namespace hgs {
 
 Partitioning PartitionTimespan(const Graph& start_state,
-                               const std::vector<Event>& events,
+                               std::span<const Event> events,
                                TimeInterval span,
                                const DynamicPartitionOptions& options) {
   if (options.strategy == PartitionStrategy::kRandom) {

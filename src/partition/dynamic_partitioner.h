@@ -5,6 +5,7 @@
 #ifndef HGS_PARTITION_DYNAMIC_PARTITIONER_H_
 #define HGS_PARTITION_DYNAMIC_PARTITIONER_H_
 
+#include <span>
 #include <vector>
 
 #include "partition/static_partitioner.h"
@@ -27,7 +28,7 @@ struct DynamicPartitionOptions {
 /// Computes the partitioning to use for a timespan, from the state at span
 /// start and the span's events.
 Partitioning PartitionTimespan(const Graph& start_state,
-                               const std::vector<Event>& events,
+                               std::span<const Event> events,
                                TimeInterval span,
                                const DynamicPartitionOptions& options);
 

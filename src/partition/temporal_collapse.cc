@@ -61,7 +61,7 @@ struct NodeAccum {
 }  // namespace
 
 WeightedGraph CollapseTemporalGraph(const Graph& start_state,
-                                    const std::vector<Event>& events,
+                                    std::span<const Event> events,
                                     TimeInterval span,
                                     const CollapseOptions& options) {
   if (options.edge_fn == CollapseFn::kMedian) {

@@ -6,6 +6,7 @@
 #ifndef HGS_PARTITION_TEMPORAL_COLLAPSE_H_
 #define HGS_PARTITION_TEMPORAL_COLLAPSE_H_
 
+#include <span>
 #include <vector>
 
 #include "delta/event.h"
@@ -42,7 +43,7 @@ struct CollapseOptions {
 /// Collapses `start_state` evolved by `events` (chronological, timestamps in
 /// [span.start, span.end)) into a weighted static graph.
 WeightedGraph CollapseTemporalGraph(const Graph& start_state,
-                                    const std::vector<Event>& events,
+                                    std::span<const Event> events,
                                     TimeInterval span,
                                     const CollapseOptions& options);
 

@@ -15,12 +15,22 @@
 //   5. when 1-hop replication is on, emits auxiliary micro-deltas carrying
 //      the records of out-of-partition neighbors.
 //
-// Event streams must have strictly increasing timestamps (a transaction-time
+// The build of one timespan is a two-phase pipeline. A serial streaming
+// phase performs the order-sensitive work: event routing, checkpoint
+// placement and version-chain accumulation. A parallel encode phase then
+// shards the hot work — leaf compaction, intersection-tree algebra,
+// micro-partition splits, row serialization — across
+// TGIOptions::ingest_threads workers and group-commits the encoded rows per
+// storage node through Cluster::MultiPut. Parallel ingest produces
+// byte-identical storage contents to serial ingest.
+//
+// Event streams must have non-decreasing timestamps (a transaction-time
 // order), and RemoveEdge events must precede the RemoveNode of an endpoint.
 
 #ifndef HGS_TGI_BUILDER_H_
 #define HGS_TGI_BUILDER_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -36,15 +46,28 @@ class TGIBuilder {
  public:
   TGIBuilder(Cluster* cluster, TGIOptions options);
 
-  /// Appends events (chronological, strictly increasing timestamps; must
-  /// also be after everything previously ingested). Complete timespans are
-  /// built and persisted as they fill up.
+  /// Appends events (chronological, non-decreasing timestamps; must also be
+  /// after everything previously ingested). The whole batch is validated up
+  /// front — an invalid batch is rejected atomically, before any event is
+  /// buffered. Complete timespans are built and persisted as they fill up.
   Status Ingest(const std::vector<Event>& events);
 
   /// Builds the final partial timespan and writes the global metadata.
   /// Further Ingest calls continue the index (batch updates); call Finish
   /// again to re-publish metadata.
   Status Finish();
+
+  /// Backfill path for Friendster-scale histories: validates the whole
+  /// stream once, splits it into timespans, builds independent spans
+  /// bottom-up across the worker pool (each span's start state is replayed
+  /// ahead sequentially, then the spans encode and group-commit their rows
+  /// concurrently), and publishes the global metadata exactly once at the
+  /// end. Produces byte-identical storage contents to Ingest + Finish over
+  /// the same stream. Requires timespan-aligned state: no partial span may
+  /// be pending (a fresh builder, or one whose ingested event count is a
+  /// multiple of events_per_timespan). On failure the builder state is
+  /// unspecified.
+  Status BulkLoad(const std::vector<Event>& events);
 
   /// State of the graph after everything ingested so far.
   const Graph& current_state() const { return state_; }
@@ -55,7 +78,22 @@ class TGIBuilder {
   }
 
  private:
+  /// One prepass over a batch: timestamps must be non-decreasing and start
+  /// at or after everything previously ingested. Reports the offending
+  /// batch index, so span builds never see invalid input mid-flight.
+  Status ValidateBatch(const std::vector<Event>& events) const;
+
+  /// ingest_threads with the 0 = hardware-concurrency default applied.
+  size_t EffectiveIngestThreads() const;
+
   Status BuildTimespan(const std::vector<Event>& events);
+
+  /// Builds and stores timespan `tsid` from `events`, which start from
+  /// graph state `span_start`. On success, `*end_state` (when non-null)
+  /// receives the graph state after the span; `end_state` may alias a
+  /// member the caller passes as `span_start` (it is only written last).
+  Status BuildTimespanFrom(std::span<const Event> events, TimespanId tsid,
+                           const Graph& span_start, Graph* end_state);
 
   Cluster* cluster_;
   TGIOptions options_;

@@ -76,4 +76,18 @@ std::string VersionScanPrefix(NodeId id) {
   return key;
 }
 
+std::string TimespanRowKey(TimespanId tsid) {
+  std::string key;
+  key.reserve(4);
+  AppendOrdered32(&key, tsid);
+  return key;
+}
+
+std::string MicropartBucketRowKey(uint32_t bucket) {
+  std::string key;
+  key.reserve(4);
+  AppendOrdered32(&key, bucket);
+  return key;
+}
+
 }  // namespace hgs::tgi

@@ -76,6 +76,12 @@ std::string VersionRowKey(NodeId id, TimespanId tsid);
 /// Prefix matching all version-chain segments of a node.
 std::string VersionScanPrefix(NodeId id);
 
+/// Row key of a timespan's metadata row in the Timespans table.
+std::string TimespanRowKey(TimespanId tsid);
+
+/// Row key of one bucket of the Micropartitions table.
+std::string MicropartBucketRowKey(uint32_t bucket);
+
 }  // namespace hgs::tgi
 
 #endif  // HGS_TGI_LAYOUT_H_

@@ -83,6 +83,25 @@ struct TGIOptions {
   /// sharded like read_cache_shards. 0 disables the tier.
   size_t decoded_cache_bytes = 32ull << 20;
 
+  /// Worker parallelism of the ingest pipeline. The event stream of a
+  /// timespan is still sequenced on one thread (routing, checkpoint
+  /// placement, version-chain accumulation are order-sensitive), but the
+  /// hot work — leaf compaction, intersection-tree algebra, micro-partition
+  /// splits, row serialization — is sharded across this many workers of the
+  /// shared pool, and encoded rows are group-committed per storage node via
+  /// Cluster::MultiPut. BulkLoad additionally builds this many timespans
+  /// concurrently. Parallel ingest produces byte-identical storage contents
+  /// to serial ingest (asserted by ingest_determinism_test). 0 = one worker
+  /// per hardware thread; 1 = fully serial.
+  size_t ingest_threads = 0;
+
+  /// Commit encoded rows via Cluster::MultiPut group batches (one batched
+  /// submission per storage node per table). false falls back to
+  /// row-at-a-time Cluster::Put — the pre-pipeline write contract, kept as
+  /// the measured baseline of bench_ingest. Storage contents are identical
+  /// either way.
+  bool group_commit_puts = true;
+
   /// TinyLFU-style admission on both read-side cache tiers: a doorkeeper
   /// bit array plus a small frequency sketch gate inserts that would evict,
   /// so one cold snapshot scan over the whole key space cannot flush a hot

@@ -779,8 +779,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
       return Partitioning::Random(span.num_micro_partitions).HashFallback(id);
     }
   }
-  std::string key;
-  AppendOrdered32(&key, static_cast<uint32_t>(bucket));
+  std::string key = tgi::MicropartBucketRowKey(static_cast<uint32_t>(bucket));
   HGS_ASSIGN_OR_RETURN(
       std::optional<SharedValue> raw,
       FetchValue(meta, tgi::kMicropartsTable, cache_key, key, stats));

@@ -32,6 +32,13 @@ class TGI {
     return builder_.Finish();
   }
 
+  /// Backfill path for complete histories: builds timespans bottom-up
+  /// across the worker pool and publishes metadata once at the end.
+  /// Byte-identical storage contents to BuildFrom over the same stream.
+  Status BulkLoad(const std::vector<Event>& events) {
+    return builder_.BulkLoad(events);
+  }
+
   /// Opens a query manager with `fetch_parallelism` parallel fetch clients
   /// and the read-cache configuration of this index's options.
   Result<std::unique_ptr<TGIQueryManager>> OpenQueryManager(

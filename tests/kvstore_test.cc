@@ -237,6 +237,61 @@ TEST(MultiGetTest, OneBatchCountsAsOneRequestAndOneSeek) {
   EXPECT_EQ(c.TotalReadRequests(), 1u);
 }
 
+TEST(MultiPutTest, MatchesLoopedPutContentsAndCounters) {
+  Cluster looped(FastOptions(3, 1));
+  Cluster grouped(FastOptions(3, 1));
+  std::vector<PutRow> rows;
+  for (uint64_t p = 0; p < 8; ++p) {
+    for (int k = 0; k < 5; ++k) {
+      std::string key = "k" + std::to_string(p) + "-" + std::to_string(k);
+      std::string value = "v" + std::to_string(p * 10 + k);
+      ASSERT_TRUE(looped.Put("t", p, key, value).ok());
+      rows.push_back(PutRow{p, key, value});
+    }
+  }
+  size_t batches = 0;
+  ASSERT_TRUE(grouped.MultiPut("t", std::move(rows), &batches).ok());
+  // Group commit: no more batches than nodes, far fewer than rows.
+  EXPECT_GT(batches, 0u);
+  EXPECT_LE(batches, grouped.num_nodes());
+  EXPECT_EQ(grouped.TotalPutBatches(), batches);
+  EXPECT_EQ(grouped.TotalRowsPut(), 40u);
+  // Identical stored state either way.
+  EXPECT_EQ(grouped.ContentFingerprint(), looped.ContentFingerprint());
+  EXPECT_EQ(grouped.TotalKeys(), looped.TotalKeys());
+  auto got = grouped.Get("t", 3, "k3-2");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v32");
+}
+
+TEST(MultiPutTest, ReplicatedRowsSurviveNodeFailure) {
+  Cluster c(FastOptions(3, 2));
+  std::vector<PutRow> rows;
+  for (uint64_t p = 0; p < 30; ++p) {
+    rows.push_back(PutRow{p, "k" + std::to_string(p), "v" + std::to_string(p)});
+  }
+  ASSERT_TRUE(c.MultiPut("t", std::move(rows)).ok());
+  EXPECT_EQ(c.TotalRowsPut(), 60u);  // one stored row per replica
+  c.SetNodeDown(0, true);
+  for (uint64_t p = 0; p < 30; ++p) {
+    auto got = c.Get("t", p, "k" + std::to_string(p));
+    ASSERT_TRUE(got.ok()) << "partition " << p;
+    EXPECT_EQ(*got, "v" + std::to_string(p));
+  }
+}
+
+TEST(MultiPutTest, CompressionIsTransparent) {
+  ClusterOptions opts = FastOptions(1);
+  opts.compression = CompressionKind::kLz;
+  Cluster c(opts);
+  std::string value;
+  for (int i = 0; i < 200; ++i) value += "repetitive-payload-";
+  ASSERT_TRUE(c.MultiPut("t", {PutRow{1, "k", value}}).ok());
+  auto got = c.Get("t", 1, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+}
+
 TEST(SharedValueTest, ViewsSurviveOverwriteAndDelete) {
   // The refcounted owner keeps a fetched buffer alive across overwrites and
   // deletes of its key: views never dangle, they just go stale.

@@ -336,6 +336,72 @@ TEST(SharedValueLifetimeTest, QueriesRaceAppendBatchCacheInvalidation) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+TEST(SharedValueLifetimeTest, ParallelIngestRacesReadersUnderTinyCaches) {
+  // The sharded ingest pipeline (8 encode workers, group-committed puts)
+  // publishes batch after batch while readers hammer the first completed
+  // timespan through both cache tiers squeezed far below the working set.
+  // Encode workers, node server pools, cache eviction and epoch
+  // invalidation all overlap here; under TSan this is the race proof for
+  // the write pipeline. Every snapshot must equal the event-log replay no
+  // matter which publish epoch it raced.
+  auto events = History(4411, 6'000);
+  Cluster cluster(FastCluster());
+  TGIOptions opts;
+  opts.events_per_timespan = 1'500;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 300;
+  opts.micro_delta_size = 64;
+  opts.num_horizontal_partitions = 2;
+  opts.ingest_threads = 8;
+  opts.read_cache_bytes = 32u << 10;  // continuous eviction
+  opts.decoded_cache_bytes = 32u << 10;
+  TGI tgi(&cluster, opts);
+
+  const size_t first_chunk = 2'000;
+  ASSERT_TRUE(
+      tgi.BuildFrom({events.begin(),
+                     events.begin() + static_cast<long>(first_chunk)})
+          .ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  std::vector<Timestamp> probes = {events[300].time, events[900].time,
+                                   events[1'400].time};
+  std::vector<Graph> expected;
+  for (Timestamp t : probes) {
+    expected.push_back(workload::ReplayToGraph(events, t));
+  }
+
+  std::atomic<int> bad{0};
+  std::atomic<bool> stop{false};
+  std::thread appender([&] {
+    for (size_t start = first_chunk;
+         start < events.size() && !stop.load(std::memory_order_relaxed);
+         start += 600) {
+      size_t end = std::min(events.size(), start + 600);
+      std::vector<Event> batch(events.begin() + static_cast<long>(start),
+                               events.begin() + static_cast<long>(end));
+      if (!tgi.AppendBatch(batch).ok()) {
+        ++bad;
+        return;
+      }
+    }
+  });
+  ParallelFor(6, 6, [&](size_t tid) {
+    Rng rng(tid + 31);
+    for (int iter = 0; iter < 40; ++iter) {
+      size_t p = rng.Uniform(probes.size());
+      auto snap = qm->GetSnapshot(probes[p]);
+      if (!snap.ok() || !(*snap == expected[p])) ++bad;
+      NodeId id = static_cast<NodeId>(rng.Uniform(50));
+      auto hist = qm->GetNodeHistory(id, 0, probes[p]);
+      if (!hist.ok()) ++bad;
+    }
+  });
+  stop.store(true);
+  appender.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
 TEST(UpdateStressTest, ManySmallBatchesEqualOneBigBuild) {
   auto events = History(555, 6'000);
   Cluster incremental_cluster(FastCluster());
