@@ -248,6 +248,38 @@ class ShardedLruCache {
     return true;
   }
 
+  /// Result of a RetainIf sweep.
+  struct RetainResult {
+    uint64_t retained = 0;
+    uint64_t evicted = 0;
+  };
+
+  /// Keeps only the entries for which `pred(key)` is true, dropping the
+  /// rest (counted as evictions). The precision-invalidation primitive:
+  /// a publish evicts exactly the scopes it touched instead of Clear()ing
+  /// the whole cache. Each shard is swept under its own mutex.
+  template <typename Pred>
+  RetainResult RetainIf(Pred pred) {
+    RetainResult result;
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (pred(it->key)) {
+          ++result.retained;
+          ++it;
+          continue;
+        }
+        shard.bytes -= it->charge;
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.evictions;
+        ++result.evicted;
+      }
+    }
+    return result;
+  }
+
   /// Drops every entry (hit/miss counters are retained).
   void Clear() {
     for (auto& shard_ptr : shards_) {

@@ -1,5 +1,8 @@
 #include "delta/event.h"
 
+#include <string_view>
+#include <tuple>
+
 namespace hgs {
 
 const char* EventTypeToString(EventType type) {
@@ -359,6 +362,19 @@ void ApplyEventToGraph(const Event& e, Graph* g) {
       break;
     }
   }
+}
+
+bool EventTotalOrder(const Event& a, const Event& b) {
+  auto key = [](const Event& e) {
+    return std::tuple(e.time, static_cast<uint8_t>(e.type), e.u, e.v,
+                      e.directed, std::string_view(e.key),
+                      std::string_view(e.value),
+                      std::string_view(e.prev_value));
+  };
+  auto ka = key(a);
+  auto kb = key(b);
+  if (ka != kb) return ka < kb;
+  return a.attrs.entries() < b.attrs.entries();
 }
 
 }  // namespace hgs

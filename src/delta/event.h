@@ -88,6 +88,15 @@ struct Event {
 /// apply path is defensive).
 void ApplyEventToGraph(const Event& e, Graph* g);
 
+/// Total order over events, refining time order. Sorting by time alone
+/// leaves same-timestamp events in arbitrary relative order, so duplicates
+/// (an internal edge event arrives once per endpoint's micro-partition row)
+/// may end up non-adjacent and survive std::unique. Ordering on every field
+/// that participates in Event equality — including the initial attributes
+/// of add events (sorted flat vectors, so lexicographically comparable) —
+/// guarantees equal events are adjacent after the sort.
+bool EventTotalOrder(const Event& a, const Event& b);
+
 void SerializeAttributes(const Attributes& attrs, BinaryWriter* w);
 /// Exact number of bytes SerializeAttributes writes.
 size_t AttributesWireSize(const Attributes& attrs);

@@ -304,4 +304,33 @@ void Cluster::ResetStats() {
   for (auto& n : nodes_) n->ResetStats();
 }
 
+void Cluster::PublishTouched(std::vector<EpochKey> touched) {
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  auto next = std::make_shared<EpochVector>(*epochs_);
+  next->global += 1;
+  for (EpochKey key : touched) {
+    auto it = std::lower_bound(
+        next->sub.begin(), next->sub.end(), key,
+        [](const std::pair<EpochKey, uint64_t>& e, EpochKey k) {
+          return e.first < k;
+        });
+    if (it != next->sub.end() && it->first == key) {
+      it->second = next->global;
+    } else {
+      next->sub.insert(it, {key, next->global});
+    }
+  }
+  epochs_ = std::move(next);
+}
+
+void Cluster::BumpPublishEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  auto next = std::make_shared<EpochVector>();
+  next->global = epochs_->global + 1;
+  next->base = next->global;
+  epochs_ = std::move(next);
+}
+
 }  // namespace hgs

@@ -10,10 +10,13 @@
 #ifndef HGS_KVSTORE_CLUSTER_H_
 #define HGS_KVSTORE_CLUSTER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/compression.h"
@@ -47,6 +50,30 @@ struct PutRow {
   std::string key;
   std::string value;
 };
+
+/// The publish-epoch map: an immutable snapshot of the index's visibility
+/// state. `global` counts publishes; a scope absent from `sub` was last
+/// invalidated at `base`. Readers pin one EpochVectorRef for the duration
+/// of a query and key their caches by `SubEpoch(scope)`, so a publish that
+/// touched scopes {A, B} leaves every other scope's cache entries valid.
+struct EpochVector {
+  uint64_t global = 0;
+  uint64_t base = 0;
+  /// Sorted by EpochKey; values are the epoch of the scope's last publish.
+  std::vector<std::pair<EpochKey, uint64_t>> sub;
+
+  uint64_t SubEpoch(EpochKey key) const {
+    auto it = std::lower_bound(
+        sub.begin(), sub.end(), key,
+        [](const std::pair<EpochKey, uint64_t>& e, EpochKey k) {
+          return e.first < k;
+        });
+    if (it != sub.end() && it->first == key) return it->second;
+    return base;
+  }
+};
+
+using EpochVectorRef = std::shared_ptr<const EpochVector>;
 
 class Cluster {
  public:
@@ -125,15 +152,27 @@ class Cluster {
   uint64_t ContentFingerprint() const;
   void ResetStats();
 
-  /// Monotonic counter bumped whenever index metadata is (re-)published
-  /// (e.g. by TGIBuilder::Finish). Read-side caches compare it against the
-  /// value they observed at fill time and invalidate on mismatch.
-  uint64_t publish_epoch() const {
-    return publish_epoch_.load(std::memory_order_acquire);
+  /// The current publish-epoch map. The returned snapshot is immutable;
+  /// publishes swap in a fresh copy, so a pinned ref stays internally
+  /// consistent across concurrent publishes.
+  EpochVectorRef epochs() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return epochs_;
   }
-  void BumpPublishEpoch() {
-    publish_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  }
+
+  /// The global publish counter (compatibility accessor): bumped by every
+  /// publish, scoped or blanket.
+  uint64_t publish_epoch() const { return epochs()->global; }
+
+  /// Scoped publish: advances the global epoch and copies-on-write only
+  /// the touched scopes' sub-epochs. Cache entries keyed under any other
+  /// scope's sub-epoch remain valid.
+  void PublishTouched(std::vector<EpochKey> touched);
+
+  /// Blanket publish: advances the global epoch and invalidates every
+  /// scope (base jumps to the new global, the sub map empties). The
+  /// conservative fallback for writers that don't track what they touched.
+  void BumpPublishEpoch();
 
  private:
   std::string PhysicalKey(std::string_view table, uint64_t partition,
@@ -144,7 +183,8 @@ class Cluster {
   ClusterOptions options_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::atomic<uint64_t> read_counter_{0};  // replica load balancing
-  std::atomic<uint64_t> publish_epoch_{0};
+  mutable std::mutex epoch_mu_;
+  EpochVectorRef epochs_ = std::make_shared<const EpochVector>();
 };
 
 }  // namespace hgs

@@ -50,6 +50,20 @@ inline uint64_t PlacementToken(std::string_view table, uint64_t partition) {
   return h;
 }
 
+/// One invalidation scope in the publish-epoch map: a (table, partition)
+/// pair collapsed to a bucketed identifier. Raw partitions are bucketed
+/// because the versions table uses per-node 64-bit hash partitions — an
+/// unbounded domain that would grow the epoch map without bound. A bucket
+/// collision merges two scopes, which can only over-invalidate (a reader
+/// re-fetches data that was still valid), never under-invalidate.
+using EpochKey = uint64_t;
+
+inline constexpr uint64_t kEpochPartitionBuckets = 1024;
+
+inline EpochKey MakeEpochKey(std::string_view table, uint64_t partition) {
+  return PlacementToken(table, partition % kEpochPartitionBuckets);
+}
+
 }  // namespace hgs
 
 #endif  // HGS_KVSTORE_KV_TYPES_H_

@@ -3,34 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
-#include <string_view>
-#include <tuple>
 #include <unordered_set>
 #include <utility>
 
 namespace hgs::taf {
 
 namespace {
-
-/// Total order over events used before deduplication. Sorting by time alone
-/// leaves same-timestamp events in arbitrary relative order, so duplicates
-/// (internal edge events arrive once per endpoint history) may end up
-/// non-adjacent and survive std::unique. Ordering on every field that
-/// participates in Event equality — including the initial attributes of
-/// add events (sorted flat vectors, so lexicographically comparable) —
-/// guarantees equal events are adjacent after the sort.
-bool EventTotalOrder(const Event& a, const Event& b) {
-  auto key = [](const Event& e) {
-    return std::tuple(e.time, static_cast<uint8_t>(e.type), e.u, e.v,
-                      e.directed, std::string_view(e.key),
-                      std::string_view(e.value),
-                      std::string_view(e.prev_value));
-  };
-  auto ka = key(a);
-  auto kb = key(b);
-  if (ka != kb) return ka < kb;
-  return a.attrs.entries() < b.attrs.entries();
-}
 
 /// [begin, end) of share `w` out of `shares` over n items (Fig 10: each
 /// worker pulls its contiguous share of the candidate set in one bulk
@@ -210,27 +188,20 @@ Result<SoTS> SubgraphSetSpec::Fetch(FetchStats* stats) const {
     members.insert(seeds_[i]);
     Delta initial = Delta::FromGraph(*hood);
 
-    // Member histories give the subgraph's events, fetched set-at-a-time:
-    // one bulk retrieval per subgraph, so eventlists shared by members are
-    // fetched once. Edge events internal to the member set still arrive
-    // twice (once per endpoint history); sorting by the full total order —
-    // not just time — makes the duplicates adjacent even when distinct
-    // events share a timestamp, so std::unique reliably removes them.
+    // Member events arrive merged and deduplicated straight from the
+    // index: one bulk retrieval per subgraph, eventlists shared by members
+    // fetched once, and duplicates of internal edge events removed inside
+    // each (timespan, eventlist) chunk — so no per-node histories are
+    // materialized and no global sort over the union runs.
     std::vector<NodeId> member_ids(members.begin(), members.end());
     std::sort(member_ids.begin(), member_ids.end());
-    auto hists = qm->GetNodeHistories(member_ids, from, to, &local);
-    if (!hists.ok()) {
-      fail(hists.status());
+    auto merged = qm->GetMergedMemberEvents(member_ids, from, to, &local);
+    if (!merged.ok()) {
+      fail(merged.status());
       return;
     }
     EventList events(from, to);
-    std::vector<Event> buffer;
-    for (const NodeHistory& hist : *hists) {
-      for (const Event& e : hist.events.events()) buffer.push_back(e);
-    }
-    std::sort(buffer.begin(), buffer.end(), EventTotalOrder);
-    buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
-    for (Event& e : buffer) events.Append(std::move(e));
+    for (Event& e : *merged) events.Append(std::move(e));
 
     SubgraphT sg(seeds_[i], std::move(members), std::move(initial),
                  std::move(events), from, to);

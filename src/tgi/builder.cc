@@ -136,9 +136,20 @@ Status TGIBuilder::Finish() {
       static_cast<uint32_t>(options_.micropartition_buckets);
   HGS_RETURN_NOT_OK(
       cluster_->Put(tgi::kGraphTable, 0, "meta", meta.Serialize()));
-  // Signal open query managers that their metadata and read caches are
-  // stale; they refresh lazily on their next query.
-  cluster_->BumpPublishEpoch();
+  // Signal open query managers that their metadata and the scopes this
+  // build wrote are stale; they refresh lazily on their next query,
+  // keeping cache entries of untouched scopes warm.
+  std::vector<EpochKey> touched;
+  {
+    std::lock_guard<std::mutex> lock(touched_mu_);
+    touched.swap(touched_scopes_);
+  }
+  touched.push_back(MakeEpochKey(tgi::kGraphTable, 0));
+  if (options_.coarse_publish_epoch) {
+    cluster_->BumpPublishEpoch();
+  } else {
+    cluster_->PublishTouched(std::move(touched));
+  }
   return Status::OK();
 }
 
@@ -607,6 +618,16 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
   }
   for (auto& row : evl_rows) delta_rows.push_back(std::move(row));
   for (auto& row : aux_evl_rows) delta_rows.push_back(std::move(row));
+  // Record every (table, partition) scope this span writes; Finish()
+  // publishes the set so readers invalidate only these scopes.
+  std::vector<EpochKey> touched;
+  touched.reserve(delta_rows.size() + version_rows.size() + 2);
+  for (const PutRow& row : delta_rows) {
+    touched.push_back(MakeEpochKey(tgi::kDeltasTable, row.partition));
+  }
+  for (const PutRow& row : version_rows) {
+    touched.push_back(MakeEpochKey(tgi::kVersionsTable, row.partition));
+  }
   HGS_RETURN_NOT_OK(commit(tgi::kDeltasTable, std::move(delta_rows)));
   HGS_RETURN_NOT_OK(commit(tgi::kVersionsTable, std::move(version_rows)));
 
@@ -627,6 +648,9 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
           PutRow{static_cast<uint64_t>(tsid) * buckets + b,
                  tgi::MicropartBucketRowKey(static_cast<uint32_t>(b)),
                  tgi::SerializeMicropartBucket(bucketed[b])});
+    }
+    for (const PutRow& row : micropart_rows) {
+      touched.push_back(MakeEpochKey(tgi::kMicropartsTable, row.partition));
     }
     HGS_RETURN_NOT_OK(
         commit(tgi::kMicropartsTable, std::move(micropart_rows)));
@@ -650,6 +674,12 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
   HGS_RETURN_NOT_OK(cluster_->Put(tgi::kTimespansTable, 0,
                                   tgi::TimespanRowKey(tsid),
                                   w.FinishWithChecksum()));
+  touched.push_back(MakeEpochKey(tgi::kTimespansTable, 0));
+  {
+    std::lock_guard<std::mutex> lock(touched_mu_);
+    touched_scopes_.insert(touched_scopes_.end(), touched.begin(),
+                           touched.end());
+  }
 
   HGS_LOG_INFO("built timespan " << tsid << ": " << events.size()
                                  << " events, " << meta.checkpoints.size()

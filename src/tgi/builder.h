@@ -30,6 +30,7 @@
 #ifndef HGS_TGI_BUILDER_H_
 #define HGS_TGI_BUILDER_H_
 
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -103,6 +104,13 @@ class TGIBuilder {
   Timestamp first_time_ = kMaxTimestamp;
   uint64_t total_events_ = 0;
   size_t next_tsid_ = 0;
+  /// Epoch scopes written since the last publish. Every span build records
+  /// the (table, partition) of each row it committed; Finish() publishes
+  /// the accumulated set through Cluster::PublishTouched so readers
+  /// invalidate exactly these scopes. Guarded because BulkLoad builds
+  /// spans concurrently.
+  std::mutex touched_mu_;
+  std::vector<EpochKey> touched_scopes_;
 };
 
 }  // namespace hgs

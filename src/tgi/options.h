@@ -102,6 +102,13 @@ struct TGIOptions {
   /// either way.
   bool group_commit_puts = true;
 
+  /// Publish metadata with the blanket global-epoch bump instead of the
+  /// partition-scoped PublishTouched. A blanket publish colds every
+  /// reader's cache tiers on the next query; the scoped publish (default)
+  /// invalidates only the (table, partition) scopes the writer touched.
+  /// Kept as bench_mixed_workload's measured baseline.
+  bool coarse_publish_epoch = false;
+
   /// TinyLFU-style admission on both read-side cache tiers: a doorkeeper
   /// bit array plus a small frequency sketch gate inserts that would evict,
   /// so one cold snapshot scan over the whole key space cannot flush a hot

@@ -111,10 +111,13 @@ Status ParallelStatusFor(
   return Status::OK();
 }
 
-// Cache key of one read: kind byte ('G' point read / 'S' scan), the publish
-// epoch the reading query ran at, table, partition token, then the row key
-// or scan prefix. Epoch-tagged keys make late inserts from an in-flight
-// old-epoch query invisible to queries running after an invalidation.
+// Cache key of one read: kind byte ('G' point read / 'S' scan), the
+// (table, partition) scope's SUB-epoch under the reading query's pinned
+// epoch map, table, partition token, then the row key or scan prefix.
+// Sub-epoch-tagged keys make late inserts from an in-flight old-epoch
+// query invisible to queries running after an invalidation, and leave a
+// publish that touched other scopes unable to cold this entry: its
+// sub-epoch — and therefore its key — is unchanged.
 std::string ReadCacheKey(char kind, uint64_t epoch, std::string_view table,
                          uint64_t partition, std::string_view row) {
   std::string out;
@@ -126,6 +129,15 @@ std::string ReadCacheKey(char kind, uint64_t epoch, std::string_view table,
   AppendOrdered64(&out, partition);
   out.append(row);
   return out;
+}
+
+// Inverse of AppendOrdered64 for the cache-key sweep.
+uint64_t ReadOrdered64At(const std::string& s, size_t pos) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(s[pos + i]);
+  }
+  return v;
 }
 
 // Approximate heap footprint of a cache entry, for byte-budget eviction.
@@ -247,33 +259,39 @@ TGIQueryManager::TGIQueryManager(Cluster* cluster, size_t fetch_parallelism,
   }
 }
 
-Result<TGIQueryManager::MetaRef> TGIQueryManager::LoadMetadata(
-    uint64_t epoch) const {
-  auto meta_raw = cluster_->Get(tgi::kGraphTable, 0, "meta");
-  if (!meta_raw.ok()) return meta_raw.status();
-  auto state = std::make_shared<MetaState>();
-  state->epoch = epoch;
-  HGS_ASSIGN_OR_RETURN(state->graph, tgi::GraphMeta::Deserialize(*meta_raw));
+Result<std::vector<tgi::TimespanMeta>> TGIQueryManager::LoadSpans() const {
   auto spans_raw = cluster_->Scan(tgi::kTimespansTable, 0, "");
   if (!spans_raw.ok()) return spans_raw.status();
-  state->spans.reserve(spans_raw->size());
+  std::vector<tgi::TimespanMeta> spans;
+  spans.reserve(spans_raw->size());
   for (const KVPair& kv : *spans_raw) {
     BinaryReader r(kv.value);
     HGS_RETURN_NOT_OK(r.VerifyChecksum());
     HGS_ASSIGN_OR_RETURN(tgi::TimespanMeta meta,
                          tgi::TimespanMeta::DeserializeFrom(&r));
-    state->spans.push_back(std::move(meta));
+    spans.push_back(std::move(meta));
   }
-  std::sort(state->spans.begin(), state->spans.end(),
+  std::sort(spans.begin(), spans.end(),
             [](const tgi::TimespanMeta& a, const tgi::TimespanMeta& b) {
               return a.tsid < b.tsid;
             });
+  return spans;
+}
+
+Result<TGIQueryManager::MetaRef> TGIQueryManager::LoadMetadata(
+    EpochVectorRef epochs) const {
+  auto meta_raw = cluster_->Get(tgi::kGraphTable, 0, "meta");
+  if (!meta_raw.ok()) return meta_raw.status();
+  auto state = std::make_shared<MetaState>();
+  state->epoch = epochs->global;
+  state->epochs = std::move(epochs);
+  HGS_ASSIGN_OR_RETURN(state->graph, tgi::GraphMeta::Deserialize(*meta_raw));
+  HGS_ASSIGN_OR_RETURN(state->spans, LoadSpans());
   return MetaRef(std::move(state));
 }
 
 Status TGIQueryManager::Open() {
-  uint64_t epoch = cluster_->publish_epoch();
-  HGS_ASSIGN_OR_RETURN(MetaRef meta, LoadMetadata(epoch));
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, LoadMetadata(cluster_->epochs()));
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     meta_ = std::move(meta);
@@ -289,25 +307,94 @@ TGIQueryManager::MetaRef TGIQueryManager::CurrentMeta() const {
   return kEmpty;
 }
 
-Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh() {
+Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh(
+    FetchStats* stats) {
   if (!opened_) return Status::FailedPrecondition("Open() not called");
-  uint64_t epoch = cluster_->publish_epoch();
-  MetaRef current = CurrentMeta();
-  if (epoch == current->epoch) return current;
+  {
+    MetaRef current = CurrentMeta();
+    if (cluster_->publish_epoch() == current->epoch) return current;
+  }
   std::lock_guard<std::mutex> lock(refresh_mu_);
-  current = CurrentMeta();
-  if (epoch == current->epoch) return current;
-  // Metadata was re-published (AppendBatch): load a fresh snapshot and
-  // drop the read-side caches. In-flight queries keep their old snapshot
-  // alive through the shared_ptr, and their epoch-tagged cache inserts
-  // can't be served to queries running at the new epoch.
-  HGS_ASSIGN_OR_RETURN(MetaRef fresh, LoadMetadata(epoch));
+  // Re-read under the refresh lock so concurrent stale readers converge on
+  // one reload instead of racing each other backwards.
+  EpochVectorRef epochs = cluster_->epochs();
+  MetaRef current = CurrentMeta();
+  if (epochs->global == current->epoch) return current;
+  // Metadata was re-published (AppendBatch). The new epoch map tells us
+  // exactly which (table, partition) scopes the writer touched: a scope
+  // whose sub-epoch is unchanged between the pinned old map and the new
+  // one was not written, so its metadata rows and cache entries are still
+  // valid. In-flight queries keep their old snapshot alive through the
+  // shared_ptr, and their sub-epoch-tagged cache inserts can't be served
+  // to queries running at the new epochs.
+  auto scope_stale = [&](std::string_view table, uint64_t partition) {
+    if (current->epochs == nullptr) return true;  // pre-map snapshot
+    EpochKey key = MakeEpochKey(table, partition);
+    return current->epochs->SubEpoch(key) != epochs->SubEpoch(key);
+  };
+  MetaRef fresh;
+  if (scope_stale(tgi::kGraphTable, 0)) {
+    HGS_ASSIGN_OR_RETURN(fresh, LoadMetadata(epochs));
+  } else {
+    auto state = std::make_shared<MetaState>();
+    state->epoch = epochs->global;
+    state->epochs = epochs;
+    state->graph = current->graph;
+    if (scope_stale(tgi::kTimespansTable, 0)) {
+      HGS_ASSIGN_OR_RETURN(state->spans, LoadSpans());
+    } else {
+      state->spans = current->spans;
+    }
+    fresh = std::move(state);
+  }
+  uint64_t retained = 0;
+  uint64_t invalidated = 0;
   {
     std::lock_guard<std::mutex> mlock(micropart_mu_);
-    micropart_cache_.clear();
+    for (auto it = micropart_cache_.begin(); it != micropart_cache_.end();) {
+      uint64_t sub =
+          epochs->SubEpoch(MakeEpochKey(tgi::kMicropartsTable, it->first));
+      if (it->second.epoch == sub) {
+        ++retained;
+        ++it;
+      } else {
+        it = micropart_cache_.erase(it);
+        ++invalidated;
+      }
+    }
   }
-  if (read_cache_ != nullptr) read_cache_->Clear();
-  if (decoded_cache_ != nullptr) decoded_cache_->Clear();
+  // Both LRU tiers key entries as kind(1) | sub-epoch(8) | table | '\0' |
+  // partition(8) | row. An entry is still valid iff its stored sub-epoch
+  // matches the scope's sub-epoch under the new map; everything else is
+  // swept. Entries from scopes a publish didn't touch keep their keys and
+  // stay warm.
+  auto entry_valid = [&](const std::string& key) {
+    if (key.size() < 1 + 8 + 1 + 8) return false;
+    uint64_t entry_epoch = ReadOrdered64At(key, 1);
+    size_t tab_end = key.find('\0', 9);
+    if (tab_end == std::string::npos || tab_end + 1 + 8 > key.size()) {
+      return false;
+    }
+    std::string_view table(key.data() + 9, tab_end - 9);
+    uint64_t partition = ReadOrdered64At(key, tab_end + 1);
+    return entry_epoch == epochs->SubEpoch(MakeEpochKey(table, partition));
+  };
+  if (read_cache_ != nullptr) {
+    auto swept = read_cache_->RetainIf(entry_valid);
+    retained += swept.retained;
+    invalidated += swept.evicted;
+  }
+  if (decoded_cache_ != nullptr) {
+    auto swept = decoded_cache_->RetainIf(entry_valid);
+    retained += swept.retained;
+    invalidated += swept.evicted;
+  }
+  entries_retained_.fetch_add(retained, std::memory_order_relaxed);
+  entries_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->cache_entries_retained += retained;
+    stats->cache_entries_invalidated += invalidated;
+  }
   {
     std::lock_guard<std::mutex> mlock(meta_mu_);
     meta_ = fresh;
@@ -366,8 +453,9 @@ Result<std::vector<std::optional<SharedValue>>> TGIQueryManager::FetchValues(
   std::vector<MultiGetKey> misses;
   std::vector<std::string> miss_ckeys;
   for (size_t i = 0; i < keys.size(); ++i) {
-    std::string ckey = ReadCacheKey('G', meta.epoch, table,
-                                    keys[i].partition, keys[i].key);
+    std::string ckey =
+        ReadCacheKey('G', meta.SubEpochFor(table, keys[i].partition), table,
+                     keys[i].partition, keys[i].key);
     auto entry = read_cache_->Get(ckey);
     if (entry.has_value()) {
       if (stats != nullptr) ++stats->cache_hits;
@@ -423,7 +511,8 @@ TGIQueryManager::CachedScan(const MetaState& meta, std::string_view table,
   if (stats != nullptr) ++stats->kv_requests;
   std::string ckey;
   if (read_cache_ != nullptr) {
-    ckey = ReadCacheKey('S', meta.epoch, table, partition, prefix);
+    ckey = ReadCacheKey('S', meta.SubEpochFor(table, partition), table,
+                        partition, prefix);
     auto entry = read_cache_->Get(ckey);
     if (entry.has_value()) {
       if (stats != nullptr) ++stats->cache_hits;
@@ -466,8 +555,9 @@ TGIQueryManager::FetchDecodedRows(const MetaState& meta,
   std::vector<std::string> miss_ckeys;
   if (decoded_cache_ != nullptr) {
     for (size_t i = 0; i < keys.size(); ++i) {
-      std::string ckey = ReadCacheKey(kinds[i], meta.epoch, table,
-                                      keys[i].partition, keys[i].key);
+      std::string ckey = ReadCacheKey(
+          kinds[i], meta.SubEpochFor(table, keys[i].partition), table,
+          keys[i].partition, keys[i].key);
       auto hit = decoded_cache_->Get(ckey);
       if (hit.has_value()) {
         if (stats != nullptr) {
@@ -557,7 +647,8 @@ Result<std::shared_ptr<const T>> TGIQueryManager::DecodeShared(
   }
   std::string ckey;
   if (decoded_cache_ != nullptr) {
-    ckey = ReadCacheKey(DecodedKindOf<T>::kKind, meta.epoch, table, partition,
+    ckey = ReadCacheKey(DecodedKindOf<T>::kKind,
+                        meta.SubEpochFor(table, partition), table, partition,
                         row);
     auto hit = decoded_cache_->Get(ckey);
     if (hit.has_value() && hit->obj != nullptr) {
@@ -584,8 +675,8 @@ Result<TGIQueryManager::DecodedScanRef> TGIQueryManager::FetchDecodedScan(
     std::string_view prefix, char row_kind, FetchStats* stats) {
   std::string ckey;
   if (decoded_cache_ != nullptr) {
-    ckey =
-        ReadCacheKey(kDecodedScanKind, meta.epoch, table, partition, prefix);
+    ckey = ReadCacheKey(kDecodedScanKind, meta.SubEpochFor(table, partition),
+                        table, partition, prefix);
     auto hit = decoded_cache_->Get(ckey);
     if (hit.has_value() && hit->obj != nullptr) {
       auto scan =
@@ -656,10 +747,10 @@ TGIQueryManager::FetchVersionChains(const MetaState& meta,
   std::vector<bool> hit_of(ids.size(), false);
   for (size_t u = 0; u < ids.size(); ++u) {
     if (decoded_cache_ != nullptr) {
-      ckeys[u] =
-          ReadCacheKey(kVersionChainKind, meta.epoch, tgi::kVersionsTable,
-                       tgi::NodePlacement(ids[u]),
-                       tgi::VersionScanPrefix(ids[u]));
+      const uint64_t part = tgi::NodePlacement(ids[u]);
+      ckeys[u] = ReadCacheKey(
+          kVersionChainKind, meta.SubEpochFor(tgi::kVersionsTable, part),
+          tgi::kVersionsTable, part, tgi::VersionScanPrefix(ids[u]));
       auto hit = decoded_cache_->Get(ckeys[u]);
       if (hit.has_value() && hit->obj != nullptr) {
         out[u] = std::static_pointer_cast<const MergedVersionChain>(
@@ -767,15 +858,18 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
   size_t buckets = std::max<uint32_t>(1, meta.graph.micropartition_buckets);
   uint64_t bucket = tgi::NodePlacement(id) % buckets;
   uint64_t cache_key = static_cast<uint64_t>(span.tsid) * buckets + bucket;
+  const uint64_t sub = meta.SubEpochFor(tgi::kMicropartsTable, cache_key);
   {
     std::lock_guard<std::mutex> lock(micropart_mu_);
     auto it = micropart_cache_.find(cache_key);
-    if (it != micropart_cache_.end()) {
-      // The bucket's decoded node→pid map is already in memory: a
-      // decoded-tier hit with zero fetch and zero deserialization.
+    if (it != micropart_cache_.end() && it->second.epoch == sub) {
+      // The bucket's decoded node→pid map is already in memory at this
+      // scope's sub-epoch: a decoded-tier hit with zero fetch and zero
+      // deserialization. A stale-epoch bucket (filled by an in-flight
+      // old-snapshot query) is treated as a miss and overwritten below.
       if (stats != nullptr) ++stats->decode_hits;
-      auto hit = it->second.find(id);
-      if (hit != it->second.end()) return hit->second;
+      auto hit = it->second.map.find(id);
+      if (hit != it->second.map.end()) return hit->second;
       return Partitioning::Random(span.num_micro_partitions).HashFallback(id);
     }
   }
@@ -802,7 +896,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
   }
   {
     std::lock_guard<std::mutex> lock(micropart_mu_);
-    micropart_cache_[cache_key] = std::move(map);
+    micropart_cache_[cache_key] = MicropartBucket{sub, std::move(map)};
   }
   return result;
 }
@@ -810,7 +904,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
 Result<Delta> TGIQueryManager::GetSnapshotDelta(Timestamp t,
                                                 FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh(stats));
   return GetSnapshotDeltaWith(*meta, t, stats);
 }
 
@@ -954,7 +1048,7 @@ Result<Graph> TGIQueryManager::GetSnapshot(Timestamp t, FetchStats* stats) {
 Result<std::vector<Graph>> TGIQueryManager::GetMultipointSnapshots(
     const std::vector<Timestamp>& times, FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh(stats));
   const MetaState& meta = *meta_ref;
   std::vector<Timestamp> sorted = times;
   std::sort(sorted.begin(), sorted.end());
@@ -1257,7 +1351,7 @@ Result<Delta> TGIQueryManager::FetchMicroStateAt(const MetaState& meta,
 Result<Delta> TGIQueryManager::GetNodeStateDelta(NodeId id, Timestamp t,
                                                  FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh(stats));
   return GetNodeStateDeltaWith(*meta, id, t, stats);
 }
 
@@ -1276,7 +1370,7 @@ Result<NodeHistory> TGIQueryManager::GetNodeHistory(NodeId id, Timestamp from,
                                                     Timestamp to,
                                                     FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh(stats));
   return GetNodeHistoryWith(*meta, id, from, to, stats);
 }
 
@@ -1297,7 +1391,7 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistories(
     const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
     FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta, EnsureFresh(stats));
   return GetNodeHistoriesWith(*meta, ids, from, to, stats);
 }
 
@@ -1451,6 +1545,109 @@ Result<std::vector<NodeHistory>> TGIQueryManager::GetNodeHistoriesWith(
   return out;
 }
 
+Result<std::vector<Event>> TGIQueryManager::GetMergedMemberEvents(
+    const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
+    FetchStats* stats) {
+  WallTimer timer(stats);
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh(stats));
+  const MetaState& meta = *meta_ref;
+  std::vector<Event> out;
+  if (ids.empty()) return out;
+  if (stats != nullptr) stats->node_requests += ids.size();
+
+  std::vector<NodeId> uniq(ids);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  std::unordered_set<NodeId> members(uniq.begin(), uniq.end());
+
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<const MergedVersionChain>> chains,
+      FetchVersionChains(meta, uniq, stats));
+
+  // Union every in-range version-chain reference into one deduplicated
+  // eventlist batch, remembering which (timespan, eventlist index) chunk
+  // each row carries. Rows of one chunk differ only in micro-partition;
+  // together they cover the chunk's member-touching events, with internal
+  // edge events duplicated across the endpoint partitions' rows.
+  const size_t ns = meta.graph.num_horizontal_partitions;
+  const auto order = static_cast<ClusteringOrder>(meta.graph.clustering_order);
+  std::vector<MultiGetKey> keys;
+  std::unordered_map<std::string, size_t> key_index;  // placement \0 row key
+  std::vector<std::pair<TimespanId, uint32_t>> chunk_of;
+  uint64_t total_refs = 0;
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    for (const tgi::VersionEntry& e : chains[u]->entries) {
+      if (e.last_time <= from || e.first_time > to) continue;
+      ++total_refs;
+      PartitionId sid = tgi::SidOf(e.pid, ns);
+      MultiGetKey key{
+          tgi::DeltaPlacement(e.tsid, sid, ns),
+          tgi::DeltaRowKey(order, tgi::EventlistDid(e.eventlist_index),
+                           e.pid, false)};
+      std::string dedup;
+      dedup.reserve(8 + 1 + key.key.size());
+      AppendOrdered64(&dedup, key.partition);
+      dedup.push_back('\0');
+      dedup.append(key.key);
+      auto [it, inserted] = key_index.emplace(std::move(dedup), keys.size());
+      if (inserted) {
+        keys.push_back(std::move(key));
+        chunk_of.emplace_back(e.tsid, e.eventlist_index);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->eventlist_refs += total_refs;
+    stats->eventlist_fetches += keys.size();
+  }
+
+  HGS_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<const EventList>> evls,
+      FetchDecodedValues<EventList>(meta, tgi::kDeltasTable, keys, stats));
+
+  // Scan each row once, keeping in-range events that touch any member. An
+  // event touching two members through one row is still appended once.
+  std::vector<std::vector<const Event*>> picked(keys.size());
+  HGS_RETURN_NOT_OK(ParallelStatusFor(
+      keys.size(), fetch_parallelism_, /*stats=*/nullptr,
+      [&](size_t k, FetchStats*) -> Status {
+        if (evls[k] == nullptr) return Status::OK();
+        for (const Event& e : evls[k]->events()) {
+          if (e.time <= from || e.time > to) continue;
+          if (members.contains(e.u) ||
+              (e.IsEdgeEvent() && members.contains(e.v))) {
+            picked[k].push_back(&e);
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge by chunk: eventlist chunks are consecutive slices of the
+  // chronological ingest stream, so concatenating them in (timespan,
+  // index) order is already globally time-ordered. Only within a chunk is
+  // a sort needed — to make cross-row duplicates adjacent for unique —
+  // and a chunk is at most eventlist_size events, so the global
+  // sort-the-union pass this replaces never happens.
+  std::vector<size_t> ks(keys.size());
+  for (size_t k = 0; k < ks.size(); ++k) ks[k] = k;
+  std::sort(ks.begin(), ks.end(), [&](size_t a, size_t b) {
+    return chunk_of[a] < chunk_of[b];
+  });
+  std::vector<Event> chunk;
+  for (size_t i = 0; i < ks.size();) {
+    size_t j = i;
+    chunk.clear();
+    for (; j < ks.size() && chunk_of[ks[j]] == chunk_of[ks[i]]; ++j) {
+      for (const Event* e : picked[ks[j]]) chunk.push_back(*e);
+    }
+    std::sort(chunk.begin(), chunk.end(), EventTotalOrder);
+    chunk.erase(std::unique(chunk.begin(), chunk.end()), chunk.end());
+    for (Event& e : chunk) out.push_back(std::move(e));
+    i = j;
+  }
+  return out;
+}
+
 Result<std::vector<std::pair<Timestamp, Delta>>>
 TGIQueryManager::GetNodeVersions(NodeId id, Timestamp from, Timestamp to,
                                  FetchStats* stats) {
@@ -1462,7 +1659,7 @@ TGIQueryManager::GetNodeVersions(NodeId id, Timestamp from, Timestamp to,
 Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
                                                    int k, FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh(stats));
   const MetaState& meta = *meta_ref;
   const tgi::TimespanMeta* span = SpanFor(meta, t);
   if (span == nullptr) return Graph();
@@ -1542,7 +1739,7 @@ Result<Graph> TGIQueryManager::GetKHopNeighborhood(NodeId id, Timestamp t,
 Result<std::vector<Event>> TGIQueryManager::GetEventsInRange(
     Timestamp from, Timestamp to, FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh(stats));
   const MetaState& meta = *meta_ref;
   const size_t ns = meta.graph.num_horizontal_partitions;
 
@@ -1640,7 +1837,7 @@ Result<OneHopHistory> TGIQueryManager::GetOneHopHistory(NodeId id,
                                                         Timestamp to,
                                                         FetchStats* stats) {
   WallTimer timer(stats);
-  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh());
+  HGS_ASSIGN_OR_RETURN(MetaRef meta_ref, EnsureFresh(stats));
   const MetaState& meta = *meta_ref;
   OneHopHistory out;
   {

@@ -79,6 +79,12 @@ struct FetchStats {
   // shared-buffer path the only copies left are LZ-block materializations,
   // so uncompressed reads — and every warm read — report 0.
   uint64_t value_copies = 0;   ///< values materialized rather than viewed
+  // Invalidation precision: when this query observed a re-publish and
+  // refreshed, how many cache entries (both tiers + micropart buckets) the
+  // sweep kept warm vs evicted. A partition-scoped publish retains every
+  // scope it didn't touch; the old global bump evicted everything.
+  uint64_t cache_entries_retained = 0;
+  uint64_t cache_entries_invalidated = 0;
   double wall_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -101,6 +107,8 @@ struct FetchStats {
     decodes += o.decodes;
     decoded_bytes += o.decoded_bytes;
     value_copies += o.value_copies;
+    cache_entries_retained += o.cache_entries_retained;
+    cache_entries_invalidated += o.cache_entries_invalidated;
     wall_seconds += o.wall_seconds;
   }
 };
@@ -179,6 +187,20 @@ class TGIQueryManager {
       const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
       FetchStats* stats = nullptr);
 
+  /// The union of the member set's events in (from, to], globally
+  /// time-ordered and deduplicated — the retrieval behind TAF's subgraph
+  /// histories. Reuses GetNodeHistories' set-at-a-time machinery (merged
+  /// version chains, one deduplicated eventlist batch, each row scanned
+  /// once), but instead of demultiplexing per node it merges by eventlist:
+  /// rows are grouped by (timespan, eventlist index) — a chunk of the
+  /// original chronological stream — so only each group needs a local
+  /// sort + unique (duplicates of an internal edge event all live in the
+  /// same chunk), and the groups concatenate in chunk order. No global
+  /// sort over the union, and no initial-state fetches.
+  Result<std::vector<Event>> GetMergedMemberEvents(
+      const std::vector<NodeId>& ids, Timestamp from, Timestamp to,
+      FetchStats* stats = nullptr);
+
   /// Materialized node versions in (from, to]: GetNodeHistory + replay.
   Result<std::vector<std::pair<Timestamp, Delta>>> GetNodeVersions(
       NodeId id, Timestamp from, Timestamp to, FetchStats* stats = nullptr);
@@ -219,6 +241,15 @@ class TGIQueryManager {
   LruCacheCounters DecodedCacheCounters() const {
     return decoded_cache_ != nullptr ? decoded_cache_->Counters()
                                      : LruCacheCounters{};
+  }
+
+  /// Lifetime invalidation-precision counters: cache entries kept warm vs
+  /// evicted across every publish-triggered refresh this manager ran.
+  uint64_t CacheEntriesRetained() const {
+    return entries_retained_.load(std::memory_order_relaxed);
+  }
+  uint64_t CacheEntriesInvalidated() const {
+    return entries_invalidated_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -274,16 +305,26 @@ class TGIQueryManager {
     size_t raw_bytes = 0;
   };
 
-  /// An immutable snapshot of the index metadata at one publish epoch.
-  /// Every query grabs one shared_ptr at entry and runs entirely against
-  /// it, so a concurrent refresh (AppendBatch in another thread) can swap
-  /// in new metadata without invalidating in-flight queries. The epoch is
-  /// baked into every cache key the query writes, so late inserts from an
-  /// old-epoch query can never be served to a new-epoch one.
+  /// An immutable snapshot of the index metadata at one publish epoch,
+  /// pinning the whole epoch map (`epochs`). Every query grabs one
+  /// shared_ptr at entry and runs entirely against it, so a concurrent
+  /// refresh (AppendBatch in another thread) can swap in new metadata
+  /// without invalidating in-flight queries. Each cache key the query
+  /// writes embeds its scope's sub-epoch, so late inserts from an
+  /// old-epoch query can never be served to a new-epoch one — and a
+  /// publish leaves every untouched scope's entries valid.
   struct MetaState {
-    uint64_t epoch = 0;
+    uint64_t epoch = 0;     ///< global epoch (== epochs->global when set)
+    EpochVectorRef epochs;  ///< pinned sub-epoch map of this snapshot
     tgi::GraphMeta graph;
     std::vector<tgi::TimespanMeta> spans;
+
+    /// Sub-epoch of one (table, partition) scope under the pinned map.
+    uint64_t SubEpochFor(std::string_view table, uint64_t partition) const {
+      return epochs == nullptr
+                 ? epoch
+                 : epochs->SubEpoch(MakeEpochKey(table, partition));
+    }
   };
   using MetaRef = std::shared_ptr<const MetaState>;
 
@@ -291,13 +332,19 @@ class TGIQueryManager {
   /// or nullptr when t precedes all history.
   static const tgi::TimespanMeta* SpanFor(const MetaState& meta, Timestamp t);
 
-  /// Loads graph + timespan metadata from the cluster at `epoch`.
-  Result<MetaRef> LoadMetadata(uint64_t epoch) const;
+  /// Loads graph + timespan metadata from the cluster, pinned to `epochs`.
+  Result<MetaRef> LoadMetadata(EpochVectorRef epochs) const;
+
+  /// Timespans-table rows, parsed and sorted by tsid.
+  Result<std::vector<tgi::TimespanMeta>> LoadSpans() const;
 
   /// Fails before Open(); otherwise returns the metadata snapshot to run
-  /// the query against, refreshing it (and dropping the read caches) when
-  /// the cluster's publish epoch moved (AppendBatch).
-  Result<MetaRef> EnsureFresh();
+  /// the query against. When the cluster's publish epoch moved
+  /// (AppendBatch) it reloads only the re-published metadata rows and
+  /// sweeps the cache tiers entry-by-entry, evicting exactly the entries
+  /// whose (table, partition) sub-epoch changed; the retain/evict counts
+  /// land in `stats` and the lifetime counters.
+  Result<MetaRef> EnsureFresh(FetchStats* stats = nullptr);
 
   /// The current metadata snapshot (for the metadata accessors).
   MetaRef CurrentMeta() const;
@@ -432,10 +479,19 @@ class TGIQueryManager {
   std::mutex refresh_mu_;
 
   std::mutex micropart_mu_;
-  // (tsid, bucket) -> node -> pid cache of the Micropartitions table.
-  std::unordered_map<uint64_t,
-                     std::unordered_map<NodeId, MicroPartitionId>>
-      micropart_cache_;
+  /// One decoded Micropartitions bucket, tagged with the sub-epoch of its
+  /// partition at fill time so a stale fill (an in-flight old-epoch query
+  /// racing a publish) is treated as a miss rather than served.
+  struct MicropartBucket {
+    uint64_t epoch = 0;
+    std::unordered_map<NodeId, MicroPartitionId> map;
+  };
+  // (tsid * buckets + bucket) -> decoded bucket; the key is the bucket
+  // row's Micropartitions-table partition.
+  std::unordered_map<uint64_t, MicropartBucket> micropart_cache_;
+
+  std::atomic<uint64_t> entries_retained_{0};
+  std::atomic<uint64_t> entries_invalidated_{0};
 };
 
 }  // namespace hgs

@@ -791,8 +791,8 @@ TEST(TGITest, DecodedTierWorksWithoutByteCache) {
 }
 
 TEST(TGITest, DecodedCacheInvalidatedByAppendBatch) {
-  // Stale decoded objects must not survive a re-publish: the epoch both
-  // tags every key and drops the tier wholesale on refresh.
+  // Stale decoded objects must not survive a re-publish: every key carries
+  // its scope's sub-epoch, and the refresh sweeps re-published scopes.
   Cluster cluster(FastCluster());
   TGI tgi(&cluster, SmallOptions());
   auto events = SmallHistory(73, 6'000);
@@ -813,7 +813,7 @@ TEST(TGITest, DecodedCacheInvalidatedByAppendBatch) {
   FetchStats post;
   auto snap_post = qm->GetSnapshot(t2, &post);
   ASSERT_TRUE(snap_post.ok());
-  EXPECT_GT(post.decodes, 0u);  // decoded tier was dropped with the epoch
+  EXPECT_GT(post.decodes, 0u);  // the new span's rows are necessarily cold
   EXPECT_TRUE(*snap_post == workload::ReplayToGraph(events, t2));
   auto snap_old = qm->GetSnapshot(t1);
   ASSERT_TRUE(snap_old.ok());
