@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kChecksumMismatch:
+      return "ChecksumMismatch";
   }
   return "Unknown";
 }

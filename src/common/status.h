@@ -25,6 +25,11 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kAborted = 8,
   kAlreadyExists = 9,
+  /// A stored value failed its per-value checksum at read time (bit rot,
+  /// torn write, injected corruption). Distinct from kCorruption so the
+  /// cluster can treat it as a replica failure and fail over, rather than
+  /// as a malformed-input error that aborts the query.
+  kChecksumMismatch = 10,
 };
 
 /// Human-readable name of a status code ("NotFound", "Corruption", ...).
@@ -64,6 +69,9 @@ class Status {
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
+  static Status ChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kChecksumMismatch, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -73,6 +81,9 @@ class Status {
   }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsChecksumMismatch() const {
+    return code() == StatusCode::kChecksumMismatch;
+  }
 
   /// Message attached to an error status; empty for OK.
   const std::string& message() const {

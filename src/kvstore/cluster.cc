@@ -1,12 +1,20 @@
 #include "kvstore/cluster.h"
 
 #include <future>
+#include <thread>
+#include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 namespace hgs {
 
 namespace {
+
+/// Granularity of the hedged-read race and deadline polls. Coarse enough to
+/// stay off the scheduler's back, fine relative to the millisecond-scale
+/// latencies the simulation deals in.
+constexpr auto kPollQuantum = std::chrono::microseconds(100);
 
 /// Decompresses a stored value into a zero-copy window when possible,
 /// bumping `*value_copies` when the codec forced a materialization.
@@ -19,17 +27,45 @@ Result<SharedValue> DecompressCounted(const SharedValue& stored,
   return out;
 }
 
+/// Recovers the placement token embedded in a physical key
+/// (table \0 token(8B ordered) key), so repair can re-derive a stored
+/// row's replica set without knowing which logical table wrote it.
+std::optional<uint64_t> TokenOfPhysicalKey(std::string_view phys) {
+  size_t z = phys.find('\0');
+  if (z == std::string_view::npos || z + 1 + 8 > phys.size()) {
+    return std::nullopt;
+  }
+  return ReadOrdered64(phys.data() + z + 1);
+}
+
+bool Contains(const ReplicaSet& replicas, size_t node) {
+  for (uint32_t r : replicas) {
+    if (r == node) return true;
+  }
+  return false;
+}
+
+/// A replica's answer settles the read when it is a value or an (authori-
+/// tative) absence; hard errors keep the race open.
+template <typename T>
+bool UsableAnswer(const Result<T>& res) {
+  return res.ok() || res.status().IsNotFound();
+}
+
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options) : options_(options) {
   if (options_.num_nodes == 0) options_.num_nodes = 1;
   if (options_.replication == 0) options_.replication = 1;
-  options_.replication = std::min(options_.replication, options_.num_nodes);
+  options_.replication =
+      std::min({options_.replication, options_.num_nodes, kMaxReplicas});
   nodes_.reserve(options_.num_nodes);
+  node_state_.reserve(options_.num_nodes);
   for (size_t i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<StorageNode>(
         static_cast<int>(i), options_.server_threads_per_node,
-        options_.latency));
+        options_.latency, options_.fault_seed));
+    node_state_.push_back(std::make_unique<NodeClientState>());
   }
 }
 
@@ -46,25 +82,295 @@ std::string Cluster::PhysicalKey(std::string_view table, uint64_t partition,
   return out;
 }
 
-std::vector<size_t> Cluster::Replicas(uint64_t token) const {
-  std::vector<size_t> out;
-  out.reserve(options_.replication);
+ReplicaSet Cluster::Replicas(uint64_t token) const {
+  ReplicaSet out;
   size_t primary = static_cast<size_t>(token % nodes_.size());
   for (size_t i = 0; i < options_.replication; ++i) {
-    out.push_back((primary + i) % nodes_.size());
+    out.nodes[out.count++] =
+        static_cast<uint32_t>((primary + i) % nodes_.size());
   }
   return out;
+}
+
+size_t Cluster::RequiredAcks(size_t n_replicas) const {
+  switch (options_.write_ack) {
+    case WriteAck::kOne:
+      return n_replicas == 0 ? 0 : 1;
+    case WriteAck::kQuorum:
+      return n_replicas / 2 + 1;
+    case WriteAck::kAll:
+      return n_replicas;
+  }
+  return n_replicas;
+}
+
+Cluster::Deadline Cluster::MakeDeadline() const {
+  if (options_.request_deadline_micros <= 0) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(options_.request_deadline_micros);
+}
+
+bool Cluster::DeadlinePassed(const Deadline& d) {
+  return d.has_value() && std::chrono::steady_clock::now() >= *d;
+}
+
+Status Cluster::DeadlineError(const Status& last) const {
+  std::string msg = "request deadline exceeded (" +
+                    std::to_string(options_.request_deadline_micros) + "us)";
+  if (!last.ok()) msg += "; last replica error: " + last.ToString();
+  return Status::IOError(std::move(msg));
+}
+
+void Cluster::Backoff(size_t attempt, const Deadline& deadline) const {
+  int64_t us = options_.retry_backoff_micros;
+  for (size_t i = 1; i < attempt && us < options_.retry_backoff_cap_micros;
+       ++i) {
+    us *= 2;
+  }
+  us = std::min(us, options_.retry_backoff_cap_micros);
+  if (deadline.has_value()) {
+    auto remain = std::chrono::duration_cast<std::chrono::microseconds>(
+                      *deadline - std::chrono::steady_clock::now())
+                      .count();
+    us = std::min(us, remain);
+  }
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void Cluster::CountFailover(ReadCallStats* s) {
+  resilience_.failovers.fetch_add(1, std::memory_order_relaxed);
+  if (s != nullptr) ++s->failovers;
+}
+
+void Cluster::CountRetry(ReadCallStats* s) {
+  resilience_.retries.fetch_add(1, std::memory_order_relaxed);
+  if (s != nullptr) ++s->retries;
+}
+
+void Cluster::CountChecksumFailure(ReadCallStats* s) {
+  resilience_.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+  if (s != nullptr) ++s->checksum_failures;
+}
+
+void Cluster::CountHedge(ReadCallStats* s) {
+  resilience_.hedges.fetch_add(1, std::memory_order_relaxed);
+  if (s != nullptr) ++s->hedges;
+}
+
+void Cluster::CountHedgeWin(ReadCallStats* s) {
+  resilience_.hedge_wins.fetch_add(1, std::memory_order_relaxed);
+  if (s != nullptr) ++s->hedge_wins;
+}
+
+std::shared_ptr<const std::string> Cluster::SealForStorage(
+    std::string_view value) const {
+  return std::make_shared<const std::string>(
+      SealValue(Compress(value, options_.compression)));
+}
+
+// -- Hinted handoff ----------------------------------------------------------
+
+void Cluster::EnqueueHint(size_t node, std::string phys,
+                          std::shared_ptr<const std::string> value) {
+  NodeClientState& st = *node_state_[node];
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.hints.size() >= options_.hint_limit_per_node) {
+    // Bounded queue: drop the oldest hint. The node can no longer be made
+    // whole by replay alone — only RepairNode clears the overflow.
+    st.hints.pop_front();
+    st.overflowed = true;
+    resilience_.hints_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  st.hints.push_back(Hint{std::move(phys), std::move(value)});
+  st.dirty.store(true, std::memory_order_relaxed);
+  resilience_.hints_queued.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Cluster::SupersedeHints(size_t node, const std::string& phys) {
+  NodeClientState& st = *node_state_[node];
+  if (!st.dirty.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.hints.erase(std::remove_if(st.hints.begin(), st.hints.end(),
+                                [&phys](const Hint& h) {
+                                  return h.key == phys;
+                                }),
+                 st.hints.end());
+  if (st.hints.empty() && !st.overflowed) {
+    st.dirty.store(false, std::memory_order_relaxed);
+  }
+}
+
+bool Cluster::NodeDirty(size_t node) const {
+  return node < node_state_.size() &&
+         node_state_[node]->dirty.load(std::memory_order_relaxed);
+}
+
+size_t Cluster::PendingHints(size_t node) const {
+  if (node >= node_state_.size()) return 0;
+  std::lock_guard<std::mutex> lock(node_state_[node]->mu);
+  return node_state_[node]->hints.size();
+}
+
+Status Cluster::ReplayHints(size_t node) {
+  if (node >= nodes_.size()) return Status::InvalidArgument("no such node");
+  if (nodes_[node]->IsDown()) {
+    return Status::FailedPrecondition(
+        "node is down; rejoin it before replaying hints");
+  }
+  NodeClientState& st = *node_state_[node];
+  while (true) {
+    Hint hint;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (st.hints.empty()) break;
+      hint = std::move(st.hints.front());
+      st.hints.pop_front();
+    }
+    // Hints replay in queue order, so a later write of the same key lands
+    // last and the node converges to the newest value.
+    Status applied = hint.value == nullptr
+                         ? DeleteRowFromNode(node, hint.key)
+                         : WriteRowToNode(node, hint.key, hint.value);
+    if (!applied.ok()) {
+      // Node unreachable again mid-replay: put the hint back and report.
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.hints.push_front(std::move(hint));
+      return applied;
+    }
+    resilience_.hints_replayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.hints.empty() && !st.overflowed) {
+    st.dirty.store(false, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status Cluster::RepairNode(size_t target) {
+  if (target >= nodes_.size()) return Status::InvalidArgument("no such node");
+  if (nodes_[target]->IsDown()) {
+    return Status::FailedPrecondition(
+        "node is down; rejoin it before repairing");
+  }
+  NodeClientState& st = *node_state_[target];
+  {
+    // Full reconciliation supersedes any queued hints (and recovers from
+    // hint overflow — this is the only path that clears it).
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.hints.clear();
+    st.overflowed = false;
+  }
+
+  // Authoritative contents the target should hold, assembled from live
+  // peers. Replicas store identical sealed buffers, so any live holder is
+  // authoritative; the first live peer holding a row wins.
+  std::unordered_map<std::string, std::shared_ptr<const std::string>> expected;
+  for (size_t peer = 0; peer < nodes_.size(); ++peer) {
+    if (peer == target || nodes_[peer]->IsDown()) continue;
+    for (auto& [key, value] : nodes_[peer]->SnapshotContents()) {
+      std::optional<uint64_t> token = TokenOfPhysicalKey(key);
+      if (!token.has_value()) continue;
+      if (!Contains(Replicas(*token), target)) continue;
+      expected.emplace(key, value);
+    }
+  }
+
+  uint64_t streamed = 0;
+  // Rows the target holds that no live peer says it should hold were
+  // deleted while the target was away. Erase only when some live peer is
+  // itself a replica for the row (so an authoritative view existed);
+  // otherwise the target may be the sole surviving holder — keep the row.
+  for (auto& [key, value] : nodes_[target]->SnapshotContents()) {
+    auto it = expected.find(key);
+    if (it != expected.end()) {
+      if (*it->second == *value) {
+        expected.erase(it);  // already correct; nothing to stream
+      }
+      continue;  // differs: restored below
+    }
+    std::optional<uint64_t> token = TokenOfPhysicalKey(key);
+    if (!token.has_value()) continue;
+    for (uint32_t r : Replicas(*token)) {
+      if (r != target && !nodes_[r]->IsDown()) {
+        nodes_[target]->EraseRow(key);
+        ++streamed;
+        break;
+      }
+    }
+  }
+  // Stream in missing and differing rows, sharing the peer's exact buffer
+  // so the repaired node ends byte-identical to a never-faulted twin.
+  for (auto& [key, value] : expected) {
+    nodes_[target]->RestoreRow(key, value);
+    ++streamed;
+  }
+  resilience_.repair_rows.fetch_add(streamed, std::memory_order_relaxed);
+  st.dirty.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// -- Writes ------------------------------------------------------------------
+
+Status Cluster::WriteRowToNode(
+    size_t node, const std::string& phys,
+    const std::shared_ptr<const std::string>& value) {
+  StorageNode* n = nodes_[node].get();
+  for (size_t attempt = 0;; ++attempt) {
+    std::vector<NodePutRow> rows;
+    rows.push_back(NodePutRow{phys, value});
+    Status st = n->PutBatch(std::move(rows));
+    if (st.ok()) return st;
+    if (n->IsDown() || attempt >= options_.max_retries) return st;
+    CountRetry(nullptr);
+    Backoff(attempt + 1, std::nullopt);
+  }
+}
+
+Status Cluster::DeleteRowFromNode(size_t node, const std::string& phys,
+                                  bool* existed) {
+  StorageNode* n = nodes_[node].get();
+  for (size_t attempt = 0;; ++attempt) {
+    Status st = n->Delete(phys, existed);
+    if (st.ok()) return st;
+    if (n->IsDown() || attempt >= options_.max_retries) return st;
+    CountRetry(nullptr);
+    Backoff(attempt + 1, std::nullopt);
+  }
+}
+
+Status Cluster::FinishWrite(size_t acks, size_t replicas, const char* what) {
+  size_t required = RequiredAcks(replicas);
+  if (acks < required) {
+    resilience_.failed_writes.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError(std::string(what) + " acked by " +
+                           std::to_string(acks) + " of " +
+                           std::to_string(replicas) + " replicas (" +
+                           std::to_string(required) +
+                           " required); missed replicas hinted");
+  }
+  if (acks < replicas) {
+    resilience_.degraded_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 Status Cluster::Put(std::string_view table, uint64_t partition,
                     std::string_view key, std::string_view value) {
   std::string phys = PhysicalKey(table, partition, key);
-  std::string stored = Compress(value, options_.compression);
-  uint64_t token = PlacementToken(table, partition);
-  for (size_t node : Replicas(token)) {
-    nodes_[node]->Put(phys, stored);
+  std::shared_ptr<const std::string> stored = SealForStorage(value);
+  ReplicaSet replicas = Replicas(PlacementToken(table, partition));
+  size_t acks = 0;
+  for (uint32_t node : replicas) {
+    Status st = WriteRowToNode(node, phys, stored);
+    if (st.ok()) {
+      ++acks;
+      // A committed write makes any hint queued for this key obsolete.
+      SupersedeHints(node, phys);
+    } else {
+      EnqueueHint(node, phys, stored);
+    }
   }
-  return Status::OK();
+  return FinishWrite(acks, replicas.size(), "put");
 }
 
 Status Cluster::MultiPut(std::string_view table, std::vector<PutRow> rows,
@@ -72,119 +378,462 @@ Status Cluster::MultiPut(std::string_view table, std::vector<PutRow> rows,
   if (put_batches != nullptr) *put_batches = 0;
   if (rows.empty()) return Status::OK();
 
-  // Compress each row once and fan the shared buffer out to its replicas'
+  // Seal each row once and fan the shared buffer out to its replicas'
   // node groups.
-  std::unordered_map<size_t, std::vector<NodePutRow>> by_node;
+  struct SealedRow {
+    std::string phys;
+    std::shared_ptr<const std::string> value;
+    uint8_t replicas;
+  };
+  std::vector<SealedRow> sealed;
+  sealed.reserve(rows.size());
+  std::unordered_map<size_t, std::vector<size_t>> by_node;  // node -> rows
   for (PutRow& row : rows) {
-    std::string phys = PhysicalKey(table, row.partition, row.key);
-    auto stored = std::make_shared<const std::string>(
-        Compress(row.value, options_.compression));
-    uint64_t token = PlacementToken(table, row.partition);
-    for (size_t node : Replicas(token)) {
-      by_node[node].push_back(NodePutRow{phys, stored});
+    ReplicaSet replicas = Replicas(PlacementToken(table, row.partition));
+    sealed.push_back(SealedRow{PhysicalKey(table, row.partition, row.key),
+                               SealForStorage(row.value),
+                               static_cast<uint8_t>(replicas.size())});
+    for (uint32_t node : replicas) by_node[node].push_back(sealed.size() - 1);
+  }
+
+  auto build_batch = [&sealed](const std::vector<size_t>& idxs) {
+    std::vector<NodePutRow> batch;
+    batch.reserve(idxs.size());
+    for (size_t i : idxs) {
+      batch.push_back(NodePutRow{sealed[i].phys, sealed[i].value});
+    }
+    return batch;
+  };
+
+  // One concurrent batched submission per node: group commit.
+  std::vector<
+      std::tuple<size_t, std::vector<size_t>, std::future<Status>>>
+      inflight;
+  inflight.reserve(by_node.size());
+  for (auto& [node, idxs] : by_node) {
+    std::future<Status> fut = nodes_[node]->SubmitPutBatch(build_batch(idxs));
+    inflight.emplace_back(node, std::move(idxs), std::move(fut));
+  }
+  if (put_batches != nullptr) *put_batches = inflight.size();
+
+  std::vector<uint32_t> acks(sealed.size(), 0);
+  for (auto& [node, idxs, fut] : inflight) {
+    Status st = fut.get();
+    // A failed node batch is retried synchronously with backoff (the other
+    // nodes have already committed by now), then hinted row by row.
+    for (size_t attempt = 0;
+         !st.ok() && !nodes_[node]->IsDown() && attempt < options_.max_retries;
+         ++attempt) {
+      CountRetry(nullptr);
+      Backoff(attempt + 1, std::nullopt);
+      st = nodes_[node]->PutBatch(build_batch(idxs));
+    }
+    if (st.ok()) {
+      if (node_state_[node]->dirty.load(std::memory_order_relaxed)) {
+        for (size_t i : idxs) SupersedeHints(node, sealed[i].phys);
+      }
+      for (size_t i : idxs) ++acks[i];
+    } else {
+      for (size_t i : idxs) EnqueueHint(node, sealed[i].phys, sealed[i].value);
     }
   }
 
-  // One concurrent batched submission per node: group commit.
-  std::vector<std::future<void>> inflight;
-  inflight.reserve(by_node.size());
-  for (auto& [node, batch] : by_node) {
-    inflight.push_back(nodes_[node]->SubmitPutBatch(std::move(batch)));
+  size_t failed_rows = 0;
+  size_t degraded_rows = 0;
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    size_t required = RequiredAcks(sealed[i].replicas);
+    if (acks[i] < required) {
+      ++failed_rows;
+    } else if (acks[i] < sealed[i].replicas) {
+      ++degraded_rows;
+    }
   }
-  if (put_batches != nullptr) *put_batches = inflight.size();
-  for (auto& fut : inflight) fut.get();
+  if (degraded_rows > 0) {
+    resilience_.degraded_writes.fetch_add(degraded_rows,
+                                          std::memory_order_relaxed);
+  }
+  if (failed_rows > 0) {
+    resilience_.failed_writes.fetch_add(failed_rows,
+                                        std::memory_order_relaxed);
+    return Status::IOError("multiput: " + std::to_string(failed_rows) +
+                           " of " + std::to_string(sealed.size()) +
+                           " rows missed their ack level; missed replicas "
+                           "hinted");
+  }
   return Status::OK();
 }
 
-Result<SharedValue> Cluster::Get(std::string_view table, uint64_t partition,
-                                 std::string_view key, size_t* value_copies) {
-  if (value_copies != nullptr) *value_copies = 0;
+Result<bool> Cluster::Delete(std::string_view table, uint64_t partition,
+                             std::string_view key) {
   std::string phys = PhysicalKey(table, partition, key);
-  uint64_t token = PlacementToken(table, partition);
-  std::vector<size_t> replicas = Replicas(token);
-  // Round-robin the starting replica so concurrent readers spread load.
-  size_t start =
-      read_counter_.fetch_add(1, std::memory_order_relaxed) % replicas.size();
+  ReplicaSet replicas = Replicas(PlacementToken(table, partition));
+  size_t acks = 0;
+  bool any = false;
+  for (uint32_t node : replicas) {
+    bool existed = false;
+    Status st = DeleteRowFromNode(node, phys, &existed);
+    if (st.ok()) {
+      ++acks;
+      any |= existed;
+      // The delete also obsoletes any queued (older) write hint for the key.
+      SupersedeHints(node, phys);
+    } else {
+      // Tombstone hint: replay must delete, or the key would resurrect on
+      // rejoin.
+      EnqueueHint(node, phys, nullptr);
+    }
+  }
+  HGS_RETURN_NOT_OK(FinishWrite(acks, replicas.size(), "delete"));
+  return any;
+}
+
+// -- Reads -------------------------------------------------------------------
+
+size_t Cluster::ServingOrder(const ReplicaSet& replicas,
+                             std::array<uint32_t, kMaxReplicas>* order) const {
+  size_t n = replicas.size();
+  size_t start = read_counter_.fetch_add(1, std::memory_order_relaxed) % n;
+  // Snapshot each replica's state once so a concurrent dirty-flag flip
+  // can't make a node appear in both passes (or neither).
+  std::array<uint8_t, kMaxReplicas> state{};  // 0 live+clean, 1 dirty, 2 down
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t node = replicas[i];
+    state[i] = nodes_[node]->IsDown() ? 2 : (NodeDirty(node) ? 1 : 0);
+  }
+  size_t count = 0;
+  // Clean live replicas first (rotated for load balancing) ...
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = (start + i) % n;
+    if (state[slot] == 0) (*order)[count++] = replicas[slot];
+  }
+  // ... dirty live replicas as a last resort: they may be missing writes,
+  // so they only serve when no clean replica is available.
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = (start + i) % n;
+    if (state[slot] == 1) (*order)[count++] = replicas[slot];
+  }
+  return count;
+}
+
+template <typename T, typename SubmitFn>
+Result<T> Cluster::HedgedSubmit(size_t primary, const ReplicaSet& replicas,
+                                const std::string& phys, SubmitFn&& submit,
+                                const Deadline& deadline,
+                                ReadCallStats* call_stats, size_t* winner) {
+  *winner = primary;
+  std::future<Result<T>> fut = submit(primary, phys);
+  int64_t hedge_us = options_.hedge_after_micros;
+  if (hedge_us <= 0) {
+    if (!deadline.has_value()) return fut.get();
+    // No hedging, but the deadline still bounds how long we wait: poll the
+    // future and abandon it when the budget runs out.
+    while (fut.wait_for(kPollQuantum) != std::future_status::ready) {
+      if (DeadlinePassed(deadline)) return DeadlineError(Status::OK());
+    }
+    return fut.get();
+  }
+  if (fut.wait_for(std::chrono::microseconds(hedge_us)) ==
+      std::future_status::ready) {
+    return fut.get();
+  }
+  if (DeadlinePassed(deadline)) return DeadlineError(Status::OK());
+
+  // Primary is slow: fire a second-chance request at another live replica
+  // and race the two. The losing future is abandoned — its task completes
+  // harmlessly in the node's server pool.
+  size_t alt = nodes_.size();
+  for (uint32_t r : replicas) {
+    if (r != primary && !nodes_[r]->IsDown()) {
+      alt = r;
+      break;
+    }
+  }
+  if (alt == nodes_.size()) return fut.get();  // nowhere to hedge
+  CountHedge(call_stats);
+  std::future<Result<T>> hedge = submit(alt, phys);
+
+  auto wait_out = [this, &deadline](std::future<Result<T>>& f) {
+    while (f.wait_for(kPollQuantum) != std::future_status::ready) {
+      if (DeadlinePassed(deadline)) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    if (fut.wait_for(kPollQuantum) == std::future_status::ready) {
+      Result<T> res = fut.get();
+      if (UsableAnswer(res)) return res;
+      // Primary failed hard; the hedge is the only hope left.
+      if (!wait_out(hedge)) return res;
+      Result<T> second = hedge.get();
+      if (UsableAnswer(second)) {
+        CountHedgeWin(call_stats);
+        *winner = alt;
+        return second;
+      }
+      return res;
+    }
+    if (hedge.wait_for(kPollQuantum) == std::future_status::ready) {
+      Result<T> second = hedge.get();
+      if (UsableAnswer(second)) {
+        CountHedgeWin(call_stats);
+        *winner = alt;
+        return second;
+      }
+      // Hedge failed hard; fall back to however long the primary takes.
+      if (!wait_out(fut)) return second;
+      return fut.get();
+    }
+    if (DeadlinePassed(deadline)) {
+      return DeadlineError(Status::OK());
+    }
+  }
+}
+
+Result<SharedValue> Cluster::Get(std::string_view table, uint64_t partition,
+                                 std::string_view key, size_t* value_copies,
+                                 ReadCallStats* call_stats) {
+  if (value_copies != nullptr) *value_copies = 0;
+  if (call_stats != nullptr) *call_stats = ReadCallStats{};
+  std::string phys = PhysicalKey(table, partition, key);
+  ReplicaSet replicas = Replicas(PlacementToken(table, partition));
+  Deadline deadline = MakeDeadline();
+
+  std::array<uint32_t, kMaxReplicas> order;
+  size_t candidates = ServingOrder(replicas, &order);
   Status last = Status::IOError("no replica available");
-  for (size_t i = 0; i < replicas.size(); ++i) {
-    StorageNode* node = nodes_[replicas[(start + i) % replicas.size()]].get();
-    if (node->IsDown()) continue;
-    auto res = node->SubmitGet(phys).get();
-    if (res.ok()) return DecompressCounted(*res, value_copies);
-    if (res.status().IsNotFound()) return res.status();
-    last = res.status();
+  bool tried = false;
+  for (size_t i = 0; i < candidates; ++i) {
+    size_t node = order[i];
+    if (tried) CountFailover(call_stats);
+    tried = true;
+    for (size_t attempt = 0;; ++attempt) {
+      if (DeadlinePassed(deadline)) return DeadlineError(last);
+      size_t winner = node;
+      Result<SharedValue> res = HedgedSubmit<SharedValue>(
+          node, replicas, phys,
+          [this](size_t target, const std::string& k) {
+            return nodes_[target]->SubmitGet(k);
+          },
+          deadline, call_stats, &winner);
+      if (res.ok()) {
+        Result<SharedValue> unsealed = UnsealValue(*res);
+        if (!unsealed.ok()) {
+          // Corrupt bytes: a replica failure, not a query error. Fail over.
+          CountChecksumFailure(call_stats);
+          last = unsealed.status();
+          break;
+        }
+        return DecompressCounted(*unsealed, value_copies);
+      }
+      if (res.status().IsNotFound()) {
+        // NotFound from a clean replica is authoritative. From a dirty
+        // replica (rejoined with hints pending) the key may simply have
+        // missed it — fall through to the next replica.
+        if (!NodeDirty(winner)) return res.status();
+        last = res.status();
+        break;
+      }
+      last = res.status();
+      if (nodes_[node]->IsDown()) break;  // crashed mid-flight: fail over
+      if (attempt >= options_.max_retries) break;
+      CountRetry(call_stats);
+      Backoff(attempt + 1, deadline);
+    }
   }
   return last;
 }
 
 Result<std::vector<std::optional<SharedValue>>> Cluster::MultiGet(
     std::string_view table, const std::vector<MultiGetKey>& keys,
-    size_t* node_batches, size_t* value_copies) {
+    size_t* node_batches, size_t* value_copies, ReadCallStats* call_stats,
+    std::vector<Status>* key_status) {
   std::vector<std::optional<SharedValue>> out(keys.size());
   if (node_batches != nullptr) *node_batches = 0;
   if (value_copies != nullptr) *value_copies = 0;
+  if (call_stats != nullptr) *call_stats = ReadCallStats{};
+  if (key_status != nullptr) key_status->assign(keys.size(), Status::OK());
   if (keys.empty()) return out;
 
-  // Pick a serving replica per key (load-balanced, skipping down nodes) and
-  // group the key indices by node.
+  Deadline deadline = MakeDeadline();
+
+  // Pick a serving replica per key (clean live nodes preferred) and group
+  // the key indices by node.
+  std::vector<uint64_t> tokens(keys.size());
   std::unordered_map<size_t, std::vector<size_t>> by_node;
   for (size_t i = 0; i < keys.size(); ++i) {
-    uint64_t token = PlacementToken(table, keys[i].partition);
-    std::vector<size_t> replicas = Replicas(token);
-    size_t start = read_counter_.fetch_add(1, std::memory_order_relaxed) %
-                   replicas.size();
-    size_t chosen = nodes_.size();
-    for (size_t j = 0; j < replicas.size(); ++j) {
-      size_t node = replicas[(start + j) % replicas.size()];
-      if (!nodes_[node]->IsDown()) {
-        chosen = node;
-        break;
-      }
+    tokens[i] = PlacementToken(table, keys[i].partition);
+    std::array<uint32_t, kMaxReplicas> order;
+    size_t candidates = ServingOrder(Replicas(tokens[i]), &order);
+    if (candidates == 0) {
+      Status err = Status::IOError("no live replica for key");
+      if (key_status == nullptr) return err;  // strict legacy contract
+      (*key_status)[i] = err;                 // degrade: serve the rest
+      continue;
     }
-    if (chosen == nodes_.size()) {
-      return Status::IOError("no replica available");
-    }
-    by_node[chosen].push_back(i);
+    by_node[order[0]].push_back(i);
   }
 
-  // One concurrent batch request per node; each node's server pool serves
-  // its batch while the others are in flight.
-  std::vector<std::pair<const std::vector<size_t>*,
-                        std::future<std::vector<Result<SharedValue>>>>>
-      inflight;
+  struct Batch {
+    size_t node;
+    std::vector<size_t> idxs;  // indices into `keys`
+    std::future<std::vector<Result<SharedValue>>> fut;
+  };
+  std::vector<Batch> inflight;
   inflight.reserve(by_node.size());
-  for (const auto& [node, idxs] : by_node) {
+  for (auto& [node, idxs] : by_node) {
     std::vector<std::string> phys;
     phys.reserve(idxs.size());
     for (size_t i : idxs) {
       phys.push_back(PhysicalKey(table, keys[i].partition, keys[i].key));
     }
-    inflight.emplace_back(&idxs, nodes_[node]->SubmitMultiGet(std::move(phys)));
+    std::future<std::vector<Result<SharedValue>>> fut =
+        nodes_[node]->SubmitMultiGet(std::move(phys));
+    inflight.push_back(Batch{node, std::move(idxs), std::move(fut)});
   }
   if (node_batches != nullptr) *node_batches += inflight.size();
 
-  for (auto& [idxs, fut] : inflight) {
-    std::vector<Result<SharedValue>> batch = fut.get();
-    for (size_t j = 0; j < idxs->size(); ++j) {
-      size_t i = (*idxs)[j];
-      Result<SharedValue>& res = batch[j];
-      if (res.ok()) {
-        HGS_ASSIGN_OR_RETURN(out[i], DecompressCounted(*res, value_copies));
-        continue;
+  // Per-key final resolution, shared by the primary and hedge paths. A key
+  // whose serving node failed mid-flight, served corrupt bytes, or answered
+  // NotFound while dirty retries through the per-key Get path, which
+  // carries the full retry/failover/hedging machinery.
+  Status fatal;  // first unservable key's error, strict mode only
+  auto resolve = [&](size_t i, size_t serving_node,
+                     Result<SharedValue>& res) {
+    if (res.ok()) {
+      Result<SharedValue> unsealed = UnsealValue(*res);
+      if (unsealed.ok()) {
+        Result<SharedValue> plain =
+            DecompressCounted(*unsealed, value_copies);
+        if (plain.ok()) {
+          out[i] = std::move(*plain);
+          return;
+        }
+      } else {
+        CountChecksumFailure(call_stats);
       }
-      if (res.status().IsNotFound()) continue;  // absent -> nullopt
-      // The node failed mid-flight; retry through the failover Get path
-      // (whose out-param resets, so accumulate through a local).
-      if (node_batches != nullptr) ++*node_batches;
-      size_t retry_copies = 0;
-      auto retry = Get(table, keys[i].partition, keys[i].key, &retry_copies);
-      if (value_copies != nullptr) *value_copies += retry_copies;
-      if (retry.ok()) {
-        out[i] = std::move(*retry);
-      } else if (!retry.status().IsNotFound()) {
-        return retry.status();
+    } else if (res.status().IsNotFound() && !NodeDirty(serving_node)) {
+      return;  // authoritative absence -> nullopt
+    }
+    // (Get's out-params reset, so accumulate through locals.)
+    if (node_batches != nullptr) ++*node_batches;
+    size_t retry_copies = 0;
+    ReadCallStats retry_stats;
+    Result<SharedValue> retry =
+        Get(table, keys[i].partition, keys[i].key, &retry_copies,
+            &retry_stats);
+    if (value_copies != nullptr) *value_copies += retry_copies;
+    if (call_stats != nullptr) call_stats->Merge(retry_stats);
+    if (retry.ok()) {
+      out[i] = std::move(*retry);
+      return;
+    }
+    if (retry.status().IsNotFound()) return;  // absent
+    if (key_status != nullptr) {
+      (*key_status)[i] = retry.status();
+    } else if (fatal.ok()) {
+      fatal = retry.status();
+    }
+  };
+
+  struct HedgeGroup {
+    size_t node;
+    std::vector<size_t> idxs;
+    std::future<std::vector<Result<SharedValue>>> fut;
+  };
+
+  const int64_t hedge_us = options_.hedge_after_micros;
+  for (Batch& b : inflight) {
+    std::vector<HedgeGroup> hedges;
+    bool use_hedges = false;
+    bool deadline_hit = false;
+    if (hedge_us > 0 &&
+        b.fut.wait_for(std::chrono::microseconds(hedge_us)) !=
+            std::future_status::ready) {
+      // Slow batch: regroup its keys by each key's next live replica and
+      // fire second-chance batches there.
+      std::unordered_map<size_t, std::vector<size_t>> alt_nodes;
+      for (size_t i : b.idxs) {
+        ReplicaSet replicas = Replicas(tokens[i]);
+        for (uint32_t r : replicas) {
+          if (r != b.node && !nodes_[r]->IsDown()) {
+            alt_nodes[r].push_back(i);
+            break;
+          }
+        }
+      }
+      for (auto& [node, idxs] : alt_nodes) {
+        std::vector<std::string> phys;
+        phys.reserve(idxs.size());
+        for (size_t i : idxs) {
+          phys.push_back(PhysicalKey(table, keys[i].partition, keys[i].key));
+        }
+        std::future<std::vector<Result<SharedValue>>> fut =
+            nodes_[node]->SubmitMultiGet(std::move(phys));
+        hedges.push_back(HedgeGroup{node, std::move(idxs), std::move(fut)});
+        CountHedge(call_stats);
+      }
+      if (node_batches != nullptr) *node_batches += hedges.size();
+      // Race the primary batch against the hedge side: whichever is fully
+      // ready first serves the keys.
+      while (!hedges.empty()) {
+        if (b.fut.wait_for(kPollQuantum) == std::future_status::ready) break;
+        bool all_ready = true;
+        for (HedgeGroup& h : hedges) {
+          if (h.fut.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            all_ready = false;
+            break;
+          }
+        }
+        if (all_ready) {
+          use_hedges = true;
+          break;
+        }
+        if (DeadlinePassed(deadline)) {
+          deadline_hit = true;
+          break;
+        }
       }
     }
+
+    if (deadline_hit) {
+      Status derr = DeadlineError(Status::OK());
+      if (key_status == nullptr) return derr;
+      for (size_t i : b.idxs) {
+        if (!out[i].has_value() && (*key_status)[i].ok()) {
+          (*key_status)[i] = derr;
+        }
+      }
+      continue;
+    }
+
+    if (use_hedges) {
+      std::unordered_set<size_t> served;
+      for (HedgeGroup& h : hedges) {
+        CountHedgeWin(call_stats);
+        std::vector<Result<SharedValue>> batch = h.fut.get();
+        for (size_t j = 0; j < h.idxs.size(); ++j) {
+          resolve(h.idxs[j], h.node, batch[j]);
+          served.insert(h.idxs[j]);
+        }
+      }
+      // Keys with no alternate replica still need the primary's answer;
+      // otherwise the slow primary batch is abandoned.
+      if (served.size() < b.idxs.size()) {
+        std::vector<Result<SharedValue>> pbatch = b.fut.get();
+        for (size_t j = 0; j < b.idxs.size(); ++j) {
+          if (served.count(b.idxs[j]) != 0) continue;
+          resolve(b.idxs[j], b.node, pbatch[j]);
+        }
+      }
+    } else {
+      std::vector<Result<SharedValue>> pbatch = b.fut.get();
+      for (size_t j = 0; j < b.idxs.size(); ++j) {
+        resolve(b.idxs[j], b.node, pbatch[j]);
+      }
+    }
+    if (!fatal.ok()) return fatal;
   }
   return out;
 }
@@ -192,48 +841,78 @@ Result<std::vector<std::optional<SharedValue>>> Cluster::MultiGet(
 Result<std::vector<KVPair>> Cluster::Scan(std::string_view table,
                                           uint64_t partition,
                                           std::string_view key_prefix,
-                                          size_t* value_copies) {
+                                          size_t* value_copies,
+                                          ReadCallStats* call_stats) {
   if (value_copies != nullptr) *value_copies = 0;
+  if (call_stats != nullptr) *call_stats = ReadCallStats{};
   std::string phys_prefix = PhysicalKey(table, partition, key_prefix);
   size_t strip = table.size() + 1 + 8;  // logical key offset
-  uint64_t token = PlacementToken(table, partition);
-  std::vector<size_t> replicas = Replicas(token);
-  size_t start =
-      read_counter_.fetch_add(1, std::memory_order_relaxed) % replicas.size();
+  ReplicaSet replicas = Replicas(PlacementToken(table, partition));
+  Deadline deadline = MakeDeadline();
+
+  std::array<uint32_t, kMaxReplicas> order;
+  size_t candidates = ServingOrder(replicas, &order);
   Status last = Status::IOError("no replica available");
-  for (size_t i = 0; i < replicas.size(); ++i) {
-    StorageNode* node = nodes_[replicas[(start + i) % replicas.size()]].get();
-    if (node->IsDown()) continue;
-    auto res = node->SubmitScan(phys_prefix).get();
-    if (!res.ok()) {
+  bool tried = false;
+  for (size_t i = 0; i < candidates; ++i) {
+    size_t node = order[i];
+    if (tried) CountFailover(call_stats);
+    tried = true;
+    for (size_t attempt = 0;; ++attempt) {
+      if (DeadlinePassed(deadline)) return DeadlineError(last);
+      size_t winner = node;
+      Result<std::vector<KVPair>> res =
+          HedgedSubmit<std::vector<KVPair>>(
+              node, replicas, phys_prefix,
+              [this](size_t target, const std::string& prefix) {
+                return nodes_[target]->SubmitScan(prefix);
+              },
+              deadline, call_stats, &winner);
+      if (res.ok()) {
+        std::vector<KVPair> out;
+        out.reserve(res->size());
+        size_t copies = 0;
+        bool clean = true;
+        for (KVPair& kv : *res) {
+          Result<SharedValue> unsealed = UnsealValue(kv.value);
+          if (!unsealed.ok()) {
+            // One corrupt row spoils the replica's whole answer: fail over.
+            CountChecksumFailure(call_stats);
+            last = unsealed.status();
+            clean = false;
+            break;
+          }
+          HGS_ASSIGN_OR_RETURN(SharedValue plain,
+                               DecompressCounted(*unsealed, &copies));
+          out.push_back(KVPair{kv.key.substr(strip), std::move(plain)});
+        }
+        if (clean) {
+          if (value_copies != nullptr) *value_copies += copies;
+          return out;
+        }
+        break;  // next replica
+      }
       last = res.status();
-      continue;
+      if (res.status().IsNotFound()) break;  // defensive: scans don't 404
+      if (nodes_[node]->IsDown()) break;
+      if (attempt >= options_.max_retries) break;
+      CountRetry(call_stats);
+      Backoff(attempt + 1, deadline);
     }
-    std::vector<KVPair> out;
-    out.reserve(res->size());
-    for (auto& kv : *res) {
-      HGS_ASSIGN_OR_RETURN(SharedValue raw,
-                           DecompressCounted(kv.value, value_copies));
-      out.push_back(KVPair{kv.key.substr(strip), std::move(raw)});
-    }
-    return out;
   }
   return last;
 }
 
-bool Cluster::Delete(std::string_view table, uint64_t partition,
-                     std::string_view key) {
-  std::string phys = PhysicalKey(table, partition, key);
-  uint64_t token = PlacementToken(table, partition);
-  bool any = false;
-  for (size_t node : Replicas(token)) {
-    any |= nodes_[node]->Delete(phys);
-  }
-  return any;
-}
+// -- Administration and telemetry --------------------------------------------
 
 void Cluster::SetNodeDown(size_t node, bool down) {
+  // Rejoining does NOT clear pending hints: the node stays dirty until
+  // ReplayHints or RepairNode reconciles it.
   if (node < nodes_.size()) nodes_[node]->SetDown(down);
+}
+
+void Cluster::SetFaultProfile(size_t node, const FaultProfile& profile) {
+  if (node < nodes_.size()) nodes_[node]->SetFaultProfile(profile);
 }
 
 uint64_t Cluster::TotalStoredBytes() const {
@@ -300,8 +979,23 @@ uint64_t Cluster::ContentFingerprint() const {
   return h;
 }
 
+uint64_t Cluster::NodeContentFingerprint(size_t node) const {
+  return node < nodes_.size() ? nodes_[node]->ContentFingerprint() : 0;
+}
+
 void Cluster::ResetStats() {
   for (auto& n : nodes_) n->ResetStats();
+  resilience_.failovers.store(0);
+  resilience_.retries.store(0);
+  resilience_.hedges.store(0);
+  resilience_.hedge_wins.store(0);
+  resilience_.checksum_failures.store(0);
+  resilience_.degraded_writes.store(0);
+  resilience_.failed_writes.store(0);
+  resilience_.hints_queued.store(0);
+  resilience_.hints_replayed.store(0);
+  resilience_.hints_dropped.store(0);
+  resilience_.repair_rows.store(0);
 }
 
 void Cluster::PublishTouched(std::vector<EpochKey> touched) {

@@ -6,12 +6,28 @@
 // Deltas, Versions, Timespans, Graph, Micropartitions). A row is addressed by
 // (table, partition-token, key); all rows of one partition are clustered on
 // the same replica set and can be prefix-scanned with one "seek".
+//
+// Fault tolerance (client side, mirroring a Cassandra coordinator):
+//   * every stored value is sealed with a per-value checksum, verified on
+//     read; a mismatch is a replica failure, not a query error;
+//   * reads retry transient errors with capped exponential backoff, fail
+//     over across replicas, optionally hedge a second-chance request to
+//     another replica after `hedge_after_micros`, and observe a per-request
+//     deadline;
+//   * writes honor an ack level (one/quorum/all) and queue hinted handoffs
+//     for replicas that miss a write or delete; ReplayHints/RepairNode
+//     bring a rejoined node back to byte-identical contents;
+//   * a replica with pending hints is "dirty": the read path prefers clean
+//     replicas and never treats a dirty replica's NotFound as authoritative.
 
 #ifndef HGS_KVSTORE_CLUSTER_H_
 #define HGS_KVSTORE_CLUSTER_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,16 +41,49 @@
 
 namespace hgs {
 
+/// Write acknowledgment level (Cassandra consistency levels ONE / QUORUM /
+/// ALL). A write that reaches fewer live replicas than the level requires
+/// fails loudly; missed replicas get hints either way.
+enum class WriteAck : uint8_t {
+  kOne = 0,
+  kQuorum = 1,
+  kAll = 2,
+};
+
 struct ClusterOptions {
   /// Number of storage machines (the paper's m).
   size_t num_nodes = 1;
-  /// Replication factor (the paper's r). Clamped to num_nodes.
+  /// Replication factor (the paper's r). Clamped to num_nodes and to
+  /// kMaxReplicas.
   size_t replication = 1;
   /// Server threads per node (the paper's Cassandra boxes had 4 cores).
   size_t server_threads_per_node = 4;
   /// Value compression applied at write time (Fig 13a).
   CompressionKind compression = CompressionKind::kNone;
   LatencyModel latency;
+
+  // -- Resilience knobs ------------------------------------------------------
+  /// Replica acks required before a write reports success.
+  WriteAck write_ack = WriteAck::kAll;
+  /// Transient-error retries per replica before failing over (reads) or
+  /// hinting (writes).
+  size_t max_retries = 2;
+  /// Capped exponential backoff between retries: base * 2^(attempt-1), at
+  /// most the cap.
+  int64_t retry_backoff_micros = 100;
+  int64_t retry_backoff_cap_micros = 2'000;
+  /// Per-request wall-clock budget for reads; 0 = unbounded. Exceeding it
+  /// fails the request with an IOError mentioning the deadline.
+  int64_t request_deadline_micros = 0;
+  /// Hedged reads: when > 0 and a replica has not answered within this
+  /// budget, fire a second-chance request at another replica and take
+  /// whichever usable answer lands first. 0 disables hedging.
+  int64_t hedge_after_micros = 0;
+  /// Per-node hinted-handoff queue bound. Overflow drops the oldest hint
+  /// and pins the node dirty until a full RepairNode.
+  size_t hint_limit_per_node = 65'536;
+  /// Seed for the per-node fault injectors (deterministic scripting).
+  uint64_t fault_seed = 0xFA17;
 };
 
 /// One key of a batched read: the partition it lives in plus its logical
@@ -49,6 +98,60 @@ struct PutRow {
   uint64_t partition = 0;
   std::string key;
   std::string value;
+};
+
+/// Replication is clamped to this (real deployments rarely exceed r=5);
+/// keeping the bound small lets the replica set live inline on the stack in
+/// the per-key hot loops instead of heap-allocating a vector.
+inline constexpr size_t kMaxReplicas = 8;
+
+/// Replica node indices for one token, primary first. Fixed-capacity
+/// inline array — no allocation.
+struct ReplicaSet {
+  std::array<uint32_t, kMaxReplicas> nodes{};
+  uint32_t count = 0;
+
+  size_t size() const { return count; }
+  uint32_t operator[](size_t i) const { return nodes[i]; }
+  const uint32_t* begin() const { return nodes.data(); }
+  const uint32_t* end() const { return nodes.data() + count; }
+};
+
+/// Per-call resilience accounting for one read. Aggregated into FetchStats
+/// by the TGI query layer; lifetime totals are also kept on the Cluster.
+struct ReadCallStats {
+  uint64_t failovers = 0;          ///< replicas abandoned for another
+  uint64_t retries = 0;            ///< same-replica transient-error retries
+  uint64_t hedges = 0;             ///< second-chance requests fired
+  uint64_t hedge_wins = 0;         ///< hedged requests whose answer was used
+  uint64_t checksum_failures = 0;  ///< values rejected by the checksum
+
+  void Merge(const ReadCallStats& o) {
+    failovers += o.failovers;
+    retries += o.retries;
+    hedges += o.hedges;
+    hedge_wins += o.hedge_wins;
+    checksum_failures += o.checksum_failures;
+  }
+};
+
+/// Cluster-lifetime resilience counters (atomic, aggregated like the
+/// per-node read/write stats).
+struct ClusterResilienceStats {
+  std::atomic<uint64_t> failovers{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> hedges{0};
+  std::atomic<uint64_t> hedge_wins{0};
+  std::atomic<uint64_t> checksum_failures{0};
+  /// Writes that met their ack level but missed at least one replica.
+  std::atomic<uint64_t> degraded_writes{0};
+  /// Writes (rows) that failed to meet their ack level.
+  std::atomic<uint64_t> failed_writes{0};
+  std::atomic<uint64_t> hints_queued{0};
+  std::atomic<uint64_t> hints_replayed{0};
+  std::atomic<uint64_t> hints_dropped{0};
+  /// Rows streamed (restored or erased) by RepairNode.
+  std::atomic<uint64_t> repair_rows{0};
 };
 
 /// The publish-epoch map: an immutable snapshot of the index's visibility
@@ -79,7 +182,10 @@ class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
 
-  /// Writes to all replicas of the token's placement group.
+  /// Writes to all replicas of the token's placement group. Succeeds when
+  /// at least the configured ack level's replica count committed; replicas
+  /// that missed the write get a hint. A met ack level with missed
+  /// replicas counts as a degraded write.
   Status Put(std::string_view table, uint64_t partition, std::string_view key,
              std::string_view value);
 
@@ -88,48 +194,94 @@ class Cluster {
   /// group as ONE batched submission — the MultiGet batching discipline
   /// mirrored for writes. Replicas of a row share one value buffer. All
   /// node batches are committed concurrently through the nodes' server
-  /// pools. When `put_batches` is non-null it receives the number of node
-  /// submissions this call issued.
+  /// pools; failed node batches are retried with backoff, then hinted.
+  /// Fails when any row misses its ack level. When `put_batches` is
+  /// non-null it receives the number of node submissions this call issued.
   Status MultiPut(std::string_view table, std::vector<PutRow> rows,
                   size_t* put_batches = nullptr);
 
-  /// Reads one replica (load-balanced), failing over to others when a node
-  /// is down. NotFound when no replica holds the key. The returned value is
-  /// a zero-copy view of the serving node's buffer (decompression of an
-  /// uncompressed block is a header-stripping window; an LZ block
-  /// materializes one shared buffer — the read path's only value copy,
-  /// counted into `value_copies` when non-null).
+  /// Reads one replica (load-balanced over clean live replicas, dirty ones
+  /// last), with transient-error retries, replica failover, checksum
+  /// verification, optional hedging and a per-request deadline. NotFound
+  /// when no replica holds the key — but NotFound from a dirty replica
+  /// (rejoined with hints pending) falls through to the next replica. The
+  /// returned value is a zero-copy view of the serving node's buffer
+  /// (decompression of an uncompressed block is a header-stripping window;
+  /// an LZ block materializes one shared buffer — the read path's only
+  /// value copy, counted into `value_copies` when non-null).
   Result<SharedValue> Get(std::string_view table, uint64_t partition,
                           std::string_view key,
-                          size_t* value_copies = nullptr);
+                          size_t* value_copies = nullptr,
+                          ReadCallStats* call_stats = nullptr);
 
   /// Batched point reads. Keys are grouped by the storage node serving
-  /// them (replica choice is load-balanced, skipping down nodes) and each
-  /// group is dispatched as one node request, so the latency model charges
-  /// one seek per node batch instead of one per key. Returns one entry per
-  /// input key, in input order; absent keys yield nullopt. Keys whose node
-  /// fails mid-flight fall back to per-key Get (with its replica failover).
-  /// When `node_batches` is non-null it receives the number of node round
-  /// trips issued (batches plus any per-key fallbacks); `value_copies`
-  /// counts values that had to be materialized (LZ blocks) rather than
-  /// viewed in place.
+  /// them (replica choice is load-balanced, preferring clean live nodes)
+  /// and each group is dispatched as one node request, so the latency
+  /// model charges one seek per node batch instead of one per key. Returns
+  /// one entry per input key, in input order; absent keys yield nullopt.
+  /// Keys whose node fails mid-flight (or whose value fails its checksum)
+  /// fall back to per-key Get with its full resilience machinery. Slow
+  /// node batches are hedged to the keys' alternate replicas when hedging
+  /// is enabled.
+  ///
+  /// When `key_status` is non-null the batch degrades gracefully: keys
+  /// with no live replica (or that exhaust failover) report their error
+  /// per key while the rest of the batch is served, and the call itself
+  /// returns OK. When null, any unservable key fails the whole call (the
+  /// strict legacy contract).
   Result<std::vector<std::optional<SharedValue>>> MultiGet(
       std::string_view table, const std::vector<MultiGetKey>& keys,
-      size_t* node_batches = nullptr, size_t* value_copies = nullptr);
+      size_t* node_batches = nullptr, size_t* value_copies = nullptr,
+      ReadCallStats* call_stats = nullptr,
+      std::vector<Status>* key_status = nullptr);
 
   /// All pairs of the partition whose key begins with `key_prefix`, in key
-  /// order. Keys returned are logical (table/token stripped); values are
-  /// zero-copy views (see Get for the `value_copies` contract).
+  /// order, with the same resilience behavior as Get (retries, failover,
+  /// checksum verification, hedging, deadline). Keys returned are logical
+  /// (table/token stripped); values are zero-copy views (see Get for the
+  /// `value_copies` contract).
   Result<std::vector<KVPair>> Scan(std::string_view table, uint64_t partition,
                                    std::string_view key_prefix,
-                                   size_t* value_copies = nullptr);
+                                   size_t* value_copies = nullptr,
+                                   ReadCallStats* call_stats = nullptr);
 
-  /// Deletes from all replicas; true if any replica held the key.
-  bool Delete(std::string_view table, uint64_t partition,
-              std::string_view key);
+  /// Deletes from all replicas, observing the write ack level like Put;
+  /// replicas that miss the delete get a tombstone hint so the key cannot
+  /// resurrect on rejoin. On success, the value reports whether any
+  /// replica held the key.
+  Result<bool> Delete(std::string_view table, uint64_t partition,
+                      std::string_view key);
 
-  /// Failure injection.
+  // -- Failure injection and recovery ---------------------------------------
+
+  /// Crash switch: a down node fails every request. Rejoining (down=false)
+  /// does NOT clear pending hints — the node stays dirty until ReplayHints
+  /// or RepairNode runs.
   void SetNodeDown(size_t node, bool down);
+
+  /// Installs a scripted fault profile (transient errors, slow-node and
+  /// spike latency, corruption, crash) on one node.
+  void SetFaultProfile(size_t node, const FaultProfile& profile);
+
+  /// Whether the node may be missing writes (hints pending, or hints were
+  /// dropped on overflow). Dirty replicas are read last and their NotFound
+  /// answers are never authoritative.
+  bool NodeDirty(size_t node) const;
+
+  /// Pending hinted-handoff entries queued for a node.
+  size_t PendingHints(size_t node) const;
+
+  /// Replays the node's hinted writes/deletes in order. On success (and if
+  /// no hint was ever dropped) the node becomes clean. The node must be
+  /// up; replay stops at the first hint that cannot be applied.
+  Status ReplayHints(size_t node);
+
+  /// Full anti-entropy: reconciles the node against its live peer
+  /// replicas — streams differing/missing rows in, erases rows deleted
+  /// while the node was away — and clears hints (repair supersedes them).
+  /// Afterwards the node's ContentFingerprint matches a never-faulted
+  /// twin's. The node must be up.
+  Status RepairNode(size_t node);
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t replication() const { return options_.replication; }
@@ -150,6 +302,13 @@ class Cluster {
   /// clusters loaded with byte-identical data compare equal regardless of
   /// the order or batching of the writes that produced them.
   uint64_t ContentFingerprint() const;
+  /// Fingerprint of one node's resident contents (chaos tests compare a
+  /// killed/rejoined/repaired node against its never-faulted twin).
+  uint64_t NodeContentFingerprint(size_t node) const;
+
+  /// Lifetime resilience counters (failovers, retries, hedges, checksum
+  /// failures, degraded writes, hint traffic).
+  const ClusterResilienceStats& resilience() const { return resilience_; }
   void ResetStats();
 
   /// The current publish-epoch map. The returned snapshot is immutable;
@@ -175,14 +334,81 @@ class Cluster {
   void BumpPublishEpoch();
 
  private:
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  /// One hinted write (value set) or delete (value null = tombstone).
+  struct Hint {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+
+  /// Cluster-side per-node client state: the hinted-handoff queue and the
+  /// dirty flag the read path consults.
+  struct NodeClientState {
+    mutable std::mutex mu;
+    std::deque<Hint> hints;
+    bool overflowed = false;  // a hint was dropped; only RepairNode cleans
+    std::atomic<bool> dirty{false};
+  };
+
   std::string PhysicalKey(std::string_view table, uint64_t partition,
                           std::string_view key) const;
-  /// Replica node indices for a token, primary first.
-  std::vector<size_t> Replicas(uint64_t token) const;
+  ReplicaSet Replicas(uint64_t token) const;
+  size_t RequiredAcks(size_t n_replicas) const;
+  Deadline MakeDeadline() const;
+  static bool DeadlinePassed(const Deadline& d);
+  Status DeadlineError(const Status& last) const;
+  void Backoff(size_t attempt, const Deadline& deadline) const;
+
+  /// Seals (checksums) the compressed bytes of one logical value.
+  std::shared_ptr<const std::string> SealForStorage(
+      std::string_view value) const;
+
+  /// Commits one row to one node with transient-error retries; a final
+  /// failure leaves the row to the caller (which hints it).
+  Status WriteRowToNode(size_t node, const std::string& phys,
+                        const std::shared_ptr<const std::string>& value);
+  /// Ack-level bookkeeping shared by Put/MultiPut/Delete.
+  Status FinishWrite(size_t acks, size_t replicas, const char* what);
+
+  void EnqueueHint(size_t node, std::string phys,
+                   std::shared_ptr<const std::string> value);
+  /// Drops queued hints superseded by a newer committed write/delete of
+  /// the same keys.
+  void SupersedeHints(size_t node, const std::string& phys);
+
+  /// Submits `submit(node)` with optional hedging: if the primary has not
+  /// answered within hedge_after_micros and another live replica exists,
+  /// fires a second-chance request there; the first usable answer (ok or
+  /// NotFound) wins. `*winner` reports which node's answer was returned.
+  template <typename T, typename SubmitFn>
+  Result<T> HedgedSubmit(size_t primary, const ReplicaSet& replicas,
+                         const std::string& phys, SubmitFn&& submit,
+                         const Deadline& deadline, ReadCallStats* call_stats,
+                         size_t* winner);
+
+  /// Orders the live replicas of `replicas` for serving: clean nodes first
+  /// (rotated by the load-balancing counter), dirty nodes last. Returns
+  /// the number of candidates written into `order`.
+  size_t ServingOrder(const ReplicaSet& replicas,
+                      std::array<uint32_t, kMaxReplicas>* order) const;
+
+  void CountFailover(ReadCallStats* s);
+  void CountRetry(ReadCallStats* s);
+  void CountChecksumFailure(ReadCallStats* s);
+  void CountHedge(ReadCallStats* s);
+  void CountHedgeWin(ReadCallStats* s);
+
+  /// Delete one row on one node with transient-error retries.
+  Status DeleteRowFromNode(size_t node, const std::string& phys,
+                           bool* existed = nullptr);
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
-  std::atomic<uint64_t> read_counter_{0};  // replica load balancing
+  std::vector<std::unique_ptr<NodeClientState>> node_state_;
+  // Replica load balancing; mutable so const read-path helpers can rotate.
+  mutable std::atomic<uint64_t> read_counter_{0};
+  ClusterResilienceStats resilience_;
   mutable std::mutex epoch_mu_;
   EpochVectorRef epochs_ = std::make_shared<const EpochVector>();
 };

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/serde.h"
 #include "common/shared_value.h"
 
@@ -38,6 +39,53 @@ inline void AppendOrdered32(std::string* out, uint32_t v) {
 inline void AppendOrdered64(std::string* out, uint64_t v) {
   AppendOrdered32(out, static_cast<uint32_t>(v >> 32));
   AppendOrdered32(out, static_cast<uint32_t>(v & 0xFFFFFFFFull));
+}
+
+/// Reads back a big-endian fixed64 written by AppendOrdered64.
+inline uint64_t ReadOrdered64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+// -- Per-value checksums ------------------------------------------------------
+//
+// Every stored value is sealed with an 8-byte FNV-1a checksum of its payload
+// (the compressed bytes), written once at Put and verified on every read by
+// the cluster client. A mismatch surfaces as Status::ChecksumMismatch and is
+// treated as a replica failure: the read fails over to another replica
+// instead of returning corrupted bytes. Sealing is deterministic, so two
+// clusters loaded with the same logical writes stay byte-identical
+// (ContentFingerprint-comparable) even though checksums live in the stored
+// representation.
+
+inline constexpr size_t kValueChecksumBytes = 8;
+
+/// Prefixes `payload` with its checksum. The result is what storage nodes
+/// hold resident.
+inline std::string SealValue(std::string_view payload) {
+  std::string out;
+  out.reserve(kValueChecksumBytes + payload.size());
+  AppendOrdered64(&out, Fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+/// Verifies a sealed value and returns a zero-copy window onto its payload
+/// (the checksum header stripped, no bytes moved).
+inline Result<SharedValue> UnsealValue(const SharedValue& sealed) {
+  if (sealed.size() < kValueChecksumBytes) {
+    return Status::ChecksumMismatch("sealed value shorter than checksum");
+  }
+  std::string_view view = sealed;
+  uint64_t expect = ReadOrdered64(view.data());
+  std::string_view payload = view.substr(kValueChecksumBytes);
+  if (Fnv1a64(payload.data(), payload.size()) != expect) {
+    return Status::ChecksumMismatch("stored value failed checksum");
+  }
+  return SharedValue(sealed.owner(), payload);
 }
 
 /// Placement token for a (table, partition) pair.

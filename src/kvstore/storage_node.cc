@@ -5,11 +5,18 @@
 namespace hgs {
 
 StorageNode::StorageNode(int node_id, size_t server_threads,
-                         LatencyModel latency)
-    : node_id_(node_id), latency_(latency), servers_(server_threads) {}
+                         LatencyModel latency, uint64_t fault_seed)
+    : node_id_(node_id),
+      latency_(latency),
+      faults_(fault_seed ^ (0x9E3779B97F4A7C15ull *
+                            static_cast<uint64_t>(node_id + 1))),
+      servers_(server_threads) {}
 
-void StorageNode::ChargeLatency(size_t keys, size_t bytes) {
-  int64_t micros = latency_.CostMicros(keys, bytes);
+void StorageNode::ChargeLatency(size_t keys, size_t bytes,
+                                int64_t extra_micros) {
+  // Injected latency (slow node, spikes) is waited even when the base model
+  // is disabled: a scripted fault is always real.
+  int64_t micros = latency_.CostMicros(keys, bytes) + extra_micros;
   stats_.simulated_micros.fetch_add(static_cast<uint64_t>(micros),
                                     std::memory_order_relaxed);
   if (micros <= 0) return;
@@ -34,10 +41,32 @@ void StorageNode::ChargeLatency(size_t keys, size_t bytes) {
   }
 }
 
+Status StorageNode::DownError() const {
+  return Status::IOError("storage node " + std::to_string(node_id_) +
+                         " is down");
+}
+
+Status StorageNode::TransientFault() {
+  stats_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+  return Status::IOError("storage node " + std::to_string(node_id_) +
+                         ": transient fault");
+}
+
+SharedValue StorageNode::MaybeCorrupt(SharedValue value) {
+  uint64_t seed = 0;
+  if (value.empty() || !faults_.ShouldCorrupt(&seed)) return value;
+  stats_.injected_corruptions.fetch_add(1, std::memory_order_relaxed);
+  std::string bytes(value.view());
+  bytes[seed % bytes.size()] ^= 0x40;
+  return SharedValue(std::move(bytes));
+}
+
 Result<SharedValue> StorageNode::DoGet(const std::string& key) {
-  if (IsDown()) {
-    return Status::IOError("storage node " + std::to_string(node_id_) +
-                           " is down");
+  if (IsDown()) return DownError();
+  FaultDecision fault = faults_.OnRequest();
+  if (fault.fail) {
+    ChargeLatency(1, 0, fault.extra_micros);
+    return TransientFault();
   }
   SharedValue value;
   {
@@ -46,7 +75,7 @@ Result<SharedValue> StorageNode::DoGet(const std::string& key) {
     if (it == data_.end()) {
       // A miss still costs a seek.
       stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
-      ChargeLatency(1, 0);
+      ChargeLatency(1, 0, fault.extra_micros);
       return Status::NotFound("key not found");
     }
     value = SharedValue(it->second, *it->second);
@@ -54,8 +83,8 @@ Result<SharedValue> StorageNode::DoGet(const std::string& key) {
   stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
   stats_.keys_read.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_read.fetch_add(value.size(), std::memory_order_relaxed);
-  ChargeLatency(1, value.size());
-  return value;
+  ChargeLatency(1, value.size(), fault.extra_micros);
+  return MaybeCorrupt(std::move(value));
 }
 
 std::vector<Result<SharedValue>> StorageNode::DoMultiGet(
@@ -63,9 +92,15 @@ std::vector<Result<SharedValue>> StorageNode::DoMultiGet(
   std::vector<Result<SharedValue>> out;
   out.reserve(keys.size());
   if (IsDown()) {
-    Status down = Status::IOError("storage node " + std::to_string(node_id_) +
-                                  " is down");
+    Status down = DownError();
     for (size_t i = 0; i < keys.size(); ++i) out.push_back(down);
+    return out;
+  }
+  FaultDecision fault = faults_.OnRequest();
+  if (fault.fail) {
+    ChargeLatency(keys.size(), 0, fault.extra_micros);
+    Status st = TransientFault();
+    for (size_t i = 0; i < keys.size(); ++i) out.push_back(st);
     return out;
   }
   size_t found = 0;
@@ -83,18 +118,23 @@ std::vector<Result<SharedValue>> StorageNode::DoMultiGet(
       }
     }
   }
+  for (Result<SharedValue>& res : out) {
+    if (res.ok()) *res = MaybeCorrupt(std::move(*res));
+  }
   stats_.get_requests.fetch_add(1, std::memory_order_relaxed);
   stats_.keys_read.fetch_add(found, std::memory_order_relaxed);
   stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   // One round trip: a single seek covers the whole batch.
-  ChargeLatency(keys.size(), bytes);
+  ChargeLatency(keys.size(), bytes, fault.extra_micros);
   return out;
 }
 
 Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
-  if (IsDown()) {
-    return Status::IOError("storage node " + std::to_string(node_id_) +
-                           " is down");
+  if (IsDown()) return DownError();
+  FaultDecision fault = faults_.OnRequest();
+  if (fault.fail) {
+    ChargeLatency(1, 0, fault.extra_micros);
+    return TransientFault();
   }
   std::vector<KVPair> out;
   size_t bytes = 0;
@@ -107,11 +147,12 @@ Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
       bytes += it->second->size();
     }
   }
+  for (KVPair& kv : out) kv.value = MaybeCorrupt(std::move(kv.value));
   stats_.scan_requests.fetch_add(1, std::memory_order_relaxed);
   stats_.keys_read.fetch_add(out.size(), std::memory_order_relaxed);
   stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   // Clustered rows: one seek for the whole contiguous run.
-  ChargeLatency(out.size(), bytes);
+  ChargeLatency(out.size(), bytes, fault.extra_micros);
   return out;
 }
 
@@ -132,29 +173,22 @@ std::future<Result<std::vector<KVPair>>> StorageNode::SubmitScan(
       [this, prefix = std::move(prefix)]() { return DoScan(prefix); });
 }
 
-void StorageNode::Put(std::string key, std::string value) {
+Status StorageNode::Put(std::string key, std::string value) {
   auto stored = std::make_shared<const std::string>(std::move(value));
-  size_t bytes = stored->size();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = data_.find(key);
-    if (it != data_.end()) {
-      stats_.bytes_stored.fetch_sub(it->second->size(),
-                                    std::memory_order_relaxed);
-    }
-    stats_.bytes_stored.fetch_add(bytes, std::memory_order_relaxed);
-    // Swap in the new buffer; readers holding views of the old one keep it
-    // alive through their shared owners.
-    data_[std::move(key)] = std::move(stored);
-  }
-  stats_.put_batches.fetch_add(1, std::memory_order_relaxed);
-  stats_.rows_put.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_put.fetch_add(bytes, std::memory_order_relaxed);
-  if (latency_.charge_writes) ChargeLatency(1, bytes);
+  std::vector<NodePutRow> rows;
+  rows.push_back(NodePutRow{std::move(key), std::move(stored)});
+  return PutBatch(std::move(rows));
 }
 
-void StorageNode::PutBatch(std::vector<NodePutRow> rows) {
+Status StorageNode::PutBatch(std::vector<NodePutRow> rows) {
+  if (IsDown()) return DownError();
+  FaultDecision fault = faults_.OnRequest();
+  if (fault.fail) {
+    if (latency_.charge_writes) ChargeLatency(rows.size(), 0, fault.extra_micros);
+    return TransientFault();
+  }
   size_t bytes = 0;
+  size_t count = rows.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (NodePutRow& row : rows) {
@@ -170,18 +204,53 @@ void StorageNode::PutBatch(std::vector<NodePutRow> rows) {
     }
   }
   stats_.put_batches.fetch_add(1, std::memory_order_relaxed);
-  stats_.rows_put.fetch_add(rows.size(), std::memory_order_relaxed);
+  stats_.rows_put.fetch_add(count, std::memory_order_relaxed);
   stats_.bytes_put.fetch_add(bytes, std::memory_order_relaxed);
   // One round trip commits the whole batch.
-  if (latency_.charge_writes) ChargeLatency(rows.size(), bytes);
+  if (latency_.charge_writes) ChargeLatency(count, bytes, fault.extra_micros);
+  return Status::OK();
 }
 
-std::future<void> StorageNode::SubmitPutBatch(std::vector<NodePutRow> rows) {
+std::future<Status> StorageNode::SubmitPutBatch(std::vector<NodePutRow> rows) {
   return servers_.Submit(
-      [this, rows = std::move(rows)]() mutable { PutBatch(std::move(rows)); });
+      [this, rows = std::move(rows)]() mutable {
+        return PutBatch(std::move(rows));
+      });
 }
 
-bool StorageNode::Delete(const std::string& key) {
+Status StorageNode::Delete(const std::string& key, bool* existed) {
+  if (existed != nullptr) *existed = false;
+  if (IsDown()) return DownError();
+  FaultDecision fault = faults_.OnRequest();
+  if (fault.fail) return TransientFault();
+  bool found = EraseRow(key);
+  if (existed != nullptr) *existed = found;
+  if (latency_.charge_writes) ChargeLatency(1, 0, fault.extra_micros);
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+StorageNode::SnapshotContents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> out;
+  out.reserve(data_.size());
+  for (const auto& [key, value] : data_) out.emplace_back(key, value);
+  return out;
+}
+
+void StorageNode::RestoreRow(std::string key,
+                             std::shared_ptr<const std::string> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    stats_.bytes_stored.fetch_sub(it->second->size(),
+                                  std::memory_order_relaxed);
+  }
+  stats_.bytes_stored.fetch_add(value->size(), std::memory_order_relaxed);
+  data_[std::move(key)] = std::move(value);
+}
+
+bool StorageNode::EraseRow(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return false;
@@ -216,6 +285,8 @@ void StorageNode::ResetStats() {
   stats_.put_batches.store(0);
   stats_.rows_put.store(0);
   stats_.bytes_put.store(0);
+  stats_.injected_faults.store(0);
+  stats_.injected_corruptions.store(0);
 }
 
 }  // namespace hgs

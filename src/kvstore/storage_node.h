@@ -7,6 +7,13 @@
 // requests concurrently (the paper's Cassandra boxes had 4 cores), so client
 // parallelism c saturates near m * server_threads — the knee visible in
 // Figs 11/12.
+//
+// Every request consults the node's FaultInjector first: a crashed node
+// fails everything, a transient fault fails this one request, slow-node and
+// spike profiles add latency (waited even when the base latency model is
+// off), and corruption flips a byte in a returned value copy — the resident
+// data stays intact, modeling rot on the read path, and the cluster's
+// per-value checksum turns it into a ChecksumMismatch failover.
 
 #ifndef HGS_KVSTORE_STORAGE_NODE_H_
 #define HGS_KVSTORE_STORAGE_NODE_H_
@@ -22,6 +29,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "kvstore/fault_injector.h"
 #include "kvstore/kv_types.h"
 
 namespace hgs {
@@ -70,6 +78,10 @@ struct StorageNodeStats {
   std::atomic<uint64_t> put_batches{0};
   std::atomic<uint64_t> rows_put{0};
   std::atomic<uint64_t> bytes_put{0};
+  // Fault accounting: requests the injector failed transiently, and values
+  // it corrupted on the way out.
+  std::atomic<uint64_t> injected_faults{0};
+  std::atomic<uint64_t> injected_corruptions{0};
 };
 
 /// One row of a group-committed write batch. The value buffer is shared:
@@ -82,7 +94,8 @@ struct NodePutRow {
 
 class StorageNode {
  public:
-  StorageNode(int node_id, size_t server_threads, LatencyModel latency);
+  StorageNode(int node_id, size_t server_threads, LatencyModel latency,
+              uint64_t fault_seed = 0);
 
   int node_id() const { return node_id_; }
 
@@ -105,22 +118,34 @@ class StorageNode {
 
   /// Point write, counted as a degenerate batch of one. Synchronous; only
   /// charged simulated latency when the model's `charge_writes` is on.
-  void Put(std::string key, std::string value);
+  /// Fails (without applying) when the node is crashed or the injector
+  /// draws a transient fault.
+  Status Put(std::string key, std::string value);
 
   /// Group commit: applies all rows under one lock acquisition and counts
   /// the whole batch as ONE write submission (one seek when writes are
-  /// charged), mirroring SubmitMultiGet on the read side.
-  void PutBatch(std::vector<NodePutRow> rows);
+  /// charged), mirroring SubmitMultiGet on the read side. Fails atomically
+  /// (no row applied) on crash or transient fault.
+  Status PutBatch(std::vector<NodePutRow> rows);
 
   /// PutBatch through the node's server pool, so one client can commit to
   /// several nodes concurrently (Cluster::MultiPut waits on the futures).
-  std::future<void> SubmitPutBatch(std::vector<NodePutRow> rows);
+  std::future<Status> SubmitPutBatch(std::vector<NodePutRow> rows);
 
-  bool Delete(const std::string& key);
+  /// Client-path delete: fails on crash/transient fault; otherwise
+  /// *existed reports whether the key was present.
+  Status Delete(const std::string& key, bool* existed = nullptr);
 
-  /// Failure injection: a down node fails every request with IOError.
-  void SetDown(bool down) { down_.store(down, std::memory_order_relaxed); }
-  bool IsDown() const { return down_.load(std::memory_order_relaxed); }
+  /// Failure injection. SetDown is the crash switch (kept for
+  /// compatibility; it toggles FaultProfile::crashed): a down node fails
+  /// every request with IOError. Richer fault modes are installed through
+  /// SetFaultProfile.
+  void SetDown(bool down) { faults_.SetCrashed(down); }
+  bool IsDown() const { return faults_.crashed(); }
+  void SetFaultProfile(const FaultProfile& profile) {
+    faults_.SetProfile(profile);
+  }
+  FaultProfile fault_profile() const { return faults_.profile(); }
 
   size_t NumKeys() const;
 
@@ -128,6 +153,24 @@ class StorageNode {
   /// value bytes in key order). Test/diagnostic hook: two nodes holding
   /// byte-identical data fingerprint equal regardless of write order.
   uint64_t ContentFingerprint() const;
+
+  // -- Admin channel (repair/anti-entropy) ---------------------------------
+  // These bypass the server pool, the latency model, the fault injector and
+  // the client write counters: they model the out-of-band streaming path a
+  // real cluster uses for repair, and they work while the node is down.
+
+  /// A point-in-time copy of the resident contents (keys copied, value
+  /// buffers shared).
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+  SnapshotContents() const;
+
+  /// Installs a row exactly as given (used by repair to stream a replica's
+  /// authoritative copy).
+  void RestoreRow(std::string key, std::shared_ptr<const std::string> value);
+
+  /// Removes a row; true if it existed (used by repair to drop rows deleted
+  /// while the node was away).
+  bool EraseRow(const std::string& key);
 
   const StorageNodeStats& stats() const { return stats_; }
   void ResetStats();
@@ -137,7 +180,13 @@ class StorageNode {
   std::vector<Result<SharedValue>> DoMultiGet(
       const std::vector<std::string>& keys);
   Result<std::vector<KVPair>> DoScan(const std::string& prefix);
-  void ChargeLatency(size_t keys, size_t bytes);
+  void ChargeLatency(size_t keys, size_t bytes, int64_t extra_micros = 0);
+  Status TransientFault();
+  Status DownError() const;
+  /// Applies the injector's corruption draw to a value about to be
+  /// returned: materializes a copy with one byte flipped (resident data is
+  /// untouched).
+  SharedValue MaybeCorrupt(SharedValue value);
 
   const int node_id_;
   LatencyModel latency_;
@@ -145,7 +194,7 @@ class StorageNode {
   // Values are shared buffers so reads hand out views without copying;
   // an overwrite swaps in a new buffer while live views keep the old one.
   std::map<std::string, std::shared_ptr<const std::string>> data_;
-  std::atomic<bool> down_{false};
+  FaultInjector faults_;
   StorageNodeStats stats_;
   ThreadPool servers_;  // must be last: tasks reference the members above
 };

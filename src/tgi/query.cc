@@ -28,6 +28,16 @@ class WallTimer {
       std::chrono::steady_clock::now();
 };
 
+// Folds one cluster read's resilience accounting into the query's stats.
+void MergeCallStats(FetchStats* stats, const ReadCallStats& call) {
+  if (stats == nullptr) return;
+  stats->failovers += call.failovers;
+  stats->retries += call.retries;
+  stats->hedges += call.hedges;
+  stats->hedge_wins += call.hedge_wins;
+  stats->checksum_failures += call.checksum_failures;
+}
+
 // Thread-safe accumulation of fetch counters during a parallel fetch.
 struct AtomicStats {
   std::atomic<uint64_t> kv_requests{0};
@@ -437,8 +447,10 @@ Result<std::vector<std::optional<SharedValue>>> TGIQueryManager::FetchValues(
   if (read_cache_ == nullptr) {
     size_t batches = 0;
     size_t copies = 0;
-    auto fetched = cluster_->MultiGet(table, keys, &batches, &copies);
+    ReadCallStats call;
+    auto fetched = cluster_->MultiGet(table, keys, &batches, &copies, &call);
     if (!fetched.ok()) return fetched.status();
+    MergeCallStats(stats, call);
     if (stats != nullptr) {
       stats->kv_batches += batches;
       stats->value_copies += copies;
@@ -471,8 +483,10 @@ Result<std::vector<std::optional<SharedValue>>> TGIQueryManager::FetchValues(
 
   size_t batches = 0;
   size_t copies = 0;
-  auto fetched = cluster_->MultiGet(table, misses, &batches, &copies);
+  ReadCallStats call;
+  auto fetched = cluster_->MultiGet(table, misses, &batches, &copies, &call);
   if (!fetched.ok()) return fetched.status();
+  MergeCallStats(stats, call);
   if (stats != nullptr) {
     stats->kv_batches += batches;
     stats->value_copies += copies;
@@ -521,8 +535,10 @@ TGIQueryManager::CachedScan(const MetaState& meta, std::string_view table,
     if (stats != nullptr) ++stats->cache_misses;
   }
   size_t copies = 0;
-  auto res = cluster_->Scan(table, partition, prefix, &copies);
+  ReadCallStats call;
+  auto res = cluster_->Scan(table, partition, prefix, &copies, &call);
   if (!res.ok()) return res.status();
+  MergeCallStats(stats, call);
   if (stats != nullptr) {
     ++stats->kv_batches;
     stats->value_copies += copies;

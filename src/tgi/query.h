@@ -85,6 +85,14 @@ struct FetchStats {
   // scope it didn't touch; the old global bump evicted everything.
   uint64_t cache_entries_retained = 0;
   uint64_t cache_entries_invalidated = 0;
+  // Resilience accounting, surfaced from the cluster client: what the
+  // fault-tolerance machinery did on this query's behalf. All zero on a
+  // healthy cluster.
+  uint64_t failovers = 0;          ///< replicas abandoned for another
+  uint64_t retries = 0;            ///< transient-error retries
+  uint64_t hedges = 0;             ///< second-chance requests fired
+  uint64_t hedge_wins = 0;         ///< hedged answers actually used
+  uint64_t checksum_failures = 0;  ///< values rejected by the checksum
   double wall_seconds = 0.0;
 
   double CacheHitRate() const {
@@ -109,6 +117,11 @@ struct FetchStats {
     value_copies += o.value_copies;
     cache_entries_retained += o.cache_entries_retained;
     cache_entries_invalidated += o.cache_entries_invalidated;
+    failovers += o.failovers;
+    retries += o.retries;
+    hedges += o.hedges;
+    hedge_wins += o.hedge_wins;
+    checksum_failures += o.checksum_failures;
     wall_seconds += o.wall_seconds;
   }
 };

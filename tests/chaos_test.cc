@@ -1,0 +1,219 @@
+// Chaos-tests the fault-tolerant replication stack end to end, at the TGI
+// level: a cluster subjected to node kills, rejoins, hint replay, scripted
+// transient faults, value corruption and full repair — all while a live
+// batch-by-batch ingest and interleaved queries are running — must answer
+// every query identically to a never-faulted twin cluster fed the same
+// stream, and after recovery every node must be byte-identical to its twin.
+//
+// Quorum write acks (2 of 3) are what let ingest keep committing with a
+// node dead; hinted handoff and repair are what make the dead node whole
+// again. The suite runs under TSan in CI alongside the stress tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "kvstore/cluster.h"
+#include "tgi/tgi.h"
+#include "workload/generators.h"
+
+namespace hgs {
+namespace {
+
+ClusterOptions ChaosCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 3;
+  opts.replication = 3;
+  opts.write_ack = WriteAck::kQuorum;  // 2 of 3: ingest survives one kill
+  opts.latency.enabled = false;
+  opts.max_retries = 3;
+  opts.retry_backoff_micros = 10;  // keep scripted-fault retries fast
+  return opts;
+}
+
+TGIOptions SmallOpts() {
+  TGIOptions opts;
+  opts.events_per_timespan = 1'500;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 300;
+  opts.micro_delta_size = 64;
+  opts.num_horizontal_partitions = 2;
+  return opts;
+}
+
+std::vector<Event> History(uint64_t seed, uint64_t n) {
+  workload::WikiGrowthOptions w;
+  w.num_events = n / 2;
+  w.seed = seed;
+  auto events = workload::GenerateWikiGrowth(w);
+  return workload::AugmentWithChurn(std::move(events),
+                                    {.num_events = n / 2, .seed = seed + 9});
+}
+
+void ExpectQueriesMatchTwin(TGI& chaos, TGI& twin, Timestamp t,
+                            const char* when) {
+  auto qc = chaos.OpenQueryManager();
+  auto qt = twin.OpenQueryManager();
+  ASSERT_TRUE(qc.ok() && qt.ok());
+  auto a = (*qc)->GetSnapshot(t);
+  auto b = (*qt)->GetSnapshot(t);
+  ASSERT_TRUE(a.ok()) << when << ": chaos snapshot: " << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << when << ": twin snapshot: " << b.status().ToString();
+  EXPECT_TRUE(*a == *b) << when << ": snapshots diverge at t=" << t;
+  for (NodeId id : {NodeId{3}, NodeId{17}, NodeId{42}}) {
+    auto ha = (*qc)->GetNodeHistory(id, 0, t);
+    auto hb = (*qt)->GetNodeHistory(id, 0, t);
+    ASSERT_TRUE(ha.ok() && hb.ok()) << when << ": node " << id;
+    EXPECT_EQ(ha->events.size(), hb->events.size()) << when << ": node " << id;
+  }
+}
+
+TEST(ChaosTest, KillRejoinRepairDuringLiveIngestMatchesFaultFreeTwin) {
+  auto events = History(1717, 6'000);
+  Cluster chaos_cluster(ChaosCluster());
+  Cluster twin_cluster(ChaosCluster());
+  TGI chaos(&chaos_cluster, SmallOpts());
+  TGI twin(&twin_cluster, SmallOpts());
+
+  // Feed both the same stream batch by batch. Between batches, a scripted
+  // chaos schedule kills, rejoins and degrades nodes; queries run against
+  // both clusters and must agree the whole time.
+  const size_t kBatch = 500;
+  size_t step = 0;
+  for (size_t off = 0; off < events.size(); off += kBatch, ++step) {
+    size_t end = std::min(off + kBatch, events.size());
+    std::vector<Event> batch(events.begin() + static_cast<ptrdiff_t>(off),
+                             events.begin() + static_cast<ptrdiff_t>(end));
+    ASSERT_TRUE(chaos.AppendBatch(batch).ok()) << "step " << step;
+    ASSERT_TRUE(twin.AppendBatch(batch).ok()) << "step " << step;
+
+    size_t victim = (step / 6) % 3;
+    switch (step % 6) {
+      case 0:  // kill: quorum writes keep succeeding, hints accumulate
+        chaos_cluster.SetNodeDown(victim, true);
+        break;
+      case 2: {  // rejoin + hint replay brings the victim back clean
+        chaos_cluster.SetNodeDown(victim, false);
+        ASSERT_TRUE(chaos_cluster.ReplayHints(victim).ok())
+            << "step " << step;
+        break;
+      }
+      case 3: {  // flaky network on another node: retries absorb it
+        FaultProfile flaky;
+        flaky.transient_error_prob = 0.2;
+        chaos_cluster.SetFaultProfile((victim + 1) % 3, flaky);
+        break;
+      }
+      case 4: {  // bit rot on reads: checksums fail the replica over
+        FaultProfile rot;
+        rot.corrupt_prob = 0.2;
+        chaos_cluster.SetFaultProfile((victim + 1) % 3, rot);
+        break;
+      }
+      case 5:  // heal
+        chaos_cluster.SetFaultProfile((victim + 1) % 3, FaultProfile{});
+        break;
+      default:
+        break;
+    }
+
+    ExpectQueriesMatchTwin(chaos, twin, batch.back().time,
+                           ("step " + std::to_string(step)).c_str());
+    if (HasFatalFailure()) return;
+  }
+
+  // Recovery: heal every profile, rejoin everything, repair every node.
+  for (size_t n = 0; n < 3; ++n) {
+    chaos_cluster.SetFaultProfile(n, FaultProfile{});
+    chaos_cluster.SetNodeDown(n, false);
+  }
+  for (size_t n = 0; n < 3; ++n) {
+    ASSERT_TRUE(chaos_cluster.RepairNode(n).ok()) << "node " << n;
+    EXPECT_FALSE(chaos_cluster.NodeDirty(n));
+  }
+
+  // After repair the chaos cluster is byte-identical to the twin, node by
+  // node — kills, missed writes and corruption left no trace.
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(chaos_cluster.NodeContentFingerprint(n),
+              twin_cluster.NodeContentFingerprint(n))
+        << "node " << n;
+  }
+  EXPECT_EQ(chaos_cluster.ContentFingerprint(),
+            twin_cluster.ContentFingerprint());
+  EXPECT_EQ(chaos_cluster.TotalKeys(), twin_cluster.TotalKeys());
+
+  // Full query equivalence after recovery, including against a direct
+  // replay of the event stream.
+  Timestamp end_time = workload::EndTime(events);
+  auto qc = chaos.OpenQueryManager().value();
+  auto qt = twin.OpenQueryManager().value();
+  for (double frac : {0.3, 0.7, 1.0}) {
+    Timestamp t = events[static_cast<size_t>(
+                             static_cast<double>(events.size() - 1) * frac)]
+                      .time;
+    auto a = qc->GetSnapshot(t);
+    auto b = qt->GetSnapshot(t);
+    ASSERT_TRUE(a.ok() && b.ok()) << "t=" << t;
+    EXPECT_TRUE(*a == *b) << "t=" << t;
+    EXPECT_TRUE(*a == workload::ReplayToGraph(events, t)) << "t=" << t;
+  }
+  for (NodeId id : {NodeId{1}, NodeId{7}, NodeId{23}, NodeId{40}}) {
+    auto a = qc->GetNodeHistory(id, 0, end_time);
+    auto b = qt->GetNodeHistory(id, 0, end_time);
+    ASSERT_TRUE(a.ok() && b.ok()) << "node " << id;
+    EXPECT_EQ(a->events.size(), b->events.size()) << "node " << id;
+  }
+}
+
+TEST(ChaosTest, HintReplayAloneMakesRejoinedNodeWhole) {
+  // No full repair here: quorum writes continue with a node dead, hints
+  // queue up for it, and replaying them on rejoin must reproduce the
+  // never-faulted twin byte for byte (including overwritten rows, which
+  // replay in write order).
+  auto events = History(2929, 4'000);
+  Cluster chaos_cluster(ChaosCluster());
+  Cluster twin_cluster(ChaosCluster());
+  TGI chaos(&chaos_cluster, SmallOpts());
+  TGI twin(&twin_cluster, SmallOpts());
+
+  const size_t kBatch = 1'000;
+  size_t step = 0;
+  for (size_t off = 0; off < events.size(); off += kBatch, ++step) {
+    size_t end = std::min(off + kBatch, events.size());
+    std::vector<Event> batch(events.begin() + static_cast<ptrdiff_t>(off),
+                             events.begin() + static_cast<ptrdiff_t>(end));
+    if (step == 1) chaos_cluster.SetNodeDown(2, true);
+    ASSERT_TRUE(chaos.AppendBatch(batch).ok()) << "step " << step;
+    ASSERT_TRUE(twin.AppendBatch(batch).ok()) << "step " << step;
+    if (step == 2) {
+      EXPECT_GT(chaos_cluster.PendingHints(2), 0u);
+      chaos_cluster.SetNodeDown(2, false);
+      EXPECT_TRUE(chaos_cluster.NodeDirty(2));
+      ASSERT_TRUE(chaos_cluster.ReplayHints(2).ok());
+      EXPECT_FALSE(chaos_cluster.NodeDirty(2));
+    }
+  }
+
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(chaos_cluster.NodeContentFingerprint(n),
+              twin_cluster.NodeContentFingerprint(n))
+        << "node " << n;
+  }
+  EXPECT_EQ(chaos_cluster.TotalKeys(), twin_cluster.TotalKeys());
+  EXPECT_GT(chaos_cluster.resilience().hints_replayed.load(), 0u);
+
+  Timestamp end_time = workload::EndTime(events);
+  auto qc = chaos.OpenQueryManager().value();
+  auto qt = twin.OpenQueryManager().value();
+  auto a = qc->GetSnapshot(end_time);
+  auto b = qt->GetSnapshot(end_time);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_TRUE(*a == workload::ReplayToGraph(events, end_time));
+}
+
+}  // namespace
+}  // namespace hgs

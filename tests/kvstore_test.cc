@@ -69,9 +69,13 @@ TEST(ClusterTest, ScanEmptyPrefixReturnsWholePartition) {
 TEST(ClusterTest, DeleteRemovesFromAllReplicas) {
   Cluster c(FastOptions(3, 3));
   ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
-  EXPECT_TRUE(c.Delete("t", 1, "k"));
+  auto del = c.Delete("t", 1, "k");
+  ASSERT_TRUE(del.ok());
+  EXPECT_TRUE(*del);
   EXPECT_TRUE(c.Get("t", 1, "k").status().IsNotFound());
-  EXPECT_FALSE(c.Delete("t", 1, "k"));
+  auto again = c.Delete("t", 1, "k");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
 }
 
 TEST(ClusterTest, ReplicationSurvivesNodeFailure) {
@@ -300,7 +304,7 @@ TEST(SharedValueTest, ViewsSurviveOverwriteAndDelete) {
   auto v = c.Get("t", 1, "k");
   ASSERT_TRUE(v.ok());
   ASSERT_TRUE(c.Put("t", 1, "k", "replacement").ok());
-  EXPECT_TRUE(c.Delete("t", 1, "k"));
+  EXPECT_TRUE(*c.Delete("t", 1, "k"));
   EXPECT_EQ(*v, "original-payload-well-past-sso-length");
   EXPECT_TRUE(c.Get("t", 1, "k").status().IsNotFound());
 }
@@ -372,6 +376,320 @@ TEST(LatencySimulationTest, SleepsApproximatelyTheModelledCost) {
                   std::chrono::steady_clock::now() - start)
                   .count();
   EXPECT_GE(ms, 1.5);
+}
+
+TEST(ClusterTest, ReplicationClampedToInlineReplicaBound) {
+  // Replicas() uses a fixed-capacity inline array, so the replication
+  // factor is clamped to kMaxReplicas even on larger clusters.
+  Cluster c(FastOptions(12, 12));
+  EXPECT_EQ(c.replication(), kMaxReplicas);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  EXPECT_EQ(*c.Get("t", 1, "k"), "v");
+}
+
+// -- Fault tolerance ----------------------------------------------------------
+
+TEST(FaultToleranceTest, StaleNotFoundFallsThroughToNextReplica) {
+  // Regression for the stale-NotFound bug: a replica that rejoined with
+  // hints pending must not answer NotFound authoritatively. Make BOTH
+  // replicas dirty with complementary contents so whichever the rotation
+  // queries first is missing one of the keys.
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.write_ack = WriteAck::kOne;
+  Cluster c(opts);
+  c.SetNodeDown(0, true);
+  ASSERT_TRUE(c.Put("t", 1, "ka", "va").ok());  // only node 1 has ka
+  c.SetNodeDown(0, false);
+  c.SetNodeDown(1, true);
+  ASSERT_TRUE(c.Put("t", 1, "kb", "vb").ok());  // only node 0 has kb
+  c.SetNodeDown(1, false);
+  ASSERT_TRUE(c.NodeDirty(0));
+  ASSERT_TRUE(c.NodeDirty(1));
+  // Every read must be served: a dirty replica's NotFound falls through.
+  // Consecutive reads of one key make the replica rotation start at the
+  // key-less replica on every other read, exercising the fallthrough.
+  for (int i = 0; i < 8; ++i) {
+    auto a = c.Get("t", 1, "ka");
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_EQ(*a, "va");
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto b = c.Get("t", 1, "kb");
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(*b, "vb");
+  }
+  EXPECT_GT(c.resilience().failovers.load(), 0u);
+  // A key absent everywhere still reports NotFound (the last resort).
+  EXPECT_TRUE(c.Get("t", 1, "never-written").status().IsNotFound());
+  // Replaying both hint queues reconciles the replicas.
+  ASSERT_TRUE(c.ReplayHints(0).ok());
+  ASSERT_TRUE(c.ReplayHints(1).ok());
+  EXPECT_FALSE(c.NodeDirty(0));
+  EXPECT_FALSE(c.NodeDirty(1));
+  EXPECT_EQ(c.NodeContentFingerprint(0), c.NodeContentFingerprint(1));
+}
+
+TEST(FaultToleranceTest, WriteFailsLoudlyWhenAckTargetUnmet) {
+  Cluster c(FastOptions(2, 2));  // default ack level: all replicas
+  c.SetNodeDown(0, true);
+  Status st = c.Put("t", 1, "k", "v");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("hinted"), std::string::npos);
+  EXPECT_EQ(c.resilience().failed_writes.load(), 1u);
+  EXPECT_EQ(c.PendingHints(0), 1u);
+  Status mst = c.MultiPut("t", {PutRow{1, "k2", "v2"}});
+  EXPECT_TRUE(mst.IsIOError());
+  auto del = c.Delete("t", 1, "k");
+  EXPECT_TRUE(del.status().IsIOError());
+}
+
+TEST(FaultToleranceTest, AckOneToleratesDownReplicaAsDegradedWrite) {
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.write_ack = WriteAck::kOne;
+  Cluster c(opts);
+  c.SetNodeDown(0, true);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  EXPECT_EQ(c.resilience().degraded_writes.load(), 1u);
+  EXPECT_EQ(c.resilience().failed_writes.load(), 0u);
+  EXPECT_EQ(*c.Get("t", 1, "k"), "v");  // durable on the live replica
+  // Quorum on r=3 tolerates one down replica the same way.
+  ClusterOptions q = FastOptions(3, 3);
+  q.write_ack = WriteAck::kQuorum;
+  Cluster d(q);
+  d.SetNodeDown(2, true);
+  ASSERT_TRUE(d.Put("t", 1, "k", "v").ok());
+  EXPECT_EQ(d.resilience().degraded_writes.load(), 1u);
+  d.SetNodeDown(1, true);  // 1 of 3 left: below quorum
+  EXPECT_TRUE(d.Put("t", 1, "k2", "v").IsIOError());
+}
+
+TEST(FaultToleranceTest, MultiGetDegradesPerKeyWhenKeysAreDead) {
+  Cluster c(FastOptions(3, 1));
+  std::vector<MultiGetKey> keys;
+  for (uint64_t p = 0; p < 30; ++p) {
+    std::string key = "k" + std::to_string(p);
+    ASSERT_TRUE(c.Put("t", p, key, "v" + std::to_string(p)).ok());
+    keys.push_back(MultiGetKey{p, key});
+  }
+  c.SetNodeDown(0, true);
+  // Strict contract (no key_status): the whole call fails because some
+  // keys' only replica is down.
+  auto strict = c.MultiGet("t", keys);
+  EXPECT_FALSE(strict.ok());
+  // Graceful contract: dead keys report per-key errors, the rest serve.
+  std::vector<Status> key_status;
+  auto multi = c.MultiGet("t", keys, nullptr, nullptr, nullptr, &key_status);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(key_status.size(), keys.size());
+  size_t dead = 0;
+  size_t served = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!key_status[i].ok()) {
+      ++dead;
+      EXPECT_FALSE((*multi)[i].has_value());
+    } else {
+      ++served;
+      ASSERT_TRUE((*multi)[i].has_value()) << keys[i].key;
+      EXPECT_EQ(*(*multi)[i], "v" + std::to_string(i));
+    }
+  }
+  EXPECT_GT(dead, 0u);
+  EXPECT_GT(served, 0u);
+}
+
+TEST(FaultToleranceTest, TransientFaultsRetryAndFailOver) {
+  Cluster c(FastOptions(2, 2));
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  FaultProfile flaky;
+  flaky.transient_error_prob = 1.0;  // node 0 fails every request
+  c.SetFaultProfile(0, flaky);
+  for (int i = 0; i < 8; ++i) {
+    auto got = c.Get("t", 1, "k");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, "v");
+  }
+  EXPECT_GT(c.resilience().retries.load(), 0u);
+  EXPECT_GT(c.resilience().failovers.load(), 0u);
+  // Batched reads take the same fallback.
+  ReadCallStats call;
+  auto multi = c.MultiGet("t", {MultiGetKey{1, "k"}}, nullptr, nullptr, &call);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE((*multi)[0].has_value());
+  EXPECT_EQ(*(*multi)[0], "v");
+}
+
+TEST(FaultToleranceTest, WritesThatExhaustRetriesAreHintedThenReplayed) {
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.write_ack = WriteAck::kOne;
+  opts.retry_backoff_micros = 10;  // keep the test fast
+  Cluster c(opts);
+  FaultProfile flaky;
+  flaky.transient_error_prob = 1.0;
+  c.SetFaultProfile(0, flaky);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());  // node 1 acks; node 0 hinted
+  EXPECT_GT(c.resilience().retries.load(), 0u);
+  EXPECT_EQ(c.PendingHints(0), 1u);
+  EXPECT_TRUE(c.NodeDirty(0));
+  c.SetFaultProfile(0, FaultProfile{});  // heal the node
+  ASSERT_TRUE(c.ReplayHints(0).ok());
+  EXPECT_FALSE(c.NodeDirty(0));
+  EXPECT_EQ(c.resilience().hints_replayed.load(), 1u);
+  EXPECT_EQ(c.NodeContentFingerprint(0), c.NodeContentFingerprint(1));
+}
+
+TEST(FaultToleranceTest, TombstoneHintPreventsDeleteResurrection) {
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.write_ack = WriteAck::kOne;
+  Cluster c(opts);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  c.SetNodeDown(0, true);
+  auto del = c.Delete("t", 1, "k");  // node 0 misses the delete
+  ASSERT_TRUE(del.ok());
+  EXPECT_TRUE(*del);
+  c.SetNodeDown(0, false);
+  // Node 0 still holds the row; replaying the tombstone removes it
+  // instead of letting the key resurrect.
+  EXPECT_EQ(c.PendingHints(0), 1u);
+  ASSERT_TRUE(c.ReplayHints(0).ok());
+  EXPECT_TRUE(c.Get("t", 1, "k").status().IsNotFound());
+  EXPECT_EQ(c.TotalKeys(), 0u);
+  EXPECT_EQ(c.NodeContentFingerprint(0), c.NodeContentFingerprint(1));
+}
+
+TEST(FaultToleranceTest, DirectWriteSupersedesOlderHint) {
+  // A write committed directly to a rejoined (dirty) node makes the older
+  // queued hint for the same key obsolete — replay must not roll the value
+  // back.
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.write_ack = WriteAck::kOne;
+  Cluster c(opts);
+  c.SetNodeDown(0, true);
+  ASSERT_TRUE(c.Put("t", 1, "k", "old").ok());  // hint(k=old) for node 0
+  c.SetNodeDown(0, false);
+  ASSERT_TRUE(c.Put("t", 1, "k", "new").ok());  // lands on both directly
+  ASSERT_TRUE(c.ReplayHints(0).ok());
+  EXPECT_EQ(*c.Get("t", 1, "k"), "new");
+  EXPECT_EQ(c.NodeContentFingerprint(0), c.NodeContentFingerprint(1));
+}
+
+TEST(FaultToleranceTest, ChecksumCatchesCorruptionAndFailsOver) {
+  Cluster c(FastOptions(2, 2));
+  ASSERT_TRUE(c.Put("t", 1, "k", "correct-value").ok());
+  ASSERT_TRUE(c.Put("t", 1, "k2", "other-value").ok());
+  FaultProfile rot;
+  rot.corrupt_prob = 1.0;  // node 0 corrupts every value it returns
+  c.SetFaultProfile(0, rot);
+  for (int i = 0; i < 8; ++i) {
+    // Corrupted bytes never reach the caller: the checksum rejects the
+    // replica's answer and the read fails over.
+    auto got = c.Get("t", 1, "k");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, "correct-value");
+    auto scanned = c.Scan("t", 1, "");
+    ASSERT_TRUE(scanned.ok());
+    ASSERT_EQ(scanned->size(), 2u);
+    EXPECT_EQ((*scanned)[0].value, "correct-value");
+    EXPECT_EQ((*scanned)[1].value, "other-value");
+  }
+  EXPECT_GT(c.resilience().checksum_failures.load(), 0u);
+  EXPECT_GT(c.resilience().failovers.load(), 0u);
+  // Batched reads verify too.
+  ReadCallStats call;
+  auto multi = c.MultiGet("t", {MultiGetKey{1, "k"}}, nullptr, nullptr, &call);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(*(*multi)[0], "correct-value");
+}
+
+TEST(FaultToleranceTest, HedgedReadBeatsSlowReplica) {
+  ClusterOptions opts = FastOptions(2, 2);
+  opts.hedge_after_micros = 2'000;
+  Cluster c(opts);
+  std::vector<MultiGetKey> keys;
+  for (int k = 0; k < 8; ++k) {
+    std::string key = "k" + std::to_string(k);
+    ASSERT_TRUE(c.Put("t", 1, key, "v" + std::to_string(k)).ok());
+    keys.push_back(MultiGetKey{1, key});
+  }
+  FaultProfile slow;
+  slow.added_latency_micros = 50'000;  // node 0: uniformly 50ms slow
+  c.SetFaultProfile(0, slow);
+  for (int i = 0; i < 6; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto got = c.Get("t", 1, "k0");
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "v0");
+    // Whichever replica the rotation picks first, the hedge keeps the
+    // read from paying the slow node's full 50ms.
+    EXPECT_LT(ms, 40.0);
+  }
+  EXPECT_GT(c.resilience().hedges.load(), 0u);
+  EXPECT_GT(c.resilience().hedge_wins.load(), 0u);
+  // Batched reads hedge slow node batches to the keys' alternates.
+  ReadCallStats call;
+  auto multi = c.MultiGet("t", keys, nullptr, nullptr, &call);
+  ASSERT_TRUE(multi.ok());
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_TRUE((*multi)[k].has_value());
+    EXPECT_EQ(*(*multi)[k], "v" + std::to_string(k));
+  }
+}
+
+TEST(FaultToleranceTest, DeadlineBoundsARequest) {
+  ClusterOptions opts = FastOptions(1, 1);
+  opts.request_deadline_micros = 5'000;
+  Cluster c(opts);
+  ASSERT_TRUE(c.Put("t", 1, "k", "v").ok());
+  FaultProfile slow;
+  slow.added_latency_micros = 300'000;  // far past the deadline
+  c.SetFaultProfile(0, slow);
+  auto start = std::chrono::steady_clock::now();
+  auto got = c.Get("t", 1, "k");
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  EXPECT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("deadline"), std::string::npos);
+  EXPECT_LT(ms, 150.0);  // did not wait out the 300ms replica
+}
+
+TEST(FaultToleranceTest, RepairRestoresKilledNodeToTwinContents) {
+  ClusterOptions opts = FastOptions(3, 2);
+  opts.write_ack = WriteAck::kOne;  // writes keep succeeding during the kill
+  Cluster faulty(opts);
+  Cluster twin(opts);
+  auto put_range = [](Cluster& c, int lo, int hi) {
+    for (int k = lo; k < hi; ++k) {
+      EXPECT_TRUE(c.Put("t", static_cast<uint64_t>(k % 11),
+                        "k" + std::to_string(k), "v" + std::to_string(k))
+                      .ok());
+    }
+  };
+  put_range(faulty, 0, 50);
+  put_range(twin, 0, 50);
+  faulty.SetNodeDown(1, true);
+  // Live mixed workload while node 1 is dead: new writes, overwrites and
+  // deletes all miss it.
+  put_range(faulty, 50, 120);
+  put_range(twin, 50, 120);
+  for (int k = 0; k < 10; ++k) {
+    faulty.Delete("t", static_cast<uint64_t>(k % 11), "k" + std::to_string(k));
+    twin.Delete("t", static_cast<uint64_t>(k % 11), "k" + std::to_string(k));
+  }
+  faulty.SetNodeDown(1, false);
+  ASSERT_TRUE(faulty.RepairNode(1).ok());
+  EXPECT_FALSE(faulty.NodeDirty(1));
+  EXPECT_EQ(faulty.PendingHints(1), 0u);
+  // Byte-identical to the never-faulted twin, node by node.
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(faulty.NodeContentFingerprint(n),
+              twin.NodeContentFingerprint(n))
+        << "node " << n;
+  }
+  EXPECT_EQ(faulty.TotalKeys(), twin.TotalKeys());
+  EXPECT_GT(faulty.resilience().repair_rows.load(), 0u);
 }
 
 TEST(LatencySimulationTest, ParallelRequestsOverlapOnServerThreads) {
