@@ -65,7 +65,7 @@ Result<Graph> NodeCentricIndex::GetSnapshot(Timestamp t, FetchStats* stats) {
   // No time-centric access path: fetch every node's stream and replay the
   // node-local view. Edge events are deduplicated by the Graph structure.
   Graph g;
-  std::mutex mu;
+  Mutex mu;
   std::atomic<bool> failed{false};
   Status first_error;
   FetchStats agg;
@@ -73,7 +73,7 @@ Result<Graph> NodeCentricIndex::GetSnapshot(Timestamp t, FetchStats* stats) {
     if (failed.load(std::memory_order_relaxed)) return;
     FetchStats local;
     auto stream = FetchStream(all_nodes_[i], &local);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     agg.Merge(local);
     if (!stream.ok()) {
       if (!failed.exchange(true)) first_error = stream.status();

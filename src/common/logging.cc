@@ -4,7 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace hgs {
 
@@ -35,8 +36,9 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& LogMutex() {
-  static std::mutex mu;
+// Serializes sink writes so interleaved messages stay line-atomic.
+Mutex& LogMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -61,7 +63,7 @@ void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   const char* base = std::strrchr(file, '/');
   base = base ? base + 1 : file;
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::cerr << "[" << LevelName(level) << " " << base << ":" << line << "] "
             << msg << "\n";
 }

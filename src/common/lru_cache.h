@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace hgs {
 
@@ -170,7 +171,7 @@ class ShardedLruCache {
     if (capacity_bytes_ == 0) return std::nullopt;
     uint64_t hash = Hash{}(key);
     Shard& shard = ShardForHash(hash);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.sketch != nullptr) shard.sketch->Record(hash);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
@@ -196,7 +197,7 @@ class ShardedLruCache {
     }
     uint64_t hash = Hash{}(key);
     Shard& shard = ShardForHash(hash);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.sketch != nullptr) shard.sketch->Record(hash);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
@@ -213,22 +214,16 @@ class ShardedLruCache {
       // again, so a cold sweep cannot flush the shard.
       const uint32_t cand = shard.sketch->Estimate(hash);
       size_t bytes_after = shard.bytes + charge;
-      for (auto it = shard.lru.rbegin();
-           it != shard.lru.rend() && bytes_after > shard_capacity_; ++it) {
-        if (cand <= shard.sketch->Estimate(Hash{}(it->key))) {
+      for (auto vit = shard.lru.rbegin();
+           vit != shard.lru.rend() && bytes_after > shard_capacity_; ++vit) {
+        if (cand <= shard.sketch->Estimate(Hash{}(vit->key))) {
           ++shard.admission_rejects;
           return;
         }
-        bytes_after -= it->charge;
+        bytes_after -= vit->charge;
       }
     }
-    while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
-      Entry& victim = shard.lru.back();
-      shard.bytes -= victim.charge;
-      shard.map.erase(victim.key);
-      shard.lru.pop_back();
-      ++shard.evictions;
-    }
+    EvictToFitLocked(shard, charge);
     shard.lru.push_front(Entry{key, std::move(value), charge});
     shard.map[key] = shard.lru.begin();
     shard.bytes += charge;
@@ -239,7 +234,7 @@ class ShardedLruCache {
   bool Erase(const Key& key) {
     if (capacity_bytes_ == 0) return false;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     shard.bytes -= it->second->charge;
@@ -263,7 +258,7 @@ class ShardedLruCache {
     RetainResult result;
     for (auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (pred(it->key)) {
           ++result.retained;
@@ -284,7 +279,7 @@ class ShardedLruCache {
   void Clear() {
     for (auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.lru.clear();
       shard.map.clear();
       shard.bytes = 0;
@@ -295,7 +290,7 @@ class ShardedLruCache {
     LruCacheCounters out;
     for (const auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       out.hits += shard.hits;
       out.misses += shard.misses;
       out.insertions += shard.insertions;
@@ -318,18 +313,32 @@ class ShardedLruCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t admission_rejects = 0;
-    // Present only with TinyLFU admission on (~2.5 KiB per shard).
-    std::unique_ptr<internal::FrequencySketch> sketch;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t insertions GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+    uint64_t admission_rejects GUARDED_BY(mu) = 0;
+    // Present only with TinyLFU admission on (~2.5 KiB per shard). The
+    // pointer is written once at construction; the sketch state behind it
+    // mutates on every probe, under the shard lock.
+    std::unique_ptr<internal::FrequencySketch> sketch PT_GUARDED_BY(mu);
   };
+
+  /// Evicts LRU entries until `charge` more bytes fit in the shard budget.
+  void EvictToFitLocked(Shard& shard, size_t charge) REQUIRES(shard.mu) {
+    while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
 
   Shard& ShardFor(const Key& key) const {
     return ShardForHash(Hash{}(key));

@@ -12,8 +12,10 @@
 
 namespace hgs {
 
+/// [[nodiscard]] like Status: dropping a Result drops both the value and
+/// the error. See status.h for the `(void)` escape-hatch convention.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -37,7 +37,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A cheaply copyable success-or-error value. OK carries no allocation; an
 /// error holds a code and a message describing what failed.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning a Status is a
+/// fallible operation, and silently dropping the return loses the failure.
+/// Intentional drops must be written `(void)Foo();` with a comment saying
+/// why the failure is ignorable.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotations, portable across compilers.
+//
+// These macros attach compile-time locking contracts to mutexes, the data
+// they guard, and the functions that acquire them. Under Clang with
+// -Wthread-safety the compiler proves every annotated access happens under
+// the right lock (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html);
+// under any other compiler they expand to nothing, so the annotations cost
+// zero and the code stays portable.
+//
+// Use them through the wrappers in common/mutex.h (Mutex, MutexLock,
+// CondVar): std::mutex itself carries no capability attribute in libstdc++,
+// so annotating members with GUARDED_BY(some_std_mutex) would be inert.
+// The lint gate (tools/lint_invariants.py) bans raw std::mutex in src/ for
+// exactly that reason.
+
+#ifndef HGS_COMMON_THREAD_ANNOTATIONS_H_
+#define HGS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HGS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HGS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define CAPABILITY(x) HGS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY HGS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated member may only be accessed while holding `x`.
+#define GUARDED_BY(x) HGS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer member is guarded by `x`
+/// (the pointer itself is not).
+#define PT_GUARDED_BY(x) HGS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection with
+/// -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// (it does not acquire them itself). The `FooLocked()` suffix convention in
+/// this codebase always pairs with a REQUIRES annotation.
+#define REQUIRES(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define RELEASE(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; `b` is the success return value.
+#define TRY_ACQUIRE(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (it acquires them internally; holding them would self-deadlock).
+#define EXCLUDES(...) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Dynamic assertion that the capability is held (AssertHeld-style).
+#define ASSERT_CAPABILITY(x) \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) HGS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must carry
+/// a comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HGS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // HGS_COMMON_THREAD_ANNOTATIONS_H_

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -27,8 +27,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -36,16 +36,16 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(mu_);
 }
 
 ThreadPool& SharedWorkPool() {
@@ -79,8 +79,8 @@ struct LoopState {
   const std::function<void(size_t)>* fn;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;    ///< serializes the done==n signal against the caller's wait
+  CondVar cv;  ///< signaled once when done reaches n
 
   void RunShare() {
     for (;;) {
@@ -88,8 +88,8 @@ struct LoopState {
       if (i >= n) return;
       (*fn)(i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+        MutexLock lock(mu);
+        cv.NotifyAll();
       }
     }
   }
@@ -113,19 +113,19 @@ void ParallelFor(size_t n, size_t parallelism,
     pool.Submit([state] { state->RunShare(); });
   }
   state->RunShare();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  MutexLock lock(state->mu);
+  while (state->done.load() != n) state->cv.Wait(state->mu);
 }
 
 Status StatusParallelFor(size_t n, size_t parallelism,
                          const std::function<Status(size_t)>& fn) {
-  std::mutex mu;
+  Mutex mu;
   size_t first_bad = n;
   Status first_status = Status::OK();
   ParallelFor(n, parallelism, [&](size_t i) {
     Status s = fn(i);
     if (s.ok()) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (i < first_bad) {
       first_bad = i;
       first_status = std::move(s);

@@ -6,14 +6,13 @@
 #ifndef HGS_COMMON_THREAD_POOL_H_
 #define HGS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace hgs {
@@ -29,34 +28,35 @@ class ThreadPool {
 
   /// Enqueues a task; returns a future for its completion/result.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+      EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
   /// Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;       ///< signaled when work arrives or stop_ flips
+  CondVar idle_cv_;  ///< signaled when the pool drains to idle
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written only in the constructor
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool backing ParallelFor. Lazily constructed on first

@@ -173,7 +173,7 @@ std::shared_ptr<const std::string> Cluster::SealForStorage(
 void Cluster::EnqueueHint(size_t node, std::string phys,
                           std::shared_ptr<const std::string> value) {
   NodeClientState& st = *node_state_[node];
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (st.hints.size() >= options_.hint_limit_per_node) {
     // Bounded queue: drop the oldest hint. The node can no longer be made
     // whole by replay alone — only RepairNode clears the overflow.
@@ -189,7 +189,7 @@ void Cluster::EnqueueHint(size_t node, std::string phys,
 void Cluster::SupersedeHints(size_t node, const std::string& phys) {
   NodeClientState& st = *node_state_[node];
   if (!st.dirty.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   st.hints.erase(std::remove_if(st.hints.begin(), st.hints.end(),
                                 [&phys](const Hint& h) {
                                   return h.key == phys;
@@ -207,7 +207,7 @@ bool Cluster::NodeDirty(size_t node) const {
 
 size_t Cluster::PendingHints(size_t node) const {
   if (node >= node_state_.size()) return 0;
-  std::lock_guard<std::mutex> lock(node_state_[node]->mu);
+  MutexLock lock(node_state_[node]->mu);
   return node_state_[node]->hints.size();
 }
 
@@ -221,7 +221,7 @@ Status Cluster::ReplayHints(size_t node) {
   while (true) {
     Hint hint;
     {
-      std::lock_guard<std::mutex> lock(st.mu);
+      MutexLock lock(st.mu);
       if (st.hints.empty()) break;
       hint = std::move(st.hints.front());
       st.hints.pop_front();
@@ -233,13 +233,13 @@ Status Cluster::ReplayHints(size_t node) {
                          : WriteRowToNode(node, hint.key, hint.value);
     if (!applied.ok()) {
       // Node unreachable again mid-replay: put the hint back and report.
-      std::lock_guard<std::mutex> lock(st.mu);
+      MutexLock lock(st.mu);
       st.hints.push_front(std::move(hint));
       return applied;
     }
     resilience_.hints_replayed.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (st.hints.empty() && !st.overflowed) {
     st.dirty.store(false, std::memory_order_relaxed);
   }
@@ -256,7 +256,7 @@ Status Cluster::RepairNode(size_t target) {
   {
     // Full reconciliation supersedes any queued hints (and recovers from
     // hint overflow — this is the only path that clears it).
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     st.hints.clear();
     st.overflowed = false;
   }
@@ -1001,7 +1001,7 @@ void Cluster::ResetStats() {
 void Cluster::PublishTouched(std::vector<EpochKey> touched) {
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  MutexLock lock(epoch_mu_);
   auto next = std::make_shared<EpochVector>(*epochs_);
   next->global += 1;
   for (EpochKey key : touched) {
@@ -1020,7 +1020,7 @@ void Cluster::PublishTouched(std::vector<EpochKey> touched) {
 }
 
 void Cluster::BumpPublishEpoch() {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  MutexLock lock(epoch_mu_);
   auto next = std::make_shared<EpochVector>();
   next->global = epochs_->global + 1;
   next->base = next->global;

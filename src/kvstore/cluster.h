@@ -29,13 +29,13 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/compression.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "kvstore/storage_node.h"
 
@@ -314,8 +314,8 @@ class Cluster {
   /// The current publish-epoch map. The returned snapshot is immutable;
   /// publishes swap in a fresh copy, so a pinned ref stays internally
   /// consistent across concurrent publishes.
-  EpochVectorRef epochs() const {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+  EpochVectorRef epochs() const EXCLUDES(epoch_mu_) {
+    MutexLock lock(epoch_mu_);
     return epochs_;
   }
 
@@ -345,9 +345,11 @@ class Cluster {
   /// Cluster-side per-node client state: the hinted-handoff queue and the
   /// dirty flag the read path consults.
   struct NodeClientState {
-    mutable std::mutex mu;
-    std::deque<Hint> hints;
-    bool overflowed = false;  // a hint was dropped; only RepairNode cleans
+    mutable Mutex mu;
+    std::deque<Hint> hints GUARDED_BY(mu);
+    // A hint was dropped; only RepairNode cleans.
+    bool overflowed GUARDED_BY(mu) = false;
+    // Lock-free mirror of "hints pending or overflowed" for the read path.
     std::atomic<bool> dirty{false};
   };
 
@@ -409,8 +411,9 @@ class Cluster {
   // Replica load balancing; mutable so const read-path helpers can rotate.
   mutable std::atomic<uint64_t> read_counter_{0};
   ClusterResilienceStats resilience_;
-  mutable std::mutex epoch_mu_;
-  EpochVectorRef epochs_ = std::make_shared<const EpochVector>();
+  mutable Mutex epoch_mu_;
+  EpochVectorRef epochs_ GUARDED_BY(epoch_mu_) =
+      std::make_shared<const EpochVector>();
 };
 
 }  // namespace hgs

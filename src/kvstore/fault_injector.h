@@ -16,8 +16,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace hgs {
@@ -62,20 +62,20 @@ class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed) : rng_(seed) {}
 
-  void SetProfile(const FaultProfile& profile) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SetProfile(const FaultProfile& profile) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     profile_ = profile;
     crashed_.store(profile.crashed, std::memory_order_relaxed);
     armed_.store(profile.HasTransientFaults(), std::memory_order_relaxed);
   }
 
-  FaultProfile profile() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  FaultProfile profile() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return profile_;
   }
 
-  void SetCrashed(bool crashed) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SetCrashed(bool crashed) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     profile_.crashed = crashed;
     crashed_.store(crashed, std::memory_order_relaxed);
   }
@@ -84,10 +84,10 @@ class FaultInjector {
 
   /// Draws the transient-fault decision for one request. Cheap when no
   /// transient faults are armed.
-  FaultDecision OnRequest() {
+  FaultDecision OnRequest() EXCLUDES(mu_) {
     FaultDecision d;
     if (!armed_.load(std::memory_order_relaxed)) return d;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     d.extra_micros = profile_.added_latency_micros;
     if (profile_.spike_prob > 0 && rng_.Bernoulli(profile_.spike_prob)) {
       d.extra_micros += profile_.spike_latency_micros;
@@ -101,9 +101,9 @@ class FaultInjector {
 
   /// Whether one value returned by the current request should be
   /// corrupted, and at which (pseudo-random) byte offset. Drawn per value.
-  bool ShouldCorrupt(uint64_t* byte_offset_seed) {
+  bool ShouldCorrupt(uint64_t* byte_offset_seed) EXCLUDES(mu_) {
     if (!armed_.load(std::memory_order_relaxed)) return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (profile_.corrupt_prob <= 0 || !rng_.Bernoulli(profile_.corrupt_prob)) {
       return false;
     }
@@ -112,9 +112,11 @@ class FaultInjector {
   }
 
  private:
-  mutable std::mutex mu_;
-  Rng rng_;
-  FaultProfile profile_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  FaultProfile profile_ GUARDED_BY(mu_);
+  // Relaxed mirrors of profile_ fields, so the unfaulted hot path is one
+  // atomic load instead of a lock acquisition.
   std::atomic<bool> armed_{false};
   std::atomic<bool> crashed_{false};
 };

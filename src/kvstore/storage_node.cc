@@ -70,7 +70,7 @@ Result<SharedValue> StorageNode::DoGet(const std::string& key) {
   }
   SharedValue value;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = data_.find(key);
     if (it == data_.end()) {
       // A miss still costs a seek.
@@ -106,7 +106,7 @@ std::vector<Result<SharedValue>> StorageNode::DoMultiGet(
   size_t found = 0;
   size_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const std::string& key : keys) {
       auto it = data_.find(key);
       if (it == data_.end()) {
@@ -139,7 +139,7 @@ Result<std::vector<KVPair>> StorageNode::DoScan(const std::string& prefix) {
   std::vector<KVPair> out;
   size_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = data_.lower_bound(prefix);
          it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
          ++it) {
@@ -190,7 +190,7 @@ Status StorageNode::PutBatch(std::vector<NodePutRow> rows) {
   size_t bytes = 0;
   size_t count = rows.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (NodePutRow& row : rows) {
       bytes += row.value->size();
       auto it = data_.find(row.key);
@@ -231,7 +231,7 @@ Status StorageNode::Delete(const std::string& key, bool* existed) {
 
 std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
 StorageNode::SnapshotContents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> out;
   out.reserve(data_.size());
   for (const auto& [key, value] : data_) out.emplace_back(key, value);
@@ -240,7 +240,7 @@ StorageNode::SnapshotContents() const {
 
 void StorageNode::RestoreRow(std::string key,
                              std::shared_ptr<const std::string> value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = data_.find(key);
   if (it != data_.end()) {
     stats_.bytes_stored.fetch_sub(it->second->size(),
@@ -251,7 +251,7 @@ void StorageNode::RestoreRow(std::string key,
 }
 
 bool StorageNode::EraseRow(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return false;
   stats_.bytes_stored.fetch_sub(it->second->size(), std::memory_order_relaxed);
@@ -260,12 +260,12 @@ bool StorageNode::EraseRow(const std::string& key) {
 }
 
 size_t StorageNode::NumKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return data_.size();
 }
 
 uint64_t StorageNode::ContentFingerprint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
   for (const auto& [key, value] : data_) {
     h ^= Fnv1a64(key.data(), key.size());

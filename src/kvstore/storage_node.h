@@ -23,10 +23,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "kvstore/fault_injector.h"
@@ -190,10 +190,11 @@ class StorageNode {
 
   const int node_id_;
   LatencyModel latency_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Values are shared buffers so reads hand out views without copying;
   // an overwrite swaps in a new buffer while live views keep the old one.
-  std::map<std::string, std::shared_ptr<const std::string>> data_;
+  std::map<std::string, std::shared_ptr<const std::string>> data_
+      GUARDED_BY(mu_);
   FaultInjector faults_;
   StorageNodeStats stats_;
   ThreadPool servers_;  // must be last: tasks reference the members above

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <unordered_set>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace hgs::taf {
 
@@ -100,7 +101,7 @@ Result<SoN> NodeSetSpec::Fetch(FetchStats* stats) const {
   std::vector<NodeT> nodes(candidates.size());
   std::atomic<bool> failed{false};
   Status first_error;
-  std::mutex mu;
+  Mutex mu;
   FetchStats agg;
   size_t shares = std::min(engine_->num_workers(),
                            std::max<size_t>(candidates.size(), 1));
@@ -113,7 +114,7 @@ Result<SoN> NodeSetSpec::Fetch(FetchStats* stats) const {
     FetchStats local;
     auto hists = qm->GetNodeHistories(share, from, to, &local);
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       agg.Merge(local);
       if (!hists.ok()) {
         if (!failed.exchange(true)) first_error = hists.status();
@@ -167,13 +168,13 @@ Result<SoTS> SubgraphSetSpec::Fetch(FetchStats* stats) const {
   std::vector<SubgraphT> out(seeds_.size());
   std::atomic<bool> failed{false};
   Status first_error;
-  std::mutex mu;
+  Mutex mu;
   FetchStats agg;
   engine_->ParallelOver(seeds_.size(), [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     FetchStats local;
     auto fail = [&](const Status& s) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       agg.Merge(local);
       if (!failed.exchange(true)) first_error = s;
     };
@@ -205,7 +206,7 @@ Result<SoTS> SubgraphSetSpec::Fetch(FetchStats* stats) const {
 
     SubgraphT sg(seeds_[i], std::move(members), std::move(initial),
                  std::move(events), from, to);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     agg.Merge(local);
     out[i] = std::move(sg);
   });

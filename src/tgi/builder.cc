@@ -141,7 +141,7 @@ Status TGIBuilder::Finish() {
   // keeping cache entries of untouched scopes warm.
   std::vector<EpochKey> touched;
   {
-    std::lock_guard<std::mutex> lock(touched_mu_);
+    MutexLock lock(touched_mu_);
     touched.swap(touched_scopes_);
   }
   touched.push_back(MakeEpochKey(tgi::kGraphTable, 0));
@@ -676,7 +676,7 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
                                   w.FinishWithChecksum()));
   touched.push_back(MakeEpochKey(tgi::kTimespansTable, 0));
   {
-    std::lock_guard<std::mutex> lock(touched_mu_);
+    MutexLock lock(touched_mu_);
     touched_scopes_.insert(touched_scopes_.end(), touched.begin(),
                            touched.end());
   }

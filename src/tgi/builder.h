@@ -30,10 +30,10 @@
 #ifndef HGS_TGI_BUILDER_H_
 #define HGS_TGI_BUILDER_H_
 
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "delta/eventlist.h"
 #include "graph/graph.h"
@@ -109,8 +109,8 @@ class TGIBuilder {
   /// the accumulated set through Cluster::PublishTouched so readers
   /// invalidate exactly these scopes. Guarded because BulkLoad builds
   /// spans concurrently.
-  std::mutex touched_mu_;
-  std::vector<EpochKey> touched_scopes_;
+  Mutex touched_mu_;
+  std::vector<EpochKey> touched_scopes_ GUARDED_BY(touched_mu_);
 };
 
 }  // namespace hgs

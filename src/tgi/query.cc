@@ -105,14 +105,14 @@ Status ParallelStatusFor(
   AtomicStats astats;
   std::atomic<bool> failed{false};
   Status first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
   ParallelFor(n, parallelism, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     FetchStats local;
     Status s = fn(i, &local);
     astats.Add(local);
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(error_mu);
       if (!failed.exchange(true)) first_error = s;
     }
   });
@@ -303,15 +303,15 @@ Result<TGIQueryManager::MetaRef> TGIQueryManager::LoadMetadata(
 Status TGIQueryManager::Open() {
   HGS_ASSIGN_OR_RETURN(MetaRef meta, LoadMetadata(cluster_->epochs()));
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     meta_ = std::move(meta);
   }
-  opened_ = true;
+  opened_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 TGIQueryManager::MetaRef TGIQueryManager::CurrentMeta() const {
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   if (meta_ != nullptr) return meta_;
   static const MetaRef kEmpty = std::make_shared<MetaState>();
   return kEmpty;
@@ -319,12 +319,14 @@ TGIQueryManager::MetaRef TGIQueryManager::CurrentMeta() const {
 
 Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh(
     FetchStats* stats) {
-  if (!opened_) return Status::FailedPrecondition("Open() not called");
+  if (!opened_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("Open() not called");
+  }
   {
     MetaRef current = CurrentMeta();
     if (cluster_->publish_epoch() == current->epoch) return current;
   }
-  std::lock_guard<std::mutex> lock(refresh_mu_);
+  MutexLock lock(refresh_mu_);
   // Re-read under the refresh lock so concurrent stale readers converge on
   // one reload instead of racing each other backwards.
   EpochVectorRef epochs = cluster_->epochs();
@@ -360,7 +362,7 @@ Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh(
   uint64_t retained = 0;
   uint64_t invalidated = 0;
   {
-    std::lock_guard<std::mutex> mlock(micropart_mu_);
+    MutexLock mlock(micropart_mu_);
     for (auto it = micropart_cache_.begin(); it != micropart_cache_.end();) {
       uint64_t sub =
           epochs->SubEpoch(MakeEpochKey(tgi::kMicropartsTable, it->first));
@@ -406,7 +408,7 @@ Result<TGIQueryManager::MetaRef> TGIQueryManager::EnsureFresh(
     stats->cache_entries_invalidated += invalidated;
   }
   {
-    std::lock_guard<std::mutex> mlock(meta_mu_);
+    MutexLock mlock(meta_mu_);
     meta_ = fresh;
   }
   return fresh;
@@ -876,7 +878,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
   uint64_t cache_key = static_cast<uint64_t>(span.tsid) * buckets + bucket;
   const uint64_t sub = meta.SubEpochFor(tgi::kMicropartsTable, cache_key);
   {
-    std::lock_guard<std::mutex> lock(micropart_mu_);
+    MutexLock lock(micropart_mu_);
     auto it = micropart_cache_.find(cache_key);
     if (it != micropart_cache_.end() && it->second.epoch == sub) {
       // The bucket's decoded node→pid map is already in memory at this
@@ -911,7 +913,7 @@ Result<MicroPartitionId> TGIQueryManager::PidOf(const MetaState& meta,
     result = Partitioning::Random(span.num_micro_partitions).HashFallback(id);
   }
   {
-    std::lock_guard<std::mutex> lock(micropart_mu_);
+    MutexLock lock(micropart_mu_);
     micropart_cache_[cache_key] = MicropartBucket{sub, std::move(map)};
   }
   return result;
@@ -1010,7 +1012,7 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
         units.push_back(Unit{i, static_cast<PartitionId>(sid)});
       }
     }
-    std::vector<std::mutex> slot_mu(nd);
+    std::vector<Mutex> slot_mu(nd);
     HGS_RETURN_NOT_OK(ParallelStatusFor(
         units.size(), fetch_parallelism_, stats,
         [&](size_t uidx, FetchStats* local) -> Status {
@@ -1025,7 +1027,7 @@ Result<Delta> TGIQueryManager::GetSnapshotDeltaWith(const MetaState& meta,
               FetchDecodedScan(meta, tgi::kDeltasTable, placement,
                                tgi::DeltaScanPrefix(dids[u.slot]), kind,
                                local));
-          std::lock_guard<std::mutex> lock(slot_mu[u.slot]);
+          MutexLock lock(slot_mu[u.slot]);
           for (const DecodedScanRow& row : scan->rows) {
             if (!is_evl[u.slot]) {
               slot_deltas[u.slot].push_back(
@@ -1893,13 +1895,13 @@ Result<OneHopHistory> TGIQueryManager::GetOneHopHistory(NodeId id,
   out.neighbors.resize(nbrs.size());
   std::atomic<bool> failed{false};
   Status first_error;
-  std::mutex mu;
+  Mutex mu;
   ParallelFor(nbrs.size(), fetch_parallelism_, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     FetchStats local;
     auto res = GetNodeHistoryWith(meta, nbrs[i].first, nbrs[i].second.first,
                                   nbrs[i].second.second, &local);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (stats != nullptr) stats->Merge(local);
     if (!res.ok()) {
       if (!failed.exchange(true)) first_error = res.status();

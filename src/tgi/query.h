@@ -29,13 +29,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "delta/eventlist.h"
 #include "graph/graph.h"
@@ -239,9 +239,13 @@ class TGIQueryManager {
   Timestamp HistoryStart() const;
   Timestamp HistoryEnd() const;
   uint64_t EventCount() const;
-  size_t fetch_parallelism() const { return fetch_parallelism_; }
+  size_t fetch_parallelism() const {
+    return fetch_parallelism_.load(std::memory_order_relaxed);
+  }
+  /// Safe to call concurrently with running queries: each query reads the
+  /// parallelism once per fetch loop through the atomic.
   void set_fetch_parallelism(size_t c) {
-    fetch_parallelism_ = c == 0 ? 1 : c;
+    fetch_parallelism_.store(c == 0 ? 1 : c, std::memory_order_relaxed);
   }
 
   /// Lifetime counters of the partition-delta cache (zeros when disabled).
@@ -476,11 +480,14 @@ class TGIQueryManager {
       Timestamp to, FetchStats* stats);
 
   Cluster* cluster_;
-  size_t fetch_parallelism_;
-  bool opened_ = false;
+  /// Atomic so set_fetch_parallelism can race in-flight queries (each fetch
+  /// loop samples it once); plain size_t here was a data race under TSan.
+  std::atomic<size_t> fetch_parallelism_;
+  /// Atomic for the same reason: Open() may race EnsureFresh readers.
+  std::atomic<bool> opened_{false};
 
-  mutable std::mutex meta_mu_;  ///< guards meta_ swaps/reads
-  MetaRef meta_;
+  mutable Mutex meta_mu_;  ///< guards meta_ swaps/reads
+  MetaRef meta_ GUARDED_BY(meta_mu_);
 
   /// Partition-delta cache over point reads and scans of the immutable
   /// index tables, keyed by (kind, epoch, table, partition, row key).
@@ -489,9 +496,12 @@ class TGIQueryManager {
   /// holding immutable shared Delta / EventList / VersionChainSegment
   /// values charged by their decoded footprint.
   std::unique_ptr<DecodedCache> decoded_cache_;
-  std::mutex refresh_mu_;
+  /// Serializes publish-triggered refreshes (metadata reload + cache
+  /// sweep). Acquired before meta_mu_ / cache shard locks, never inside
+  /// them — see the lock hierarchy in common/mutex.h.
+  Mutex refresh_mu_;
 
-  std::mutex micropart_mu_;
+  Mutex micropart_mu_;
   /// One decoded Micropartitions bucket, tagged with the sub-epoch of its
   /// partition at fill time so a stale fill (an in-flight old-epoch query
   /// racing a publish) is treated as a miss rather than served.
@@ -501,7 +511,8 @@ class TGIQueryManager {
   };
   // (tsid * buckets + bucket) -> decoded bucket; the key is the bucket
   // row's Micropartitions-table partition.
-  std::unordered_map<uint64_t, MicropartBucket> micropart_cache_;
+  std::unordered_map<uint64_t, MicropartBucket> micropart_cache_
+      GUARDED_BY(micropart_mu_);
 
   std::atomic<uint64_t> entries_retained_{0};
   std::atomic<uint64_t> entries_invalidated_{0};

@@ -675,8 +675,16 @@ TEST(FaultToleranceTest, RepairRestoresKilledNodeToTwinContents) {
   put_range(faulty, 50, 120);
   put_range(twin, 50, 120);
   for (int k = 0; k < 10; ++k) {
-    faulty.Delete("t", static_cast<uint64_t>(k % 11), "k" + std::to_string(k));
-    twin.Delete("t", static_cast<uint64_t>(k % 11), "k" + std::to_string(k));
+    // kOne ack: both deletes succeed even with faulty's node 1 dead (the
+    // dead replica gets a tombstone hint).
+    EXPECT_TRUE(faulty
+                    .Delete("t", static_cast<uint64_t>(k % 11),
+                            "k" + std::to_string(k))
+                    .ok());
+    EXPECT_TRUE(twin
+                    .Delete("t", static_cast<uint64_t>(k % 11),
+                            "k" + std::to_string(k))
+                    .ok());
   }
   faulty.SetNodeDown(1, false);
   ASSERT_TRUE(faulty.RepairNode(1).ok());

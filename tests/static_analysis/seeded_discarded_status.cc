@@ -1,0 +1,28 @@
+// Seeded discarded-Status bug: drops the [[nodiscard]] return values of a
+// Status- and a Result-returning call. This file is NOT part of the
+// library build. CMake registers two compile-only checks over it:
+//   * nodiscard_gate_catches_seeded_discard (WILL_FAIL): compiling with
+//     -Werror=unused-result must FAIL — proving the gate catches silently
+//     ignored fallible operations;
+//   * nodiscard_gate_positive_control: the same file without -Werror
+//     compiles, proving a failure above is the gate firing, not a broken
+//     file.
+// Works under both GCC and Clang (class-level [[nodiscard]] drives
+// -Wunused-result on both).
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+hgs::Status MightFail() { return hgs::Status::IOError("seeded"); }
+
+hgs::Result<int> MightFailWithValue() { return 42; }
+
+}  // namespace
+
+void SeededDiscardAnchor() {
+  // BUG (intentional): both returns are dropped on the floor.
+  MightFail();
+  MightFailWithValue();
+}

@@ -1,0 +1,38 @@
+// Seeded thread-safety violation: reads and writes a GUARDED_BY member
+// without holding its mutex. This file is NOT part of the library build.
+// CMake registers two compile-only checks over it:
+//   * tsa_gate_catches_seeded_violation (WILL_FAIL): compiling with
+//     -Werror=thread-safety-analysis must FAIL — proving the CI gate
+//     actually fires on the class of bug it exists to catch;
+//   * tsa_gate_positive_control: the same file without -Werror compiles,
+//     proving a failure above is the analysis firing, not a broken file.
+// Registered only under Clang; GCC expands the annotations to nothing.
+
+#include "common/mutex.h"
+
+namespace {
+
+class SeededCounter {
+ public:
+  void Increment() {
+    // BUG (intentional): touches count_ without acquiring mu_.
+    ++count_;
+  }
+
+  int Get() const {
+    hgs::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable hgs::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int SeededTsaViolationAnchor() {
+  SeededCounter c;
+  c.Increment();
+  return c.Get();
+}

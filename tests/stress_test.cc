@@ -151,6 +151,81 @@ TEST(ConcurrentQueryTest, ManyThreadsOneQueryManager) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Regression: set_fetch_parallelism used to write a plain size_t that
+// in-flight queries read concurrently — a data race TSan flags (the CI
+// tsan job runs this suite). fetch_parallelism_ is atomic now; tuning the
+// knob mid-flight must neither race nor change results.
+TEST(ConcurrentQueryTest, SetFetchParallelismRacesQueries) {
+  Cluster cluster(FastCluster());
+  TGIOptions opts;
+  opts.events_per_timespan = 2'000;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 400;
+  opts.micro_delta_size = 64;
+  TGI tgi(&cluster, opts);
+  auto events = History(77, 4'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+  auto qm = tgi.OpenQueryManager(2).value();
+
+  Timestamp end = workload::EndTime(events);
+  Graph want = workload::ReplayToGraph(events, end);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    size_t c = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      qm->set_fetch_parallelism(1 + (c++ % 8));
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<int> failures{0};
+  ParallelFor(24, 6, [&](size_t) {
+    auto snap = qm->GetSnapshot(end);
+    if (!snap.ok() || !(*snap == want)) failures++;
+  });
+  stop.store(true, std::memory_order_relaxed);
+  tuner.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(qm->fetch_parallelism(), 1u);
+}
+
+// Regression: Open() used to flip a plain bool that concurrent queries
+// read through EnsureFresh — racing Open against queries was a data race
+// (and a torn read could have served a query off a half-open manager).
+// The flag is an acquire/release atomic now: a query must either see the
+// manager open (and answer correctly) or fail FailedPrecondition.
+TEST(ConcurrentQueryTest, OpenRacesQueries) {
+  Cluster cluster(FastCluster());
+  TGIOptions opts;
+  opts.events_per_timespan = 2'000;
+  opts.eventlist_size = 100;
+  opts.checkpoint_interval = 400;
+  TGI tgi(&cluster, opts);
+  auto events = History(11, 3'000);
+  ASSERT_TRUE(tgi.BuildFrom(events).ok());
+
+  Timestamp end = workload::EndTime(events);
+  Graph want = workload::ReplayToGraph(events, end);
+  for (int round = 0; round < 4; ++round) {
+    TGIQueryManager qm(&cluster, 2);
+    std::atomic<int> failures{0};
+    std::thread opener([&] { ASSERT_TRUE(qm.Open().ok()); });
+    ParallelFor(8, 4, [&](size_t) {
+      auto snap = qm.GetSnapshot(end);
+      if (snap.ok()) {
+        if (!(*snap == want)) failures++;
+      } else if (snap.status().code() != StatusCode::kFailedPrecondition) {
+        failures++;
+      }
+    });
+    opener.join();
+    EXPECT_EQ(failures.load(), 0);
+    // Once Open returned, queries must succeed.
+    auto snap = qm.GetSnapshot(end);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_TRUE(*snap == want);
+  }
+}
+
 TEST(ConcurrentKVTest, ParallelPutsAndGetsAreConsistent) {
   Cluster cluster(FastCluster(3));
   constexpr int kKeys = 400;
@@ -227,8 +302,14 @@ TEST(SharedValueLifetimeTest, LiveViewsRaceOverwritesAndEpochBumps) {
   std::thread writer([&] {
     for (int round = 1; !stop.load(std::memory_order_relaxed); ++round) {
       for (int k = 0; k < kKeys; ++k) {
-        cluster.Put("life", static_cast<uint64_t>(k % 5),
-                    "key" + std::to_string(k), payload(k, round));
+        // Healthy cluster: overwrites must commit (counted into `bad`
+        // rather than asserted — gtest assertions aren't thread-safe).
+        if (!cluster
+                 .Put("life", static_cast<uint64_t>(k % 5),
+                      "key" + std::to_string(k), payload(k, round))
+                 .ok()) {
+          bad++;
+        }
       }
       cluster.BumpPublishEpoch();
     }
