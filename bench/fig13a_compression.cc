@@ -1,72 +1,199 @@
-// Figure 13a: compressed vs uncompressed delta storage; m=2, c=8, r=1.
+// Figure 13a: effect of store-side compression, extended into a three-way
+// block-codec comparison (kNone / kLz / kColumnar) over the payloads the
+// TGI actually stores.
 //
-// Paper shape: the net effect of store-side delta compression on snapshot
-// retrieval latency is negligible (seeks and deserialization dominate; the
-// transfer savings are offset by decompression work).
+// Two sections:
+//   * codec microbench — serialized eventlist and delta blocks pushed
+//     through Compress / DecompressShared. Reports compression ratio,
+//     encode MB/s, decode MB/s (to usable bytes) and value_copies per
+//     codec. Expect: kColumnar ratio >= kLz on event payloads (the codec
+//     falls back to the LZ arm per block whenever LZ is smaller), decode
+//     far faster than kLz because DecompressShared returns a window into
+//     the stored block instead of materializing, so value_copies == 0.
+//   * whole-index reads — three identical indexes built with each codec;
+//     cold snapshot latency, stored bytes and read-path value_copies. The
+//     paper shape (negligible latency difference, smaller stored bytes)
+//     should hold, with kColumnar additionally reporting zero copies.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/columnar.h"
+#include "common/compression.h"
+#include "delta/delta.h"
+#include "delta/eventlist.h"
 
 namespace {
 
-hgs::bench::TGIBundle* g_plain = nullptr;
-hgs::bench::TGIBundle* g_compressed = nullptr;
-std::vector<hgs::Timestamp> g_probes;
+using namespace hgs;
 
-void BM_Snapshot(benchmark::State& state) {
-  hgs::bench::TGIBundle* bundle = state.range(0) == 0 ? g_plain : g_compressed;
-  hgs::Timestamp t = g_probes[static_cast<size_t>(state.range(1))];
-  bundle->qm->set_fetch_parallelism(8);
-  size_t nodes = 0;
-  for (auto _ : state) {
-    auto snap = bundle->qm->GetSnapshot(t);
-    if (!snap.ok()) {
-      state.SkipWithError(snap.status().ToString().c_str());
-      return;
-    }
-    nodes = snap->NumNodes();
+const char* CodecName(CompressionKind k) {
+  switch (k) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kLz:
+      return "lz";
+    case CompressionKind::kColumnar:
+      return "columnar";
   }
-  state.counters["snapshot_nodes"] = static_cast<double>(nodes);
-  state.counters["stored_MB"] =
-      static_cast<double>(bundle->cluster->TotalStoredBytes()) / 1e6;
+  return "?";
+}
+
+struct Payload {
+  std::string bytes;
+  ValueSchema schema;
+};
+
+// The block shapes the builder stores: eventlist chunks at the default
+// chunk size plus the checkpoint deltas they roll up into.
+std::vector<Payload> MakeCorpus(const std::vector<Event>& events) {
+  std::vector<Payload> corpus;
+  const size_t chunk = 250;
+  Delta checkpoint;
+  for (size_t i = 0; i < events.size(); i += chunk) {
+    size_t end = std::min(events.size(), i + chunk);
+    EventList el(events[i].time - 1, events[end - 1].time);
+    for (size_t j = i; j < end; ++j) el.Append(events[j]);
+    el.ApplyTo(&checkpoint);
+    corpus.push_back({el.Serialize(), ValueSchema::kEventList});
+    if ((i / chunk) % 8 == 7) {
+      checkpoint.Compact();
+      corpus.push_back({checkpoint.Serialize(), ValueSchema::kDelta});
+    }
+  }
+  return corpus;
+}
+
+struct CodecRun {
+  double ratio = 0;        // raw bytes / stored bytes
+  double encode_mbps = 0;  // raw MB per second of Compress
+  double decode_mbps = 0;  // raw MB per second of DecompressShared
+  uint64_t value_copies = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t stored_bytes = 0;
+  uint64_t checksum = 0;  // consumed output, so nothing is optimized away
+};
+
+CodecRun RunCodec(const std::vector<Payload>& corpus, CompressionKind kind,
+                  int reps) {
+  CodecRun run;
+  for (const Payload& p : corpus) run.raw_bytes += p.bytes.size();
+
+  std::vector<SharedValue> stored;
+  stored.reserve(corpus.size());
+  auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    stored.clear();
+    for (const Payload& p : corpus) {
+      stored.emplace_back(Compress(p.bytes, kind, p.schema));
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (const SharedValue& s : stored) run.stored_bytes += s.size();
+  run.ratio = static_cast<double>(run.raw_bytes) /
+              static_cast<double>(run.stored_bytes);
+  double encode_s = std::chrono::duration<double>(t1 - t0).count();
+  run.encode_mbps =
+      static_cast<double>(run.raw_bytes) * reps / 1e6 / encode_s;
+
+  auto t2 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const SharedValue& s : stored) {
+      auto out = DecompressShared(s);
+      if (!out.ok()) std::abort();
+      if (out->owner() != s.owner()) ++run.value_copies;
+      run.checksum ^= Fnv1a64(out->data(), std::min<size_t>(out->size(), 64));
+    }
+  }
+  auto t3 = std::chrono::steady_clock::now();
+  double decode_s = std::chrono::duration<double>(t3 - t2).count();
+  run.decode_mbps =
+      static_cast<double>(run.raw_bytes) * reps / 1e6 / decode_s;
+  run.value_copies /= reps;
+  return run;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  hgs::bench::InitBenchTelemetry(&argc, argv);
   hgs::bench::PrintPreamble(
-      "Fig 13a: compressed vs uncompressed delta storage; m=2 c=8 r=1",
-      "negligible latency difference; compression shrinks stored bytes");
+      "Fig 13a: block codecs kNone/kLz/kColumnar — ratio, throughput, "
+      "copies; then whole-index snapshot reads per codec",
+      "columnar ratio >= lz on event blocks with view-speed decode and "
+      "zero value copies; index read latency stays within noise of "
+      "uncompressed while stored bytes shrink");
 
-  auto events = hgs::bench::Dataset1();
-  hgs::TGIOptions topts = hgs::bench::DefaultTGIOptions();
-  auto plain = hgs::bench::BuildBundle(
-      events, topts, hgs::bench::MakeClusterOptions(2, 1));
-  auto compressed = hgs::bench::BuildBundle(
-      events, topts,
-      hgs::bench::MakeClusterOptions(2, 1, hgs::CompressionKind::kLz));
-  g_plain = &plain;
-  g_compressed = &compressed;
-  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
-    g_probes.push_back(static_cast<hgs::Timestamp>(
-        static_cast<double>(plain.end) * frac));
+  auto events = hgs::bench::Dataset2();
+  auto corpus = MakeCorpus(events);
+  uint64_t corpus_bytes = 0;
+  for (const auto& p : corpus) corpus_bytes += p.bytes.size();
+  std::printf("# corpus: %zu blocks, %.1f MB raw\n", corpus.size(),
+              static_cast<double>(corpus_bytes) / 1e6);
+
+  const int kReps = 5;
+  const CompressionKind kinds[] = {CompressionKind::kNone,
+                                   CompressionKind::kLz,
+                                   CompressionKind::kColumnar};
+  for (CompressionKind kind : kinds) {
+    CodecRun run = RunCodec(corpus, kind, kReps);
+    std::printf("codec %-9s ratio=%5.2f encode_MBps=%8.1f "
+                "decode_MBps=%9.1f value_copies=%" PRIu64 "\n",
+                CodecName(kind), run.ratio, run.encode_mbps, run.decode_mbps,
+                run.value_copies);
+    std::string stem = std::string("codec_") + CodecName(kind);
+    hgs::bench::JsonRow("fig13a", stem + "_ratio", run.ratio, "x");
+    hgs::bench::JsonRow("fig13a", stem + "_encode_MBps", run.encode_mbps,
+                        "MB/s");
+    hgs::bench::JsonRow("fig13a", stem + "_decode_MBps", run.decode_mbps,
+                        "MB/s");
+    hgs::bench::JsonRow("fig13a", stem + "_value_copies",
+                        static_cast<double>(run.value_copies), "copies");
   }
 
-  for (int64_t mode : {0, 1}) {
-    for (int64_t p = 0; p < static_cast<int64_t>(g_probes.size()); ++p) {
-      std::string name = std::string("snapshot/") +
-                         (mode == 0 ? "uncompressed" : "compressed") +
-                         "/t_pct:" + std::to_string((p + 1) * 25);
-      benchmark::RegisterBenchmark(name.c_str(), BM_Snapshot)
-          ->Args({mode, p})
-          ->Unit(benchmark::kMillisecond)
-          ->UseRealTime()
-          ->MinTime(0.6);
+  // -- whole-index reads per codec ------------------------------------------
+  for (CompressionKind kind : kinds) {
+    TGIOptions topts = hgs::bench::DefaultTGIOptions();
+    CompressionKind cluster_kind = kind;
+    if (kind == CompressionKind::kColumnar) {
+      // Columnar is a row-family codec: the TGI declares it per family so
+      // the blocks carry their schema; everything else stays uncompressed.
+      cluster_kind = CompressionKind::kNone;
+      topts.row_compression = kind;
+      topts.eventlist_compression = kind;
+      topts.versions_compression = kind;
     }
+    auto bundle = hgs::bench::BuildBundle(
+        events, topts, hgs::bench::MakeClusterOptions(2, 1, cluster_kind));
+    bundle.qm->set_fetch_parallelism(8);
+    double total_ms = 0;
+    FetchStats stats;
+    size_t nodes = 0;
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+      Timestamp t = static_cast<Timestamp>(
+          static_cast<double>(bundle.end) * frac);
+      auto t0 = std::chrono::steady_clock::now();
+      auto snap = bundle.qm->GetSnapshot(t, &stats);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!snap.ok()) std::abort();
+      nodes = snap->NumNodes();
+      total_ms += std::chrono::duration<double>(t1 - t0).count() * 1e3;
+    }
+    double stored_mb =
+        static_cast<double>(bundle.cluster->TotalStoredBytes()) / 1e6;
+    std::printf("index %-9s snapshot4_ms=%8.2f stored_MB=%7.2f "
+                "value_copies=%" PRIu64 " nodes=%zu\n",
+                CodecName(kind), total_ms, stored_mb, stats.value_copies,
+                nodes);
+    std::string stem = std::string("index_") + CodecName(kind);
+    hgs::bench::JsonRow("fig13a", stem + "_snapshot4_ms", total_ms, "ms");
+    hgs::bench::JsonRow("fig13a", stem + "_stored_MB", stored_mb, "MB");
+    hgs::bench::JsonRow("fig13a", stem + "_value_copies",
+                        static_cast<double>(stats.value_copies), "copies");
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
   return 0;
 }

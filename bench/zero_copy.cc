@@ -211,6 +211,11 @@ int main(int argc, char** argv) {
   TGIOptions opts = hgs::bench::DefaultTGIOptions();
   opts.read_cache_bytes = 64u << 20;
   opts.decoded_cache_bytes = 64u << 20;
+  // Columnar row families: zero-copy must hold even with compression on —
+  // decoding works over windows into the stored (or cached) block.
+  opts.row_compression = hgs::CompressionKind::kColumnar;
+  opts.eventlist_compression = hgs::CompressionKind::kColumnar;
+  opts.versions_compression = hgs::CompressionKind::kColumnar;
   auto bundle = hgs::bench::BuildBundle(
       hgs::bench::Dataset2(), opts, hgs::bench::MakeClusterOptions(2, 1),
       /*fetch_parallelism=*/1);

@@ -1,0 +1,69 @@
+#include "common/columnar.h"
+
+namespace hgs {
+
+std::string ColumnarBlockWriter::Finish() const {
+  BinaryWriter w;
+  for (unsigned char c : kColumnarMagic) w.PutFixed8(c);
+  w.PutFixed8(static_cast<uint8_t>(schema_));
+  w.PutVarint64(columns_.size());
+  for (const std::string& col : columns_) w.PutVarint64(col.size());
+  std::string out = w.Finish();
+  for (const std::string& col : columns_) out += col;
+  out.reserve(out.size() + kChecksumWireSize);
+  uint64_t sum = Fnv1a64(out.data(), out.size());
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+Result<ColumnarBlockReader> ColumnarBlockReader::Parse(
+    std::string_view payload, ValueSchema expected_schema) {
+  if (payload.size() < kColumnarMinPayloadSize || !IsColumnarPayload(payload)) {
+    return Status::Corruption("columnar block: bad magic or truncated");
+  }
+  // The trailing checksum covers the whole container, so every parse error
+  // past this point is genuine corruption, not a bit flip slipping through.
+  size_t body = payload.size() - kChecksumWireSize;
+  uint64_t stored = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored = (stored << 8) |
+             static_cast<unsigned char>(payload[body + static_cast<size_t>(i)]);
+  }
+  if (stored != Fnv1a64(payload.data(), body)) {
+    return Status::Corruption("columnar block: checksum mismatch");
+  }
+  BinaryReader r(payload.substr(kColumnarMagicSize, body - kColumnarMagicSize));
+  uint8_t schema = r.ReadFixed8();
+  if (r.failed() || schema != static_cast<uint8_t>(expected_schema)) {
+    return Status::Corruption("columnar block: schema mismatch");
+  }
+  uint64_t ncols = r.ReadVarint64();
+  if (r.failed() || ncols > r.remaining()) {
+    return Status::Corruption("columnar block: bad column count");
+  }
+  std::vector<uint64_t> lens(ncols);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < ncols; ++i) {
+    lens[i] = r.ReadVarint64();
+    if (lens[i] > r.remaining() || total > r.remaining() - lens[i]) {
+      return Status::Corruption("columnar block: column length overflow");
+    }
+    total += lens[i];
+  }
+  if (r.failed() || total != r.remaining()) {
+    return Status::Corruption("columnar block: column lengths disagree");
+  }
+  ColumnarBlockReader out;
+  out.columns_.reserve(ncols);
+  size_t offset = body - static_cast<size_t>(total);
+  for (uint64_t i = 0; i < ncols; ++i) {
+    out.columns_.push_back(
+        payload.substr(offset, static_cast<size_t>(lens[i])));
+    offset += static_cast<size_t>(lens[i]);
+  }
+  return out;
+}
+
+}  // namespace hgs

@@ -1,14 +1,27 @@
 // Block compression for serialized deltas (the paper evaluates Cassandra's
-// delta compression in Fig 13a). We implement a dependency-free LZ77-style
-// codec: greedy longest-match against a 64 KiB sliding window with a chained
-// hash table, emitting (literal-run, match) token pairs.
+// delta compression in Fig 13a). Two real codecs behind one envelope:
+//
+//  * kLz — a dependency-free LZ77-style byte codec: greedy longest-match
+//    against a 64 KiB sliding window with a chained hash table, emitting
+//    (literal-run, match) token pairs. Generic, but decoding materializes
+//    the block: the read path's one remaining value copy.
+//  * kColumnar — a schema-aware columnar re-encoding (common/columnar.h):
+//    the value is split into typed columns (dictionary-encoded strings,
+//    delta+varint integers) whose container decodes by slicing views out of
+//    the stored buffer, so DecompressShared stays zero-copy even though the
+//    block is compressed. Only rows whose writer declared a known
+//    ValueSchema are eligible; per block, whichever of {columnar, LZ,
+//    stored} encodes smallest wins — the choice depends only on the bytes,
+//    never on scheduling, so parallel ingest stays byte-deterministic.
 
 #ifndef HGS_COMMON_COMPRESSION_H_
 #define HGS_COMMON_COMPRESSION_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/columnar.h"
 #include "common/result.h"
 #include "common/shared_value.h"
 
@@ -17,21 +30,53 @@ namespace hgs {
 enum class CompressionKind : uint8_t {
   kNone = 0,
   kLz = 1,
+  kColumnar = 2,
 };
 
 /// Compresses `input` with the requested codec. The output embeds a one-byte
 /// codec tag and the uncompressed length, so Decompress is self-describing.
-std::string Compress(std::string_view input, CompressionKind kind);
+///
+/// kColumnar consults the codec registered for `schema` (kOpaque rows have
+/// none) and keeps the columnar form only when it beats the kLz encoding of
+/// the same input; otherwise the kLz path (which itself falls back to stored
+/// format when LZ does not pay) is used. A registered codec round-trip-
+/// verifies at encode time, so a payload the schema cannot represent
+/// losslessly degrades to kLz instead of corrupting.
+std::string Compress(std::string_view input, CompressionKind kind,
+                     ValueSchema schema = ValueSchema::kOpaque);
 
-/// Inverse of Compress. Fails with Corruption on malformed input.
+/// Inverse of Compress: returns the original input bytes for every codec.
+/// (A kColumnar block is re-encoded back to its legacy serialization via
+/// the schema codec.) Fails with Corruption on malformed input. Read paths
+/// must use DecompressShared instead — this materializing form exists for
+/// tests and tooling, and tools/lint_invariants.py enforces the split.
 Result<std::string> Decompress(std::string_view input);
 
 /// Zero-copy inverse of Compress over a shared buffer: a stored (kNone)
 /// block decompresses to a window into `stored`'s own buffer — header
-/// stripped, no bytes moved — while an LZ block materializes one fresh
-/// shared buffer. Callers can detect the materialization (the read path's
-/// only value copy) by comparing owners with the input.
+/// stripped, no bytes moved — and a kColumnar block likewise windows to its
+/// columnar payload (whole-value decoders route on the payload's magic; see
+/// common/columnar.h). Only an LZ block materializes one fresh shared
+/// buffer. Callers can detect the materialization (the read path's only
+/// value copy) by comparing owners with the input.
 Result<SharedValue> DecompressShared(const SharedValue& stored);
+
+// -- columnar schema codec registry ------------------------------------------
+// The schema-specific encoders live next to their types (delta/, tgi/);
+// common/ stays schema-agnostic by dispatching through this registry, which
+// each codec's translation unit fills during static initialization.
+
+/// Legacy payload -> columnar payload; nullopt when the payload cannot be
+/// represented losslessly (the encoder must verify round-trips).
+using ColumnarEncodeFn = std::optional<std::string> (*)(std::string_view);
+/// Columnar payload -> legacy payload (for the byte-exact Decompress).
+using ColumnarReencodeFn = Result<std::string> (*)(std::string_view);
+
+void RegisterColumnarCodec(ValueSchema schema, ColumnarEncodeFn encode,
+                           ColumnarReencodeFn reencode);
+
+/// Whether a codec is registered for `schema` (kOpaque never has one).
+bool HasColumnarCodec(ValueSchema schema);
 
 }  // namespace hgs
 

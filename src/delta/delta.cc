@@ -1,8 +1,13 @@
 #include "delta/delta.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <type_traits>
 
+#include "common/columnar.h"
+#include "common/compression.h"
 #include "delta/eventlist.h"
 
 namespace hgs {
@@ -1103,6 +1108,9 @@ std::string Delta::Serialize() const {
 // DeserializeFrom stays as the scalar reference decoder; the two are
 // equivalence-tested in delta_test.
 Result<Delta> Delta::Deserialize(std::string_view data) {
+  // A columnar payload (alternative serialization; see common/columnar.h)
+  // routes on its magic — legacy payloads can never start with those bytes.
+  if (IsColumnarPayload(data)) return DeserializeColumnar(data);
   BinaryReader r(data);
   HGS_RETURN_NOT_OK(r.VerifyChecksum());
   Delta d;
@@ -1137,6 +1145,231 @@ Result<Delta> Delta::Deserialize(std::string_view data) {
       d.edges_.AppendOrdered(EdgeKey(u, v), std::nullopt);
     }
     if (r.failed()) return r.BulkStatus();
+  }
+  d.Compact();
+  return d;
+}
+
+// -- kDelta columnar schema -------------------------------------------------
+// Column layout (see common/columnar.h for the container):
+//    0 head     : varint node entry count, varint edge entry count
+//    1 nodeids  : zigzag varint deltas of node keys (ascending)
+//    2 nodebits : present bit per node entry (0 = tombstone)
+//    3 nodeattrs: per present node: varint count, then (key id, value id)
+//    4 edgeu    : zigzag varint deltas of canonical key.u (ascending keys)
+//    5 edgedv   : varint (key.v - key.u) per edge entry (canonical v >= u)
+//    6 edgebits : present bit per edge entry (0 = tombstone)
+//    7 edgeflags: per present edge: flipped bit (src is key.v), directed bit
+//    8 edgeattrs: per present edge: varint count, then (key id, value id)
+//    9 keydict  : sorted dictionary of attribute keys
+//   10 valdict  : sorted dictionary of attribute values
+
+namespace {
+
+constexpr size_t kDelColHead = 0;
+constexpr size_t kDelColNodeIds = 1;
+constexpr size_t kDelColNodeBits = 2;
+constexpr size_t kDelColNodeAttrs = 3;
+constexpr size_t kDelColEdgeU = 4;
+constexpr size_t kDelColEdgeDv = 5;
+constexpr size_t kDelColEdgeBits = 6;
+constexpr size_t kDelColEdgeFlags = 7;
+constexpr size_t kDelColEdgeAttrs = 8;
+constexpr size_t kDelColKeyDict = 9;
+constexpr size_t kDelColValDict = 10;
+
+void PutAttrIds(const Attributes& attrs, const StringDictBuilder& keys,
+                const StringDictBuilder& vals, BinaryWriter* w) {
+  w->PutVarint64(attrs.size());
+  for (const auto& [k, v] : attrs.entries()) {
+    w->PutVarint64(keys.IdOf(k));
+    w->PutVarint64(vals.IdOf(v));
+  }
+}
+
+Attributes ReadAttrIds(const StringDictView& keys, const StringDictView& vals,
+                       BinaryReader* r) {
+  Attributes out;
+  uint64_t n = r->ReadVarint64();
+  for (uint64_t i = 0; i < n && !r->failed(); ++i) {
+    std::string_view k = keys.Get(r->ReadVarint64(), r);
+    std::string_view v = vals.Get(r->ReadVarint64(), r);
+    // Dict ids arrive in the entry's original sorted-key order.
+    out.AppendSorted(std::string(k), std::string(v));
+  }
+  return out;
+}
+
+std::optional<std::string> EncodeColumnarDeltaPayload(const Delta& d) {
+  StringDictBuilder keys;
+  StringDictBuilder vals;
+  bool representable = true;
+  d.ForEachNodeEntry([&](NodeId, const std::optional<NodeRecord>& rec) {
+    if (!rec.has_value()) return;
+    for (const auto& [k, v] : rec->attrs.entries()) {
+      keys.Add(k);
+      vals.Add(v);
+    }
+  });
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        if (!rec.has_value()) return;
+        // The record's orientation must reduce to one flipped bit against the
+        // canonical key; anything else cannot be represented losslessly.
+        if (EdgeKey(rec->src, rec->dst) != key) representable = false;
+        for (const auto& [k, v] : rec->attrs.entries()) {
+          keys.Add(k);
+          vals.Add(v);
+        }
+      });
+  if (!representable) return std::nullopt;
+  keys.Build();
+  vals.Build();
+
+  BinaryWriter head;
+  head.PutVarint64(d.NodeEntryCount());
+  head.PutVarint64(d.EdgeEntryCount());
+
+  BinaryWriter node_ids;
+  BitColumnWriter node_bits;
+  BinaryWriter node_attrs;
+  DeltaInt64Encoder node_enc;
+  d.ForEachNodeEntry([&](NodeId id, const std::optional<NodeRecord>& rec) {
+    node_enc.Put(&node_ids, static_cast<int64_t>(id));
+    node_bits.Append(rec.has_value());
+    if (rec.has_value()) PutAttrIds(rec->attrs, keys, vals, &node_attrs);
+  });
+
+  BinaryWriter edge_u;
+  BinaryWriter edge_dv;
+  BitColumnWriter edge_bits;
+  BitColumnWriter edge_flags;
+  BinaryWriter edge_attrs;
+  DeltaInt64Encoder u_enc;
+  d.ForEachEdgeEntry(
+      [&](const EdgeKey& key, const std::optional<EdgeRecord>& rec) {
+        u_enc.Put(&edge_u, static_cast<int64_t>(key.u));
+        edge_dv.PutVarint64(key.v - key.u);
+        edge_bits.Append(rec.has_value());
+        if (rec.has_value()) {
+          bool flipped = rec->src == key.v && key.u != key.v;
+          edge_flags.Append(flipped);
+          edge_flags.Append(rec->directed);
+          PutAttrIds(rec->attrs, keys, vals, &edge_attrs);
+        }
+      });
+
+  ColumnarBlockWriter block(ValueSchema::kDelta);
+  block.AddColumn(head.Finish());
+  block.AddColumn(node_ids.Finish());
+  block.AddColumn(node_bits.Finish());
+  block.AddColumn(node_attrs.Finish());
+  block.AddColumn(edge_u.Finish());
+  block.AddColumn(edge_dv.Finish());
+  block.AddColumn(edge_bits.Finish());
+  block.AddColumn(edge_flags.Finish());
+  block.AddColumn(edge_attrs.Finish());
+  block.AddColumn(keys.Serialize());
+  block.AddColumn(vals.Serialize());
+  return block.Finish();
+}
+
+std::optional<std::string> ColumnarEncodeDelta(std::string_view payload) {
+  Result<Delta> parsed = Delta::Deserialize(payload);
+  if (!parsed.ok()) return std::nullopt;
+  // Only canonical serializations are eligible (see the eventlist codec).
+  if (parsed->Serialize() != payload) return std::nullopt;
+  return EncodeColumnarDeltaPayload(*parsed);
+}
+
+Result<std::string> ColumnarReencodeDelta(std::string_view payload) {
+  HGS_ASSIGN_OR_RETURN(Delta d, Delta::Deserialize(payload));
+  return d.Serialize();
+}
+
+[[maybe_unused]] const bool kDeltaCodecRegistered = [] {
+  RegisterColumnarCodec(ValueSchema::kDelta, &ColumnarEncodeDelta,
+                        &ColumnarReencodeDelta);
+  return true;
+}();
+
+}  // namespace
+
+Result<Delta> Delta::DeserializeColumnar(std::string_view payload) {
+  HGS_ASSIGN_OR_RETURN(ColumnarBlockReader block,
+                       ColumnarBlockReader::Parse(payload, ValueSchema::kDelta));
+  HGS_ASSIGN_OR_RETURN(std::string_view head_col, block.Column(kDelColHead));
+  HGS_ASSIGN_OR_RETURN(std::string_view nid_col,
+                       block.Column(kDelColNodeIds));
+  HGS_ASSIGN_OR_RETURN(std::string_view nbit_col,
+                       block.Column(kDelColNodeBits));
+  HGS_ASSIGN_OR_RETURN(std::string_view nattr_col,
+                       block.Column(kDelColNodeAttrs));
+  HGS_ASSIGN_OR_RETURN(std::string_view eu_col, block.Column(kDelColEdgeU));
+  HGS_ASSIGN_OR_RETURN(std::string_view edv_col, block.Column(kDelColEdgeDv));
+  HGS_ASSIGN_OR_RETURN(std::string_view ebit_col,
+                       block.Column(kDelColEdgeBits));
+  HGS_ASSIGN_OR_RETURN(std::string_view eflag_col,
+                       block.Column(kDelColEdgeFlags));
+  HGS_ASSIGN_OR_RETURN(std::string_view eattr_col,
+                       block.Column(kDelColEdgeAttrs));
+  HGS_ASSIGN_OR_RETURN(std::string_view keydict_col,
+                       block.Column(kDelColKeyDict));
+  HGS_ASSIGN_OR_RETURN(std::string_view valdict_col,
+                       block.Column(kDelColValDict));
+  HGS_ASSIGN_OR_RETURN(StringDictView keys, StringDictView::Parse(keydict_col));
+  HGS_ASSIGN_OR_RETURN(StringDictView vals, StringDictView::Parse(valdict_col));
+
+  BinaryReader head(head_col);
+  uint64_t n_nodes = head.ReadVarint64();
+  uint64_t n_edges = head.ReadVarint64();
+  if (head.failed()) return head.BulkStatus();
+
+  Delta d;
+  BinaryReader nids(nid_col);
+  BitColumnReader nbits = BitColumnReader::Bind(nbit_col);
+  BinaryReader nattrs(nattr_col);
+  DeltaInt64Decoder nid_dec;
+  d.nodes_.ReserveSorted(std::min<uint64_t>(n_nodes, payload.size()));
+  for (uint64_t i = 0; i < n_nodes; ++i) {
+    auto id = static_cast<NodeId>(nid_dec.Next(&nids));
+    if (nbits.Next(&nids)) {
+      d.nodes_.AppendOrdered(id,
+                             NodeRecord{.attrs = ReadAttrIds(keys, vals,
+                                                             &nattrs)});
+    } else {
+      d.nodes_.AppendOrdered(id, std::nullopt);
+    }
+    if (nids.failed() || nattrs.failed()) {
+      return Status::Corruption("columnar delta: truncated node column");
+    }
+  }
+
+  BinaryReader eus(eu_col);
+  BinaryReader edvs(edv_col);
+  BitColumnReader ebits = BitColumnReader::Bind(ebit_col);
+  BitColumnReader eflags = BitColumnReader::Bind(eflag_col);
+  BinaryReader eattrs(eattr_col);
+  DeltaInt64Decoder eu_dec;
+  d.edges_.ReserveSorted(std::min<uint64_t>(n_edges, payload.size()));
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    auto u = static_cast<NodeId>(eu_dec.Next(&eus));
+    NodeId v = u + edvs.ReadVarint64();
+    EdgeKey key(u, v);
+    if (ebits.Next(&eus)) {
+      bool flipped = eflags.Next(&eus);
+      bool directed = eflags.Next(&eus);
+      d.edges_.AppendOrdered(
+          key, EdgeRecord{.src = flipped ? key.v : key.u,
+                          .dst = flipped ? key.u : key.v,
+                          .directed = directed,
+                          .attrs = ReadAttrIds(keys, vals, &eattrs)});
+    } else {
+      d.edges_.AppendOrdered(key, std::nullopt);
+    }
+    if (eus.failed() || edvs.failed() || eattrs.failed()) {
+      return Status::Corruption("columnar delta: truncated edge column");
+    }
   }
   d.Compact();
   return d;

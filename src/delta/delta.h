@@ -273,6 +273,10 @@ class Delta {
   static void ResetIncidentEdgeScanSteps();
 
  private:
+  /// Decodes the kColumnar alternative serialization (the schema codec in
+  /// delta.cc); Deserialize routes here on the columnar magic.
+  static Result<Delta> DeserializeColumnar(std::string_view payload);
+
   template <typename EventIt>
   void ApplyEventsRange(EventIt begin, EventIt end);
 

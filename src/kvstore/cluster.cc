@@ -163,9 +163,10 @@ void Cluster::CountHedgeWin(ReadCallStats* s) {
 }
 
 std::shared_ptr<const std::string> Cluster::SealForStorage(
-    std::string_view value) const {
-  return std::make_shared<const std::string>(
-      SealValue(Compress(value, options_.compression)));
+    std::string_view value, ValueSchema schema,
+    std::optional<CompressionKind> codec) const {
+  return std::make_shared<const std::string>(SealValue(
+      Compress(value, codec.value_or(options_.compression), schema)));
 }
 
 // -- Hinted handoff ----------------------------------------------------------
@@ -355,9 +356,11 @@ Status Cluster::FinishWrite(size_t acks, size_t replicas, const char* what) {
 }
 
 Status Cluster::Put(std::string_view table, uint64_t partition,
-                    std::string_view key, std::string_view value) {
+                    std::string_view key, std::string_view value,
+                    ValueSchema schema, std::optional<CompressionKind> codec) {
   std::string phys = PhysicalKey(table, partition, key);
-  std::shared_ptr<const std::string> stored = SealForStorage(value);
+  std::shared_ptr<const std::string> stored =
+      SealForStorage(value, schema, codec);
   ReplicaSet replicas = Replicas(PlacementToken(table, partition));
   size_t acks = 0;
   for (uint32_t node : replicas) {
@@ -391,7 +394,7 @@ Status Cluster::MultiPut(std::string_view table, std::vector<PutRow> rows,
   for (PutRow& row : rows) {
     ReplicaSet replicas = Replicas(PlacementToken(table, row.partition));
     sealed.push_back(SealedRow{PhysicalKey(table, row.partition, row.key),
-                               SealForStorage(row.value),
+                               SealForStorage(row.value, row.schema, row.codec),
                                static_cast<uint8_t>(replicas.size())});
     for (uint32_t node : replicas) by_node[node].push_back(sealed.size() - 1);
   }

@@ -93,11 +93,16 @@ struct MultiGetKey {
   std::string key;
 };
 
-/// One row of a batched write.
+/// One row of a batched write. `schema` declares what the value's payload
+/// is (enables the kColumnar codec for rows the writer knows to be
+/// canonical serializations); `codec` overrides the cluster-wide
+/// compression for this row when set.
 struct PutRow {
   uint64_t partition = 0;
   std::string key;
   std::string value;
+  ValueSchema schema = ValueSchema::kOpaque;
+  std::optional<CompressionKind> codec;
 };
 
 /// Replication is clamped to this (real deployments rarely exceed r=5);
@@ -186,8 +191,13 @@ class Cluster {
   /// at least the configured ack level's replica count committed; replicas
   /// that missed the write get a hint. A met ack level with missed
   /// replicas counts as a degraded write.
+  /// `schema` and `codec` mirror the PutRow fields: the writer's payload
+  /// declaration (kColumnar eligibility) and an optional per-row override
+  /// of the cluster-wide compression.
   Status Put(std::string_view table, uint64_t partition, std::string_view key,
-             std::string_view value);
+             std::string_view value,
+             ValueSchema schema = ValueSchema::kOpaque,
+             std::optional<CompressionKind> codec = std::nullopt);
 
   /// Group-committed batch write: each row is compressed once, rows are
   /// grouped by replica storage node, and every node receives its whole
@@ -362,9 +372,12 @@ class Cluster {
   Status DeadlineError(const Status& last) const;
   void Backoff(size_t attempt, const Deadline& deadline) const;
 
-  /// Seals (checksums) the compressed bytes of one logical value.
+  /// Seals (checksums) the compressed bytes of one logical value, encoding
+  /// with `codec` (or the cluster-wide compression when unset) under the
+  /// writer-declared `schema`.
   std::shared_ptr<const std::string> SealForStorage(
-      std::string_view value) const;
+      std::string_view value, ValueSchema schema = ValueSchema::kOpaque,
+      std::optional<CompressionKind> codec = std::nullopt) const;
 
   /// Commits one row to one node with transient-error retries; a final
   /// failure leaves the row to the caller (which hints it).

@@ -509,7 +509,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
       tree_rows[i].push_back(
           PutRow{tgi::DeltaPlacement(tsid, sid, ns),
                  tgi::DeltaRowKey(options_.clustering_order, did, pid, false),
-                 d.Serialize()});
+                 d.Serialize(), ValueSchema::kDelta,
+                 options_.row_compression});
     }
     // Auxiliary replication micro-deltas: records of nodes replicated into
     // a partition because they are 1-hop neighbors across the cut.
@@ -533,7 +534,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
         tree_rows[i].push_back(
             PutRow{tgi::DeltaPlacement(tsid, sid, ns),
                    tgi::DeltaRowKey(options_.clustering_order, did, pid, true),
-                   d.Serialize()});
+                   d.Serialize(), ValueSchema::kDelta,
+                   options_.row_compression});
       }
     }
   });
@@ -548,7 +550,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
                tgi::DeltaRowKey(options_.clustering_order,
                                 tgi::EventlistDid(job.evl_index), job.pid,
                                 false),
-               job.evl.Serialize()};
+               job.evl.Serialize(), ValueSchema::kEventList,
+               options_.eventlist_compression};
   });
 
   // 3f. Auxiliary (replication) eventlists: routed serially now that the
@@ -579,7 +582,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
         PutRow{tgi::DeltaPlacement(tsid, sid, ns),
                tgi::DeltaRowKey(options_.clustering_order,
                                 tgi::EventlistDid(evl_index), pid, true),
-               evl.Serialize()};
+               evl.Serialize(), ValueSchema::kEventList,
+               options_.eventlist_compression};
   });
 
   // 3g. Version chains.
@@ -591,7 +595,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
     const tgi::VersionChainSegment& seg = *chain_jobs[j];
     version_rows[j] = PutRow{tgi::NodePlacement(seg.node),
                              tgi::VersionRowKey(seg.node, tsid),
-                             seg.Serialize()};
+                             seg.Serialize(), ValueSchema::kVersionChain,
+                             options_.versions_compression};
   });
 
   // ---- 4. Group commit. ---------------------------------------------------
@@ -604,8 +609,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
       return cluster_->MultiPut(table, std::move(rows));
     }
     for (const PutRow& row : rows) {
-      HGS_RETURN_NOT_OK(
-          cluster_->Put(table, row.partition, row.key, row.value));
+      HGS_RETURN_NOT_OK(cluster_->Put(table, row.partition, row.key, row.value,
+                                      row.schema, row.codec));
     }
     return Status::OK();
   };
@@ -647,7 +652,8 @@ Status TGIBuilder::BuildTimespanFrom(std::span<const Event> events,
       micropart_rows.push_back(
           PutRow{static_cast<uint64_t>(tsid) * buckets + b,
                  tgi::MicropartBucketRowKey(static_cast<uint32_t>(b)),
-                 tgi::SerializeMicropartBucket(bucketed[b])});
+                 tgi::SerializeMicropartBucket(bucketed[b]),
+                 ValueSchema::kOpaque, std::nullopt});
     }
     for (const PutRow& row : micropart_rows) {
       touched.push_back(MakeEpochKey(tgi::kMicropartsTable, row.partition));

@@ -1,8 +1,131 @@
 #include "tgi/metadata.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/columnar.h"
+#include "common/compression.h"
 
 namespace hgs::tgi {
+
+namespace {
+
+// -- kVersionChain columnar schema ------------------------------------------
+// All-numeric columns, no dictionaries (see common/columnar.h):
+//   0 head   : varint node, varint32 tsid, varint32 pid, varint entry count
+//   1 elidx  : zigzag varint deltas of eventlist_index (near-monotone)
+//   2 pids   : varint32 per entry
+//   3 first  : zigzag varint deltas of first_time (chronological entries)
+//   4 last   : zigzag varint (last_time - first_time) per entry
+//   5 counts : varint32 event_count per entry
+constexpr size_t kVcColHead = 0;
+constexpr size_t kVcColElIdx = 1;
+constexpr size_t kVcColPids = 2;
+constexpr size_t kVcColFirst = 3;
+constexpr size_t kVcColLast = 4;
+constexpr size_t kVcColCounts = 5;
+
+std::string EncodeColumnarSegmentPayload(const VersionChainSegment& seg) {
+  BinaryWriter head;
+  head.PutVarint64(seg.node);
+  head.PutVarint32(seg.tsid);
+  head.PutVarint32(seg.pid);
+  head.PutVarint64(seg.entries.size());
+
+  BinaryWriter elidx;
+  BinaryWriter pids;
+  BinaryWriter firsts;
+  BinaryWriter lasts;
+  BinaryWriter counts;
+  DeltaInt64Encoder el_enc;
+  DeltaInt64Encoder first_enc;
+  for (const VersionEntry& e : seg.entries) {
+    el_enc.Put(&elidx, e.eventlist_index);
+    pids.PutVarint32(e.pid);
+    first_enc.Put(&firsts, e.first_time);
+    lasts.PutSigned64(e.last_time - e.first_time);
+    counts.PutVarint32(e.event_count);
+  }
+
+  ColumnarBlockWriter block(ValueSchema::kVersionChain);
+  block.AddColumn(head.Finish());
+  block.AddColumn(elidx.Finish());
+  block.AddColumn(pids.Finish());
+  block.AddColumn(firsts.Finish());
+  block.AddColumn(lasts.Finish());
+  block.AddColumn(counts.Finish());
+  return block.Finish();
+}
+
+Result<VersionChainSegment> DecodeColumnarSegment(std::string_view payload) {
+  HGS_ASSIGN_OR_RETURN(
+      ColumnarBlockReader block,
+      ColumnarBlockReader::Parse(payload, ValueSchema::kVersionChain));
+  HGS_ASSIGN_OR_RETURN(std::string_view head_col, block.Column(kVcColHead));
+  HGS_ASSIGN_OR_RETURN(std::string_view el_col, block.Column(kVcColElIdx));
+  HGS_ASSIGN_OR_RETURN(std::string_view pid_col, block.Column(kVcColPids));
+  HGS_ASSIGN_OR_RETURN(std::string_view first_col,
+                       block.Column(kVcColFirst));
+  HGS_ASSIGN_OR_RETURN(std::string_view last_col, block.Column(kVcColLast));
+  HGS_ASSIGN_OR_RETURN(std::string_view count_col,
+                       block.Column(kVcColCounts));
+
+  BinaryReader head(head_col);
+  VersionChainSegment seg;
+  seg.node = head.ReadVarint64();
+  seg.tsid = static_cast<TimespanId>(head.ReadVarint64());
+  seg.pid = static_cast<MicroPartitionId>(head.ReadVarint64());
+  uint64_t n = head.ReadVarint64();
+  if (head.failed()) return head.BulkStatus();
+
+  BinaryReader els(el_col);
+  BinaryReader pids(pid_col);
+  BinaryReader firsts(first_col);
+  BinaryReader lasts(last_col);
+  BinaryReader counts(count_col);
+  DeltaInt64Decoder el_dec;
+  DeltaInt64Decoder first_dec;
+  seg.entries.reserve(std::min<uint64_t>(n, payload.size()));
+  for (uint64_t i = 0; i < n; ++i) {
+    VersionEntry e;
+    e.tsid = seg.tsid;
+    e.eventlist_index = static_cast<uint32_t>(el_dec.Next(&els));
+    e.pid = static_cast<MicroPartitionId>(pids.ReadVarint64());
+    e.first_time = first_dec.Next(&firsts);
+    e.last_time = e.first_time + lasts.ReadSigned64();
+    e.event_count = static_cast<uint32_t>(counts.ReadVarint64());
+    if (els.failed() || pids.failed() || firsts.failed() || lasts.failed() ||
+        counts.failed()) {
+      return Status::Corruption("columnar version chain: truncated column");
+    }
+    seg.entries.push_back(e);
+  }
+  return seg;
+}
+
+std::optional<std::string> ColumnarEncodeSegment(std::string_view payload) {
+  Result<VersionChainSegment> parsed = VersionChainSegment::Deserialize(payload);
+  if (!parsed.ok()) return std::nullopt;
+  // Only canonical serializations are eligible (see the eventlist codec).
+  if (parsed->Serialize() != payload) return std::nullopt;
+  return EncodeColumnarSegmentPayload(*parsed);
+}
+
+Result<std::string> ColumnarReencodeSegment(std::string_view payload) {
+  HGS_ASSIGN_OR_RETURN(VersionChainSegment seg,
+                       VersionChainSegment::Deserialize(payload));
+  return seg.Serialize();
+}
+
+[[maybe_unused]] const bool kVersionChainCodecRegistered = [] {
+  RegisterColumnarCodec(ValueSchema::kVersionChain, &ColumnarEncodeSegment,
+                        &ColumnarReencodeSegment);
+  return true;
+}();
+
+}  // namespace
 
 std::vector<DeltaId> TimespanMeta::PathToCheckpoint(
     int32_t checkpoint_index) const {
@@ -116,6 +239,9 @@ std::string VersionChainSegment::Serialize() const {
 
 Result<VersionChainSegment> VersionChainSegment::Deserialize(
     std::string_view data) {
+  // A columnar payload (alternative serialization; see common/columnar.h)
+  // routes on its magic — legacy payloads can never start with those bytes.
+  if (IsColumnarPayload(data)) return DecodeColumnarSegment(data);
   BinaryReader r(data);
   HGS_RETURN_NOT_OK(r.VerifyChecksum());
   VersionChainSegment seg;

@@ -8,7 +8,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "common/compression.h"
 #include "partition/dynamic_partitioner.h"
 
 namespace hgs {
@@ -108,6 +110,18 @@ struct TGIOptions {
   /// invalidates only the (table, partition) scopes the writer touched.
   /// Kept as bench_mixed_workload's measured baseline.
   bool coarse_publish_epoch = false;
+
+  /// Per-table-family compression overrides. When set, builder writes of
+  /// the matching row family are sealed with this codec instead of the
+  /// cluster-wide ClusterOptions::compression: `row_compression` covers the
+  /// Deltas-table rows (tree deltas and micro-deltas — ValueSchema::kDelta),
+  /// `eventlist_compression` the eventlist rows (kEventList) and
+  /// `versions_compression` the version-chain rows (kVersionChain).
+  /// kColumnar here is always safe: blocks where the columnar form loses
+  /// (or that a schema cannot represent) fall back per block to kLz/stored.
+  std::optional<CompressionKind> row_compression;
+  std::optional<CompressionKind> eventlist_compression;
+  std::optional<CompressionKind> versions_compression;
 
   /// TinyLFU-style admission on both read-side cache tiers: a doorkeeper
   /// bit array plus a small frequency sketch gate inserts that would evict,

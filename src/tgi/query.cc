@@ -1651,16 +1651,52 @@ Result<std::vector<Event>> TGIQueryManager::GetMergedMemberEvents(
   std::sort(ks.begin(), ks.end(), [&](size_t a, size_t b) {
     return chunk_of[a] < chunk_of[b];
   });
-  std::vector<Event> chunk;
+  // Within a chunk, each row's picked events are already chronological (an
+  // eventlist is time-sorted and the scan preserves order), so a k-way
+  // merge by time replaces the whole-chunk comparison sort. Time is
+  // EventTotalOrder's primary key, so merging by time and sorting only the
+  // runs of equal timestamps yields exactly the order the full sort
+  // produced — and unique only needs to see those runs, because duplicates
+  // (internal edge events arriving via both endpoints' rows) share a
+  // timestamp.
+  struct RowCursor {
+    const Event* const* cur;
+    const Event* const* end;
+  };
+  std::vector<RowCursor> cursors;
+  std::vector<Event> run;
   for (size_t i = 0; i < ks.size();) {
     size_t j = i;
-    chunk.clear();
+    cursors.clear();
     for (; j < ks.size() && chunk_of[ks[j]] == chunk_of[ks[i]]; ++j) {
-      for (const Event* e : picked[ks[j]]) chunk.push_back(*e);
+      const std::vector<const Event*>& p = picked[ks[j]];
+      if (!p.empty()) cursors.push_back({p.data(), p.data() + p.size()});
     }
-    std::sort(chunk.begin(), chunk.end(), EventTotalOrder);
-    chunk.erase(std::unique(chunk.begin(), chunk.end()), chunk.end());
-    for (Event& e : chunk) out.push_back(std::move(e));
+    if (!cursors.empty() && stats != nullptr) {
+      ++stats->taf_merge_skipped_sorts;
+    }
+    while (!cursors.empty()) {
+      Timestamp t = (*cursors[0].cur)->time;
+      for (size_t c = 1; c < cursors.size(); ++c) {
+        t = std::min(t, (*cursors[c].cur)->time);
+      }
+      run.clear();
+      for (size_t c = 0; c < cursors.size();) {
+        RowCursor& rc = cursors[c];
+        while (rc.cur != rc.end && (*rc.cur)->time == t) {
+          run.push_back(**rc.cur);
+          ++rc.cur;
+        }
+        if (rc.cur == rc.end) {
+          cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(c));
+        } else {
+          ++c;
+        }
+      }
+      std::sort(run.begin(), run.end(), EventTotalOrder);
+      run.erase(std::unique(run.begin(), run.end()), run.end());
+      for (Event& e : run) out.push_back(std::move(e));
+    }
     i = j;
   }
   return out;

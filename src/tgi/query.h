@@ -79,6 +79,12 @@ struct FetchStats {
   // shared-buffer path the only copies left are LZ-block materializations,
   // so uncompressed reads — and every warm read — report 0.
   uint64_t value_copies = 0;   ///< values materialized rather than viewed
+  // Set-at-a-time merge accounting (GetMergedMemberEvents): per-eventlist
+  // chunks combined by the k-way merge — which exploits that each member's
+  // picked events are already chronological — instead of a whole-chunk
+  // re-sort. Same-timestamp runs still sort, so the count below is chunks
+  // whose full comparison sort was skipped.
+  uint64_t taf_merge_skipped_sorts = 0;
   // Invalidation precision: when this query observed a re-publish and
   // refreshed, how many cache entries (both tiers + micropart buckets) the
   // sweep kept warm vs evicted. A partition-scoped publish retains every
@@ -115,6 +121,7 @@ struct FetchStats {
     decodes += o.decodes;
     decoded_bytes += o.decoded_bytes;
     value_copies += o.value_copies;
+    taf_merge_skipped_sorts += o.taf_merge_skipped_sorts;
     cache_entries_retained += o.cache_entries_retained;
     cache_entries_invalidated += o.cache_entries_invalidated;
     failovers += o.failovers;

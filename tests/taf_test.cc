@@ -266,9 +266,15 @@ TEST_F(TafFixture, SubgraphFetchAndVersions) {
   Graph final_state = workload::ReplayToGraph(*events_, to);
   NodeId hub = algo::HighestDegreeNode(final_state);
   Timestamp from = to / 2;
-  auto sots = ctx.Subgraphs(1).TimeRange(from, to).WithSeeds({hub}).Fetch();
+  FetchStats stats;
+  auto sots =
+      ctx.Subgraphs(1).TimeRange(from, to).WithSeeds({hub}).Fetch(&stats);
   ASSERT_TRUE(sots.ok());
   ASSERT_EQ(sots->size(), 1u);
+  // Member histories come back pre-sorted per eventlist chunk, so the merge
+  // is a k-way merge over sorted runs — the fetch never re-sorts a chunk
+  // from scratch.
+  EXPECT_GT(stats.taf_merge_skipped_sorts, 0u);
   const SubgraphT& sg = sots->subgraphs()[0];
   // Version at window start equals the 1-hop induced subgraph then.
   Graph at_from = workload::ReplayToGraph(*events_, from);

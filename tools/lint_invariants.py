@@ -15,6 +15,11 @@ src/common/mutex.h and README.md ("Concurrency invariants"):
      GUARDED_BY annotation — a bare mutable member is mutated through const
      paths and therefore needs a stated synchronization story. A
      `// lint: mutable-ok <reason>` comment on the same line waives this.
+  4. No materializing Decompress() on the read path (src/tgi/,
+     src/kvstore/): those layers must go through DecompressShared so
+     stored-form blocks (kColumnar especially) decode as zero-copy windows
+     and value_copies stays an honest counter. Decompress() is for tests
+     and byte-exact round-trip checks only.
 
 Exit status 0 when clean, 1 when violations were found (they are printed
 as file:line: message, one per line). Run locally with:
@@ -54,6 +59,12 @@ MUTABLE_DECL_RE = re.compile(r"^\s*mutable\s+(?P<type>[A-Za-z_][\w:<>,\s*&]*?)\s
 MUTABLE_OK_TYPES = re.compile(r"^(hgs::)?(Mutex|std::atomic\b.*)$")
 MUTABLE_WAIVER = "lint: mutable-ok"
 
+# The materializing decoder. `\(` directly after the name keeps
+# DecompressShared / DecompressCounted out of the match.
+MATERIALIZING_DECOMPRESS_RE = re.compile(r"\bDecompress\s*\(")
+# Read-path layers where every block decode must stay a window.
+ZERO_COPY_DIRS = ("src/tgi/", "src/kvstore/")
+
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -86,6 +97,13 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
                     "locks through the scoped MutexLock so early returns "
                     "cannot leak them"
                 )
+        if rel.startswith(ZERO_COPY_DIRS) and \
+                MATERIALIZING_DECOMPRESS_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: materializing Decompress() on the read "
+                "path — use DecompressShared so stored blocks decode as "
+                "zero-copy windows (Decompress is test-only)"
+            )
         m = MUTABLE_DECL_RE.match(line)
         if m and MUTABLE_WAIVER not in raw_line:
             decl_type = m.group("type").strip()
@@ -116,7 +134,8 @@ def lint_tree(root: pathlib.Path) -> list[str]:
 # --- self test ---------------------------------------------------------------
 
 SELF_TEST_CASES = [
-    # (snippet, expected substring in the violation, or None for clean)
+    # (snippet, expected substring in the violation, or None for clean;
+    # optional third element overrides the lint-relative path)
     ("std::mutex mu_;", "raw std::mutex"),
     ("std::lock_guard<std::mutex> lock(mu_);", "raw std::lock_guard"),
     ("std::unique_lock<std::mutex> l(mu_);", "raw std::unique_lock"),
@@ -132,15 +151,24 @@ SELF_TEST_CASES = [
     ("mutable size_t memo_ GUARDED_BY(mu_) = 0;", None),
     ("mutable size_t scratch_ = 0;  // lint: mutable-ok single-threaded", None),
     ("MutexLock lock(mu_);", None),
+    ("auto raw = Decompress(value);", "materializing Decompress()",
+     "src/tgi/selftest.cc"),
+    ("auto raw = Decompress(value);", "materializing Decompress()",
+     "src/kvstore/selftest.cc"),
+    ("auto view = DecompressShared(value);", None, "src/tgi/selftest.cc"),
+    # Outside the read-path layers the materializing form stays legal.
+    ("auto raw = Decompress(value);", None, "src/common/selftest.cc"),
 ]
 
 
 def self_test() -> int:
     failures = 0
-    for snippet, expect in SELF_TEST_CASES:
+    for case in SELF_TEST_CASES:
+        snippet, expect = case[0], case[1]
+        rel = case[2] if len(case) > 2 else "src/selftest.cc"
         tmp = pathlib.Path("/tmp") / "hgs_lint_selftest.cc"
         tmp.write_text(snippet + "\n", encoding="utf-8")
-        problems = lint_file(tmp, "src/selftest.cc")
+        problems = lint_file(tmp, rel)
         if expect is None:
             if problems:
                 print(f"SELF-TEST FAIL (expected clean): {snippet!r} -> {problems}")
